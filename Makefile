@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at paper scale (minutes).
+experiments:
+	$(GO) run ./cmd/ftbench -exp all
+
+experiments-quick:
+	$(GO) run ./cmd/ftbench -exp all -quick
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/topo/
+	$(GO) test -fuzz=FuzzParseTopologyFile -fuzztime=30s ./internal/topo/
+	$(GO) test -fuzz=FuzzParseLFTs -fuzztime=30s ./internal/fabric/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,464 @@
+package fattree_test
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// microbenchmarks of the load-bearing inner loops. The per-figure benches
+// run the experiment harness at reduced scale so `go test -bench=.`
+// finishes in minutes; cmd/ftbench reproduces the full paper scale.
+
+import (
+	"io"
+	"testing"
+
+	"fattree/internal/cps"
+	"fattree/internal/des"
+	"fattree/internal/exp"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/mpi"
+	"fattree/internal/netsim"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+func render(b *testing.B, t *exp.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N == 1 {
+		// Print the regenerated artifact once per bench run.
+		b.Log("\n" + renderString(b, t))
+	}
+}
+
+func renderString(b *testing.B, t *exp.Table) string {
+	b.Helper()
+	var sb stringWriter
+	if err := t.Render(&sb); err != nil {
+		b.Fatal(err)
+	}
+	return string(sb)
+}
+
+type stringWriter []byte
+
+func (s *stringWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+var _ io.Writer = (*stringWriter)(nil)
+
+// BenchmarkFigure1 regenerates Figure 1 (routing-aware vs random order,
+// dst = src+4 mod 16).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Figure1(5)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (normalized bandwidth vs message
+// size for Shift and Recursive-Doubling under random order).
+func BenchmarkFigure2(b *testing.B) {
+	o := exp.DefaultFigure2Opts()
+	o.Cluster = topo.Cluster324
+	o.Sizes = []int64{8 << 10, 64 << 10, 512 << 10}
+	o.ShiftStages = 4
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Figure2(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (average max HSD vs cluster size
+// for the six collectives under 25 random orders).
+func BenchmarkFigure3(b *testing.B) {
+	o := exp.Figure3Opts{
+		Clusters:    []topo.PGFT{topo.Cluster128, topo.Cluster324},
+		Seeds:       10,
+		ShiftStride: 5,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Figure3(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (proposed routing+order HSD = 1 on
+// full and partial trees; random-ranking comparison column).
+func BenchmarkTable3(b *testing.B) {
+	o := exp.Table3Opts{
+		Cases: []exp.Table3Case{
+			{Name: "RLFT2-128 full", Cluster: topo.Cluster128, Drop: 0, Seed: 1},
+			{Name: "RLFT2-128 Cont.-8", Cluster: topo.Cluster128, Drop: 8, Seed: 1},
+			{Name: "RLFT2-324 full", Cluster: topo.Cluster324, Drop: 0, Seed: 1},
+			{Name: "RLFT2-324 Cont.-18", Cluster: topo.Cluster324, Drop: 18, Seed: 1},
+		},
+		RandomSeeds: 3,
+		ShiftStride: 3,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Table3(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkRingAdversarial regenerates the Section II adversarial-order
+// measurement (the 7.1% bandwidth case).
+func BenchmarkRingAdversarial(b *testing.B) {
+	o := exp.RingOpts{Cluster: topo.Cluster324, Bytes: 64 << 10, Config: netsim.DefaultConfig()}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RingAdversarial(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkContentionFree regenerates the Section VII verification (full
+// bandwidth, cut-through latency under the proposed configuration).
+func BenchmarkContentionFree(b *testing.B) {
+	o := exp.CFOpts{Cluster: topo.Cluster324, Bytes: 64 << 10, ShiftStages: 4, Config: netsim.DefaultConfig()}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.ContentionFree(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkWrapAblation regenerates the partial-tree wrap-around study.
+func BenchmarkWrapAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.WrapAblation(topo.Cluster128, 2)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkRoutingAblation regenerates the routing-choice ablation.
+func BenchmarkRoutingAblation(b *testing.B) {
+	g := topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2})
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RoutingAblation(g)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkBidirAblation regenerates the flat-vs-topology-aware
+// recursive-doubling ablation.
+func BenchmarkBidirAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.BidirAblation(topo.Cluster324)
+		render(b, t, err)
+	}
+}
+
+// --- Microbenchmarks of the inner loops ---
+
+// BenchmarkBuildTopology1944 measures graph construction of the paper's
+// 1944-node cluster.
+func BenchmarkBuildTopology1944(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.Build(topo.Cluster1944); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDModK1944 measures forwarding-table computation at paper
+// scale (270 switches x 1944 destinations).
+func BenchmarkDModK1944(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster1944)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.DModK(t)
+	}
+}
+
+// BenchmarkHSDShiftStage1944 measures one analytic stage: 1944 flows
+// traced over 6 hops each.
+func BenchmarkHSDShiftStage1944(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster1944)
+	lft := route.DModK(t)
+	a := hsd.NewAnalyzer(lft)
+	n := t.NumHosts()
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{i, (i + 5) % n}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Stage(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimRingStage324 measures the packet simulator on one full
+// Ring stage (324 messages of 64 KiB, ~65k packets).
+func BenchmarkNetsimRingStage324(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(t)
+	nw, err := netsim.New(lft, netsim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := t.NumHosts()
+	msgs := make([]netsim.Message, n)
+	for i := range msgs {
+		msgs[i] = netsim.Message{Src: i, Dst: (i + 1) % n, Bytes: 64 << 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Run(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPSShiftStage measures stage materialization of the Shift.
+func BenchmarkCPSShiftStage(b *testing.B) {
+	s := cps.Shift(1944)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Stage(i % s.NumStages())
+	}
+}
+
+// BenchmarkTopoAwareBuild1944 measures construction of the Section VI
+// sequence at paper scale.
+func BenchmarkTopoAwareBuild1944(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cps.TopoAwareRecursiveDoubling(topo.Cluster1944.M); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrderingAdversarial measures the adversarial-order
+// construction.
+func BenchmarkOrderingAdversarial(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster1944)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := order.Adversarial(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJobAnalyzeRecDbl measures a full analytic run of recursive
+// doubling on the 324-node cluster.
+func BenchmarkJobAnalyzeRecDbl(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	job, err := mpi.NewContentionFreeJob(t, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := cps.RecursiveDoubling(t.NumHosts())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := job.Analyze(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiJob regenerates the multi-job composition experiment.
+func BenchmarkMultiJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.MultiJob(topo.Cluster324)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkFaultResilience regenerates the degraded-fabric study.
+func BenchmarkFaultResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.FaultResilience(topo.Cluster128, 2)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkBufferAblation regenerates the input-buffer depth study.
+func BenchmarkBufferAblation(b *testing.B) {
+	o := exp.BufferOpts{
+		Cluster: topo.Cluster128,
+		Bytes:   64 << 10,
+		Buffers: []int{1, 8, 32},
+		Stages:  3,
+		Seed:    1,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.BufferAblation(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkFabricReroute measures fault-aware table recomputation.
+func BenchmarkFabricReroute(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := fabric.NewFaultSet(t)
+		if err := fs.FailRandomFabricLinks(4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fs.RouteAround(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedAllocFree measures the allocator's steady-state churn.
+func BenchmarkSchedAllocFree(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster1944)
+	a, err := sched.New(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j1, err := a.Alloc(648)
+		if err != nil {
+			b.Fatal(err)
+		}
+		j2, err := a.Alloc(324)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(j1.ID); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(j2.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveComparison regenerates the adaptive-vs-proactive
+// routing comparison.
+func BenchmarkAdaptiveComparison(b *testing.B) {
+	o := exp.AdaptiveOpts{Cluster: topo.Cluster128, Bytes: 64 << 10, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AdaptiveComparison(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkJitterSensitivity regenerates the OS-jitter study.
+func BenchmarkJitterSensitivity(b *testing.B) {
+	o := exp.JitterOpts{
+		Cluster: topo.Cluster128,
+		Bytes:   64 << 10,
+		Jitters: []des.Time{0, 20 * des.Microsecond, 100 * des.Microsecond},
+		Stages:  3,
+		Seed:    1,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.JitterSensitivity(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkHSDAnalyzeSequential measures the single-threaded full-Shift
+// analysis on the 324-node cluster.
+func BenchmarkHSDAnalyzeSequential(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(t)
+	o := order.Topology(t.NumHosts(), nil)
+	seq := cps.Shift(t.NumHosts())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hsd.Analyze(lft, o, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHSDAnalyzeParallel measures the worker-pool variant on the
+// same job; compare against BenchmarkHSDAnalyzeSequential for the
+// speedup.
+func BenchmarkHSDAnalyzeParallel(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(t)
+	o := order.Topology(t.NumHosts(), nil)
+	seq := cps.Shift(t.NumHosts())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hsd.AnalyzeParallel(lft, o, seq, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaperAblation regenerates the oversubscription study.
+func BenchmarkTaperAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.TaperAblation()
+		render(b, t, err)
+	}
+}
+
+// BenchmarkPatternSweep regenerates the synthetic-pattern sweep.
+func BenchmarkPatternSweep(b *testing.B) {
+	o := exp.PatternOpts{Cluster: topo.Cluster128, Bytes: 32 << 10, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.PatternSweep(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkCollectiveLatency regenerates the schedule-latency study.
+func BenchmarkCollectiveLatency(b *testing.B) {
+	o := exp.LatencyOpts{Cluster: topo.Cluster324, Sizes: []int64{2 << 10, 128 << 10}}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.CollectiveLatency(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkSemanticsComparison regenerates the progression-semantics
+// study.
+func BenchmarkSemanticsComparison(b *testing.B) {
+	o := exp.SemanticsOpts{Cluster: topo.Cluster128, Bytes: 32 << 10, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.SemanticsComparison(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkPlacementComparison regenerates the placement-policy study.
+func BenchmarkPlacementComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.PlacementComparison(topo.Cluster128)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkSchedulerPolicies regenerates the admission-policy study.
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	o := exp.DefaultQueueOpts()
+	o.Base.Jobs = 150
+	for i := 0; i < b.N; i++ {
+		t, err := exp.SchedulerPolicies(o)
+		render(b, t, err)
+	}
+}
+
+// BenchmarkNetsimDependentRecDbl measures the dependency-gated simulator
+// on a full recursive-doubling schedule.
+func BenchmarkNetsimDependentRecDbl(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster128)
+	job, err := mpi.NewContentionFreeJob(t, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := cps.RecursiveDoubling(t.NumHosts())
+	cfg := netsim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := job.SimulateMode(seq, 32<<10, mpi.Dependent, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

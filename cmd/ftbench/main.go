@@ -1,0 +1,334 @@
+// Command ftbench regenerates the paper's tables and figures. Every
+// experiment of DESIGN.md's index is available; -exp all runs the full
+// evaluation at paper scale, -quick shrinks clusters and sampling for a
+// fast smoke run.
+//
+// Usage:
+//
+//	ftbench -exp all -quick
+//	ftbench -exp f3
+//	ftbench -exp t3 > table3.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fattree/internal/exp"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment: f1 | f2 | f3 | t3 | ring | cf | wrap | routing | bidir | semantics | placement | latency | taper | patterns | adaptive | jitter | buffers | jobs | queue | faults | all")
+		quick  = flag.Bool("quick", false, "reduced scale for a fast run")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if err := run(*which, *quick, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, quick, csvOut bool) error {
+	sel := map[string]bool{}
+	for _, w := range strings.Split(which, ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	ran := false
+	want := func(k string) bool {
+		hit := sel["all"] || sel[k]
+		if hit {
+			ran = true
+		}
+		return hit
+	}
+	out := os.Stdout
+	emit := func(t *exp.Table) error {
+		if csvOut {
+			return t.RenderCSV(out)
+		}
+		return t.Render(out)
+	}
+
+	if want("f1") {
+		t, err := exp.Figure1(5)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("f2") {
+		o := exp.DefaultFigure2Opts()
+		if quick {
+			o.Cluster = topo.Cluster324
+			o.Sizes = []int64{8 << 10, 64 << 10, 512 << 10}
+			o.ShiftStages = 4
+		}
+		t, err := exp.Figure2(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("f3") {
+		o := exp.DefaultFigure3Opts()
+		if quick {
+			o.Clusters = []topo.PGFT{topo.Cluster128, topo.Cluster324}
+			o.Seeds = 5
+			o.ShiftStride = 7
+		}
+		t, err := exp.Figure3(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("t3") {
+		o := exp.DefaultTable3Opts()
+		if quick {
+			o.Cases = o.Cases[:6]
+			o.RandomSeeds = 3
+			o.ShiftStride = 5
+		}
+		t, err := exp.Table3(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("ring") {
+		o := exp.DefaultRingOpts()
+		if quick {
+			o.Cluster = topo.Cluster324
+			o.Bytes = 64 << 10
+		}
+		t, err := exp.RingAdversarial(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("cf") {
+		o := exp.DefaultCFOpts()
+		if quick {
+			o.Cluster = topo.Cluster324
+			o.Bytes = 64 << 10
+			o.ShiftStages = 4
+		}
+		t, err := exp.ContentionFree(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("wrap") {
+		cluster := topo.Cluster324
+		seeds := 5
+		if quick {
+			cluster = topo.Cluster128
+			seeds = 2
+		}
+		t, err := exp.WrapAblation(cluster, seeds)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("routing") {
+		cluster := topo.Cluster1728
+		if quick {
+			cluster = topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2})
+		}
+		t, err := exp.RoutingAblation(cluster)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("bidir") {
+		cluster := topo.Cluster1944
+		if quick {
+			cluster = topo.Cluster324
+		}
+		t, err := exp.BidirAblation(cluster)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("queue") {
+		o := exp.DefaultQueueOpts()
+		if quick {
+			o.Base.Jobs = 150
+		}
+		t, err := exp.SchedulerPolicies(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("semantics") {
+		o := exp.DefaultSemanticsOpts()
+		if quick {
+			o.Cluster = topo.Cluster128
+			o.Bytes = 32 << 10
+		}
+		t, err := exp.SemanticsComparison(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("placement") {
+		cluster := topo.Cluster324
+		if quick {
+			cluster = topo.Cluster128
+		}
+		t, err := exp.PlacementComparison(cluster)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("latency") {
+		o := exp.DefaultLatencyOpts()
+		if quick {
+			o.Sizes = []int64{2 << 10, 128 << 10}
+		}
+		t, err := exp.CollectiveLatency(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("taper") {
+		t, err := exp.TaperAblation()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("patterns") {
+		o := exp.DefaultPatternOpts()
+		if quick {
+			o.Cluster = topo.Cluster128
+			o.Bytes = 32 << 10
+		}
+		t, err := exp.PatternSweep(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("adaptive") {
+		o := exp.DefaultAdaptiveOpts()
+		if quick {
+			o.Cluster = topo.Cluster128
+			o.Bytes = 64 << 10
+		}
+		t, err := exp.AdaptiveComparison(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("jitter") {
+		o := exp.DefaultJitterOpts()
+		if quick {
+			o.Cluster = topo.Cluster128
+			o.Bytes = 64 << 10
+			o.Stages = 3
+		}
+		t, err := exp.JitterSensitivity(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("buffers") {
+		o := exp.DefaultBufferOpts()
+		if quick {
+			o.Cluster = topo.Cluster128
+			o.Bytes = 64 << 10
+			o.Buffers = []int{1, 4, 16}
+			o.Stages = 3
+		}
+		t, err := exp.BufferAblation(o)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("jobs") {
+		cluster := topo.Cluster1944
+		if quick {
+			cluster = topo.Cluster324
+		}
+		t, err := exp.MultiJob(cluster)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("faults") {
+		cluster := topo.Cluster324
+		seeds := 5
+		if quick {
+			cluster = topo.Cluster128
+			seeds = 2
+		}
+		t, err := exp.FaultResilience(cluster, seeds)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no experiment matched %q (see -h for the list)", which)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command ftfabric exercises the InfiniBand management-plane emulation:
+// fabric discovery (ibnetdiscover-style inventory), OpenSM-style LFT
+// dumps, and link-fault rerouting reports.
+//
+// Usage:
+//
+//	ftfabric -topo 324 -discover
+//	ftfabric -topo 324 -dump-lfts > lfts.txt
+//	ftfabric -topo 324 -fail 4 -seed 2 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree/internal/cps"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec     = flag.String("topo", "324", "topology spec")
+		discover = flag.Bool("discover", false, "sweep the fabric and print the inventory")
+		dumpLFTs = flag.Bool("dump-lfts", false, "print OpenSM-style forwarding tables")
+		fail     = flag.Int("fail", 0, "kill this many random fabric links, reroute and report")
+		seed     = flag.Int64("seed", 1, "fault-draw seed")
+		report   = flag.Bool("report", false, "analyze Shift HSD on the (re)routed fabric")
+	)
+	flag.Parse()
+	if err := run(*spec, *discover, *dumpLFTs, *fail, *seed, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "ftfabric:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	sn := fabric.NewSubnet(t)
+
+	did := false
+	if discover {
+		did = true
+		inv, err := sn.Discover()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fabric %s: %d hosts, %d switches, %d links\n", g, inv.Hosts, inv.Switches, inv.Links)
+		for _, guid := range inv.SortedSwitchGUIDs() {
+			fmt.Printf("  switch 0x%016x: %d connected ports\n", uint64(guid), inv.PortsBySwitch[guid])
+		}
+	}
+
+	var lft *route.LFT
+	if fail > 0 {
+		did = true
+		fs := fabric.NewFaultSet(t)
+		if err := fs.FailRandomFabricLinks(fail, seed); err != nil {
+			return err
+		}
+		rerouted, res, err := fs.RouteAround()
+		if err != nil {
+			return err
+		}
+		lft = rerouted
+		fmt.Printf("rerouted around %d dead links: %d unroutable hosts, %d broken pairs\n",
+			fs.Failed(), len(res.UnroutableHosts), res.BrokenPairs)
+	} else {
+		lft = route.DModK(t)
+	}
+
+	if dumpLFTs {
+		did = true
+		st := sn.Program(lft)
+		if err := st.WriteLFTs(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if report {
+		did = true
+		rep, err := hsd.Analyze(lft, order.Topology(t.NumHosts(), nil), cps.Shift(t.NumHosts()))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shift under %s + topology order: max HSD %d, avg max HSD %.3f, contention-free %v\n",
+			lft.Name, rep.MaxHSD(), rep.AvgMaxHSD(), rep.ContentionFree())
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}

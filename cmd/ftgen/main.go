@@ -1,0 +1,68 @@
+// Command ftgen builds a PGFT/RLFT topology and writes its description
+// (header plus full link list) to stdout or a file.
+//
+// Usage:
+//
+//	ftgen -topo 324 [-o cluster.topo] [-summary]
+//	ftgen -topo "pgft:2;4,4;1,2;1,2"
+//	ftgen -topo "rlft3:18,6" -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec    = flag.String("topo", "324", "topology spec (see internal/topo.ParseSpec)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		summary = flag.Bool("summary", false, "print structural summary instead of the link list")
+	)
+	flag.Parse()
+	if err := run(*spec, *out, *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, out string, summary bool) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if summary {
+		fmt.Fprintf(w, "%s\n", g)
+		fmt.Fprintf(w, "hosts:    %d\n", t.NumHosts())
+		for l := 1; l <= g.H; l++ {
+			fmt.Fprintf(w, "level %d:  %d switches (%d down, %d up ports each)\n",
+				l, g.NumSwitches(l), g.DownPorts(l), g.UpPorts(l))
+		}
+		fmt.Fprintf(w, "links:    %d\n", len(t.Links))
+		if k, ok := g.IsRLFT(); ok {
+			fmt.Fprintf(w, "RLFT:     yes (arity K=%d, switches have %d ports)\n", k, 2*k)
+		} else {
+			fmt.Fprintf(w, "RLFT:     no\n")
+		}
+		fmt.Fprintf(w, "CBB:      constant=%v\n", g.ConstantCBB())
+		return nil
+	}
+	_, err = t.WriteTo(w)
+	return err
+}

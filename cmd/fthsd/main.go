@@ -1,0 +1,176 @@
+// Command fthsd runs the analytic Hot-Spot-Degree model: it reports, for
+// a topology, routing, node ordering and collective permutation sequence,
+// the per-stage maximum number of flows sharing a link. HSD = 1 means
+// contention-free traffic. This mirrors the ibdm-based tool of Sections
+// II and VII.
+//
+// Usage:
+//
+//	fthsd -topo 324 -cps shift -order topology
+//	fthsd -topo 1944 -cps recursive-doubling -order random -seeds 25
+//	fthsd -topo 324 -cps topo-aware -order topology -drop 18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fattree/internal/cps"
+	"fattree/internal/hsd"
+	"fattree/internal/mpi"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec     = flag.String("topo", "324", "topology spec")
+		cpsName  = flag.String("cps", "shift", "CPS: shift | ring | binomial | dissemination | tournament | recursive-doubling | recursive-halving | topo-aware")
+		ordering = flag.String("order", "topology", "ordering: topology | random | adversarial")
+		seeds    = flag.Int("seeds", 1, "random orderings to sweep")
+		drop     = flag.Int("drop", 0, "randomly exclude this many end-ports (partial job)")
+		dropSeed = flag.Int64("drop-seed", 1, "seed for the exclusion draw")
+		perStage = flag.Bool("stages", false, "print per-stage detail")
+		levels   = flag.Bool("levels", false, "print the per-tree-level breakdown of the worst stage")
+	)
+	flag.Parse()
+	if err := run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels); err != nil {
+		fmt.Fprintln(os.Stderr, "fthsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels bool) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	n := t.NumHosts()
+
+	var active []int
+	if drop > 0 {
+		r := rand.New(rand.NewSource(dropSeed))
+		perm := r.Perm(n)
+		active = append([]int(nil), perm[drop:]...)
+	}
+	var lft *route.LFT
+	if active == nil {
+		lft = route.DModK(t)
+	} else {
+		lft = route.DModKActive(t, active)
+	}
+	jobSize := n
+	if active != nil {
+		jobSize = len(active)
+	}
+
+	var seq cps.Sequence
+	if cpsName == "topo-aware" {
+		seq, err = mpi.NewTopoAwareSequence(g.M, active)
+	} else {
+		seq, err = mpi.NewSequence(mpi.CPSKind(cpsName), jobSize)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch ordering {
+	case "topology":
+		o := order.Topology(n, active)
+		rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+		if err != nil {
+			return err
+		}
+		printReport(rep, perStage)
+		if levels {
+			if err := printLevels(lft, o, seq, rep); err != nil {
+				return err
+			}
+		}
+	case "adversarial":
+		o, err := order.Adversarial(t)
+		if err != nil {
+			return err
+		}
+		if active != nil {
+			return fmt.Errorf("adversarial ordering supports full population only")
+		}
+		rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+		if err != nil {
+			return err
+		}
+		printReport(rep, perStage)
+		if levels {
+			if err := printLevels(lft, o, seq, rep); err != nil {
+				return err
+			}
+		}
+	case "random":
+		var orders []*order.Ordering
+		for s := 0; s < seeds; s++ {
+			orders = append(orders, order.Random(n, active, int64(s)))
+		}
+		sw, err := hsd.SweepOrderings(lft, orders, seq)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s / %s / random x%d on %s (job %d):\n", seq.Name(), lft.Name, seeds, g, jobSize)
+		fmt.Printf("  avg max HSD: mean %.3f  min %.3f  max %.3f\n", sw.Mean, sw.Min, sw.Max)
+	default:
+		return fmt.Errorf("unknown ordering %q", ordering)
+	}
+	return nil
+}
+
+// printLevels re-analyzes the worst stage and prints its per-tree-level
+// maximum flow counts, locating where the hot spot lives.
+func printLevels(lft *route.LFT, o *order.Ordering, seq cps.Sequence, rep *hsd.Report) error {
+	worst, worstHSD := -1, -1
+	for i, s := range rep.Stages {
+		if s.MaxHSD > worstHSD {
+			worst, worstHSD = i, s.MaxHSD
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	a := hsd.NewAnalyzer(lft)
+	stage := seq.Stage(worst)
+	pairs := make([][2]int, 0, len(stage))
+	for _, p := range stage {
+		pairs = append(pairs, [2]int{o.HostOf[p.Src], o.HostOf[p.Dst]})
+	}
+	if _, err := a.Stage(pairs); err != nil {
+		return err
+	}
+	up, down := a.LevelLoads()
+	fmt.Printf("  worst stage %d per-level max flows (up/down):\n", worst)
+	for l := 0; l < len(up); l++ {
+		name := "host links"
+		if l > 0 {
+			name = fmt.Sprintf("level %d-%d", l, l+1)
+		}
+		fmt.Printf("    %-11s %d / %d\n", name, up[l], down[l])
+	}
+	return nil
+}
+
+func printReport(rep *hsd.Report, perStage bool) {
+	fmt.Printf("%s / %s / %s:\n", rep.Sequence, rep.Routing, rep.Ordering)
+	fmt.Printf("  stages: %d  max HSD: %d  avg max HSD: %.3f  contention-free: %v\n",
+		len(rep.Stages), rep.MaxHSD(), rep.AvgMaxHSD(), rep.ContentionFree())
+	fmt.Printf("  synchronized effective bandwidth: %.3f of nominal\n", rep.SyncEffectiveBandwidth())
+	if perStage {
+		for i, s := range rep.Stages {
+			fmt.Printf("  stage %4d: flows %5d  max HSD %d (up %d / down %d)  hot links %d\n",
+				i, s.Flows, s.MaxHSD, s.MaxUpHSD, s.MaxDownHSD, s.HotLinks)
+		}
+	}
+}

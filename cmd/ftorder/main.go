@@ -1,0 +1,99 @@
+// Command ftorder emits the topology-aware MPI rank order for a cluster
+// or an allocation on it — the artifact a batch system feeds to mpirun
+// as a rankfile/hostfile so that MPI_COMM_WORLD ranks land on the
+// end-ports the routing expects.
+//
+// Usage:
+//
+//	ftorder -topo 324                          # full cluster rankfile
+//	ftorder -topo 324 -job 162                 # first granule-aligned job
+//	ftorder -topo 324 -drop 18 -drop-seed 3    # partial cluster
+//	ftorder -topo 324 -format hostlist
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fattree/internal/order"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec     = flag.String("topo", "324", "topology spec")
+		job      = flag.Int("job", 0, "allocate a job of this size via the granule-aware scheduler (0 = whole cluster)")
+		drop     = flag.Int("drop", 0, "exclude this many random end-ports")
+		dropSeed = flag.Int64("drop-seed", 1, "seed for the exclusion draw")
+		format   = flag.String("format", "rankfile", "output: rankfile | hostlist")
+	)
+	flag.Parse()
+	if err := run(*spec, *job, *drop, *dropSeed, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "ftorder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, jobSize, drop int, dropSeed int64, format string) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	n := t.NumHosts()
+
+	var active []int
+	switch {
+	case jobSize > 0:
+		alloc, err := sched.New(t)
+		if err != nil {
+			return err
+		}
+		j, err := alloc.Alloc(jobSize)
+		if err != nil {
+			return err
+		}
+		active = j.Hosts
+		if !j.ContentionFree {
+			fmt.Fprintf(os.Stderr, "ftorder: warning: %d is not a multiple of the allocation granule %d; the job is not guaranteed contention free\n",
+				jobSize, alloc.Granule())
+		}
+	case drop > 0:
+		r := rand.New(rand.NewSource(dropSeed))
+		perm := r.Perm(n)
+		active = append([]int(nil), perm[drop:]...)
+	}
+
+	o := order.Topology(n, active)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch format {
+	case "rankfile":
+		// OpenMPI rankfile syntax: rank <r>=<host> slot=0. Host names
+		// follow the leaf-based convention node<leaf>-<slot>.
+		for r, h := range o.HostOf {
+			fmt.Fprintf(w, "rank %d=%s slot=0\n", r, hostName(g, h))
+		}
+	case "hostlist":
+		for _, h := range o.HostOf {
+			fmt.Fprintf(w, "%s\n", hostName(g, h))
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+// hostName derives a deterministic node name from the end-port index:
+// node<leaf>-<slot> for trees with leaves, node<index> otherwise.
+func hostName(g topo.PGFT, h int) string {
+	k := g.Mi(1)
+	return fmt.Sprintf("node%03d-%02d", h/k, h%k)
+}

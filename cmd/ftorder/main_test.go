@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"fattree/internal/topo"
+)
+
+func TestHostName(t *testing.T) {
+	g := topo.Cluster324 // 18 hosts per leaf
+	cases := map[int]string{
+		0:   "node000-00",
+		17:  "node000-17",
+		18:  "node001-00",
+		323: "node017-17",
+	}
+	for h, want := range cases {
+		if got := hostName(g, h); got != want {
+			t.Errorf("hostName(%d) = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func TestHostNamesUnique(t *testing.T) {
+	g := topo.Cluster128
+	seen := make(map[string]bool)
+	for h := 0; h < g.NumHosts(); h++ {
+		name := hostName(g, h)
+		if seen[name] {
+			t.Fatalf("duplicate host name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,127 @@
+// Command ftroute computes forwarding tables for a fat-tree and either
+// dumps them (like dump_lfts.sh would for an InfiniBand fabric), verifies
+// their correctness, or traces a single source-destination path.
+//
+// Usage:
+//
+//	ftroute -topo 324 -routing dmodk -verify
+//	ftroute -topo 324 -trace 0,323
+//	ftroute -topo "pgft:2;4,4;1,2;1,2" -dump | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec    = flag.String("topo", "324", "topology spec")
+		routing = flag.String("routing", "dmodk", "routing: dmodk | dmodk-naive | minhop-random")
+		seed    = flag.Int64("seed", 1, "seed for randomized routings")
+		verify  = flag.Bool("verify", false, "verify delivery, minimality and up*/down* shape")
+		dump    = flag.Bool("dump", false, "dump the forwarding tables")
+		trace   = flag.String("trace", "", "trace a path: src,dst")
+	)
+	flag.Parse()
+	if err := run(*spec, *routing, *seed, *verify, *dump, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "ftroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, routing string, seed int64, verify, dump bool, trace string) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	var lft *route.LFT
+	switch routing {
+	case "dmodk":
+		lft = route.DModK(t)
+	case "dmodk-naive":
+		lft = route.DModKNaive(t)
+	case "minhop-random":
+		lft = route.MinHopRandom(t, seed)
+	default:
+		return fmt.Errorf("unknown routing %q", routing)
+	}
+	did := false
+	if verify {
+		did = true
+		if err := route.Verify(lft, 0); err != nil {
+			return err
+		}
+		conflicts, err := route.DownPortConflicts(lft)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s: all %d^2 pairs verified, %d down-port conflicts\n",
+			lft.Name, g, t.NumHosts(), conflicts)
+	}
+	if trace != "" {
+		did = true
+		s, d, ok := strings.Cut(trace, ",")
+		if !ok {
+			return fmt.Errorf("trace wants src,dst")
+		}
+		src, err := strconv.Atoi(s)
+		if err != nil {
+			return err
+		}
+		dst, err := strconv.Atoi(d)
+		if err != nil {
+			return err
+		}
+		hops, err := lft.Trace(src, dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d -> %d (%d hops):\n", src, dst, len(hops))
+		for i, h := range hops {
+			lk := &t.Links[h.Link]
+			lo := t.Node(t.Ports[lk.Lower].Node)
+			up := t.Node(t.Ports[lk.Upper].Node)
+			dir := "up  "
+			if !h.Up {
+				dir = "down"
+			}
+			fmt.Printf("  %2d %s %v <-> %v\n", i, dir, lo, up)
+		}
+	}
+	if dump || !did {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		fmt.Fprintf(w, "# %s forwarding tables for %s\n", lft.Name, g)
+		for l := 1; l <= g.H; l++ {
+			for _, id := range t.ByLevel[l] {
+				n := t.Node(id)
+				fmt.Fprintf(w, "switch %v\n", n)
+				for dst := 0; dst < t.NumHosts(); dst++ {
+					p := lft.OutPort(id, dst)
+					if p == topo.None {
+						continue
+					}
+					port := t.Ports[p]
+					tag := 'u'
+					if port.Dir == topo.Down {
+						tag = 'd'
+					}
+					fmt.Fprintf(w, "  dst %4d -> %c%d\n", dst, tag, port.Num)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command ftsim runs the packet-level network simulator on a collective:
+// it reports effective bandwidth (absolute and normalized to the PCIe
+// injection capacity) and message latency, under a chosen node ordering.
+//
+// Usage:
+//
+//	ftsim -topo 324 -cps ring -order topology -bytes 262144
+//	ftsim -topo 324 -cps ring -order adversarial -bytes 65536
+//	ftsim -topo 1944 -cps shift -order random -bytes 131072 -sample 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree/internal/cps"
+	"fattree/internal/des"
+	"fattree/internal/mpi"
+	"fattree/internal/netsim"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec     = flag.String("topo", "324", "topology spec")
+		cpsName  = flag.String("cps", "ring", "CPS name (see fthsd) or topo-aware")
+		ordering = flag.String("order", "topology", "ordering: topology | random | adversarial")
+		seed     = flag.Int64("seed", 1, "random-ordering seed")
+		bytes    = flag.Int64("bytes", 262144, "message payload per stage pair")
+		mode     = flag.String("mode", "async", "stage progression: async | dependent | barrier")
+		sample   = flag.Int("sample", 0, "sample this many stages of long sequences (0 = all)")
+		linkBW   = flag.Float64("link-bw", 4000e6, "link bandwidth bytes/s")
+		hostBW   = flag.Float64("host-bw", 3250e6, "host injection bandwidth bytes/s")
+		bufPkts  = flag.Int("buffers", 8, "input-buffer packets per switch port")
+	)
+	flag.Parse()
+	if err := run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts); err != nil {
+		fmt.Fprintln(os.Stderr, "ftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts int) error {
+	var mode mpi.Mode
+	switch modeName {
+	case "async":
+		mode = mpi.Async
+	case "dependent":
+		mode = mpi.Dependent
+	case "barrier":
+		mode = mpi.Barrier
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	n := t.NumHosts()
+	lft := route.DModK(t)
+
+	var o *order.Ordering
+	switch ordering {
+	case "topology":
+		o = order.Topology(n, nil)
+	case "random":
+		o = order.Random(n, nil, seed)
+	case "adversarial":
+		o, err = order.Adversarial(t)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown ordering %q", ordering)
+	}
+
+	var seq cps.Sequence
+	if cpsName == "topo-aware" {
+		seq, err = mpi.NewTopoAwareSequence(g.M, nil)
+	} else {
+		seq, err = mpi.NewSequence(mpi.CPSKind(cpsName), n)
+	}
+	if err != nil {
+		return err
+	}
+	if sample > 0 && sample < seq.NumStages() {
+		idx := make([]int, sample)
+		step := seq.NumStages() / sample
+		for i := range idx {
+			idx[i] = i * step
+		}
+		seq, err = mpi.SampleStages(seq, idx)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := netsim.DefaultConfig()
+	cfg.LinkBandwidth = linkBW
+	cfg.HostBandwidth = hostBW
+	cfg.BufferPackets = bufPkts
+	job, err := mpi.NewJob(lft, o)
+	if err != nil {
+		return err
+	}
+	st, err := job.SimulateMode(seq, bytes, mode, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s / %s / %s on %s\n", seq.Name(), lft.Name, o.Label, mode, g)
+	fmt.Printf("  stages: %d  messages: %d  bytes: %d\n", seq.NumStages(), st.MessagesDelivered, st.BytesDelivered)
+	fmt.Printf("  makespan: %.3f ms  events: %d\n", float64(st.Duration)/float64(des.Millisecond), st.Events)
+	fmt.Printf("  aggregate BW: %.1f MB/s  normalized: %.3f\n",
+		st.EffectiveBandwidth()/1e6, job.NormalizedBandwidth(st, cfg))
+	fmt.Printf("  msg latency: mean %.2f us  min %.2f us  max %.2f us\n",
+		float64(st.MeanLatency())/float64(des.Microsecond),
+		float64(st.LatencyMin)/float64(des.Microsecond),
+		float64(st.LatencyMax)/float64(des.Microsecond))
+	for i, d := range st.StageDurations {
+		fmt.Printf("  stage %3d: %.3f ms\n", i, float64(d)/float64(des.Millisecond))
+	}
+	return nil
+}

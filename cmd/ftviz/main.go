@@ -1,0 +1,89 @@
+// Command ftviz renders fat-tree topologies: Graphviz DOT for drawing,
+// optionally annotated with per-link flow counts of a traffic stage, or
+// the paper's Figure 1-style per-leaf up-port listing.
+//
+// Usage:
+//
+//	ftviz -topo "pgft:2;4,4;1,2;1,2" -dot > tree.dot
+//	ftviz -topo "pgft:2;4,4;1,2;1,2" -dot -shift 4 -order random -seed 2
+//	ftviz -topo "pgft:2;4,4;1,2;1,2" -fig1 -shift 4 -order topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree/internal/hsd"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+	"fattree/internal/viz"
+)
+
+func main() {
+	var (
+		spec     = flag.String("topo", "pgft:2;4,4;1,2;1,2", "topology spec")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT")
+		fig1     = flag.Bool("fig1", false, "emit the Figure 1-style leaf/up-port listing")
+		shift    = flag.Int("shift", 0, "annotate with the displacement-d permutation's link loads (0 = none)")
+		ordering = flag.String("order", "topology", "ordering: topology | random")
+		seed     = flag.Int64("seed", 0, "random-ordering seed")
+	)
+	flag.Parse()
+	if err := run(*spec, *dot, *fig1, *shift, *ordering, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ftviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, dot, fig1 bool, shift int, ordering string, seed int64) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	lft := route.DModK(t)
+	n := t.NumHosts()
+
+	var o *order.Ordering
+	switch ordering {
+	case "topology":
+		o = order.Topology(n, nil)
+	case "random":
+		o = order.Random(n, nil, seed)
+	default:
+		return fmt.Errorf("unknown ordering %q", ordering)
+	}
+
+	var pairs [][2]int
+	if shift > 0 {
+		for r := 0; r < n; r++ {
+			pairs = append(pairs, [2]int{o.HostOf[r], o.HostOf[(r+shift)%n]})
+		}
+	}
+
+	if fig1 {
+		if pairs == nil {
+			return fmt.Errorf("-fig1 needs -shift")
+		}
+		return viz.Figure1Style(os.Stdout, lft, pairs)
+	}
+	if !dot {
+		return fmt.Errorf("pick -dot or -fig1")
+	}
+	opts := viz.DOTOptions{RankPerLevel: true}
+	if pairs != nil {
+		a := hsd.NewAnalyzer(lft)
+		if _, err := a.Stage(pairs); err != nil {
+			return err
+		}
+		up, down := a.LinkLoads()
+		opts.UpLoads, opts.DownLoads = up, down
+		opts.HotThreshold = 2
+	}
+	return viz.WriteDOT(os.Stdout, t, opts)
+}

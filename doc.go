@@ -1,0 +1,15 @@
+// Package fattree reproduces Eitan Zahavi's "Fat-Trees Routing and Node
+// Ordering Providing Contention Free Traffic for MPI Global Collectives":
+// Parallel-Ports Generalized Fat-Trees and Real-Life Fat-Trees
+// (internal/topo), D-Mod-K routing (internal/route), the eight collective
+// permutation sequences and the Section VI topology-aware recursive
+// doubling (internal/cps), MPI node orderings (internal/order), the
+// analytic Hot-Spot-Degree model (internal/hsd), a packet-level
+// InfiniBand-like simulator (internal/des, internal/netsim), the MPI
+// binding layer (internal/mpi) and the experiment harness regenerating
+// every table and figure of the paper (internal/exp, cmd/ftbench).
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results. The top-level bench_test.go carries one benchmark per table
+// and figure.
+package fattree

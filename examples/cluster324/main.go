@@ -1,0 +1,83 @@
+// Cluster design study: on the 324-node RLFT, compare every collective
+// of the MVAPICH/OpenMPI catalogue (Table 1) under the topology-aware
+// order versus random rank placement — the decision a cluster operator
+// faces when configuring the subnet manager and the batch scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fattree/internal/cps"
+	"fattree/internal/hsd"
+	"fattree/internal/mpi"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	cluster, err := topo.Build(topo.Cluster324)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := cluster.NumHosts()
+	lft := route.DModK(cluster)
+	good := order.Topology(n, nil)
+	seeds := []int64{1, 2, 3, 4, 5}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "collective\talgorithm\tCPS\tordered HSD\trandom HSD (mean of 5)")
+
+	seen := map[mpi.CPSKind]bool{}
+	for _, use := range mpi.Catalog {
+		if seen[use.CPS] {
+			continue // one row per distinct sequence
+		}
+		seen[use.CPS] = true
+		if use.Pow2Only && n&(n-1) != 0 {
+			// The library would not pick this algorithm for 324
+			// ranks; evaluate it anyway — the CPS handles non-pow2
+			// via pre/post proxy stages.
+			_ = use
+		}
+		seq, err := mpi.NewSequence(use.CPS, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := hsd.Analyze(lft, good, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var orders []*order.Ordering
+		for _, s := range seeds {
+			orders = append(orders, order.Random(n, nil, s))
+		}
+		sw, err := hsd.SweepOrderings(lft, orders, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%.2f\n",
+			use.Collective, use.Algorithm, use.CPS, rep.AvgMaxHSD(), sw.Mean)
+	}
+
+	// The paper's fix for the bidirectional family: the Section VI
+	// topology-aware recursive doubling.
+	ta, err := cps.TopoAwareRecursiveDoubling(topo.Cluster324.M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := hsd.Analyze(lft, good, ta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "allreduce\tthis paper (Sec. VI)\t%s\t%.2f\t-\n", ta.Name(), rep.AvgMaxHSD())
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading: 1.00 under 'ordered HSD' means zero contention in every stage;")
+	fmt.Println("the flat recursive-doubling rows show why Section VI reshapes the exchange.")
+}

@@ -1,0 +1,88 @@
+// Fault tolerance walkthrough: a cable dies mid-life on a production
+// cluster. This example plays the operator's timeline end to end — the
+// healthy fabric, the failure, the subnet manager's reroute, the
+// degraded-but-running state, and the repair — measuring contention and
+// bandwidth at every step with both instruments (analytic HSD and the
+// packet simulator).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fattree/internal/cps"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/mpi"
+	"fattree/internal/netsim"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	cluster, err := topo.Build(topo.Cluster324)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := cluster.NumHosts()
+	o := order.Topology(n, nil)
+	cfg := netsim.DefaultConfig()
+	shift := cps.Shift(n)
+
+	measure := func(label string, lft *route.LFT) {
+		rep, err := hsd.AnalyzeParallel(lft, o, shift, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := mpi.NewJob(lft, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampled, err := mpi.SampleStages(shift, []int{0, 107, 215})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := job.Simulate(sampled, 128<<10, false, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s max HSD %d  avg %.2f  normalized BW %.3f\n",
+			label, rep.MaxHSD(), rep.AvgMaxHSD(), job.NormalizedBandwidth(st, cfg))
+	}
+
+	fmt.Printf("cluster %v, shift collective, topology order\n\n", topo.Cluster324)
+
+	// 1. Healthy fabric.
+	measure("healthy (d-mod-k)", route.DModK(cluster))
+
+	// 2. Three cables die; the subnet manager reroutes around them.
+	fs := fabric.NewFaultSet(cluster)
+	if err := fs.FailRandomFabricLinks(3, 42); err != nil {
+		log.Fatal(err)
+	}
+	rerouted, res, err := fs.RouteAround()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- %d cables fail; reroute: %d unroutable hosts, %d broken pairs --\n\n",
+		fs.Failed(), len(res.UnroutableHosts), res.BrokenPairs)
+	measure("degraded (rerouted)", rerouted)
+
+	// 3. The cables are replaced; routing returns to the closed form.
+	for i := range cluster.Links {
+		fs.Revive(topo.LinkID(i))
+	}
+	repaired, res2, err := fs.RouteAround()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res2.UnroutableHosts) != 0 || res2.BrokenPairs != 0 {
+		log.Fatalf("repair left damage: %+v", res2)
+	}
+	fmt.Println()
+	measure("repaired (= d-mod-k)", repaired)
+
+	fmt.Println("\nreading: reroutes keep every pair connected at the cost of a local HSD bump;")
+	fmt.Println("repairing the cables restores the exact closed-form tables and HSD = 1.")
+}

@@ -1,0 +1,93 @@
+// Scheduler study: a utility cluster runs many jobs at once — the case
+// the paper declares out of scope. This example drives the granule-aware
+// allocator through a queue of jobs and verifies, with the analytic HSD
+// model, that all concurrently placed contention-free jobs can run Shift
+// collectives simultaneously without a single shared link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fattree/internal/cps"
+	"fattree/internal/hsd"
+	"fattree/internal/route"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+func main() {
+	cluster, err := topo.Build(topo.Cluster1944)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := sched.New(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %v, %d hosts, allocation granule %d\n\n",
+		topo.Cluster1944, cluster.NumHosts(), alloc.Granule())
+
+	// A queue of job requests: sizes in granule units and off-granule
+	// stragglers.
+	requests := []int{648, 324, 324, 100, 324, 162}
+	var placed []*sched.Allocation
+	for i, size := range requests {
+		j, err := alloc.Alloc(size)
+		if err != nil {
+			fmt.Printf("job %d (%4d hosts): REJECTED (%v)\n", i, size, err)
+			continue
+		}
+		placed = append(placed, j)
+		fmt.Printf("job %d (%4d hosts): hosts [%d..%d], contention-free=%v\n",
+			i, size, j.Hosts[0], j.Hosts[len(j.Hosts)-1], j.ContentionFree)
+	}
+	fmt.Printf("\nutilization: %.1f%%, free hosts: %d\n", 100*alloc.Utilization(), alloc.FreeHosts())
+
+	// Pairwise isolation levels.
+	fmt.Println("\npairwise isolation (level where jobs first share a sub-tree; 4 = fully disjoint):")
+	for i := 0; i < len(placed); i++ {
+		for k := i + 1; k < len(placed); k++ {
+			lvl, err := alloc.IsolationLevel(placed[i].ID, placed[k].ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  job %d vs job %d: level %d\n", i, k, lvl)
+		}
+	}
+
+	// All contention-free jobs fire Shift collectives simultaneously;
+	// the combined per-link flow count must stay at 1.
+	lft := route.DModK(cluster)
+	a := hsd.NewAnalyzer(lft)
+	var cfJobs []*sched.Allocation
+	for _, j := range placed {
+		if j.ContentionFree {
+			cfJobs = append(cfJobs, j)
+		}
+	}
+	worst := 0
+	stages := 40 // sample: combined analysis of the first stages
+	for s := 0; s < stages; s++ {
+		var pairs [][2]int
+		for _, j := range cfJobs {
+			shift := cps.Shift(len(j.Hosts))
+			st := shift.Stage(s % shift.NumStages())
+			for _, p := range st {
+				pairs = append(pairs, [2]int{j.Hosts[p.Src], j.Hosts[p.Dst]})
+			}
+		}
+		res, err := a.Stage(pairs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.MaxHSD > worst {
+			worst = res.MaxHSD
+		}
+	}
+	fmt.Printf("\n%d contention-free jobs running Shift simultaneously: combined max HSD = %d\n",
+		len(cfJobs), worst)
+	if worst == 1 {
+		fmt.Println("the single-job guarantee composes across granule-aligned jobs.")
+	}
+}

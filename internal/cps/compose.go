@@ -1,0 +1,102 @@
+package cps
+
+import "fmt"
+
+// Composition helpers: real MPI algorithms chain permutation sequences
+// (e.g. large-message allreduce = recursive-halving reduce-scatter
+// followed by an allgather), and analyses often need a sequence played
+// backwards.
+
+// ConcatSeq plays several sequences back to back.
+type ConcatSeq struct {
+	name  string
+	parts []Sequence
+	total int
+}
+
+// Concat chains sequences over the same rank count.
+func Concat(name string, parts ...Sequence) (*ConcatSeq, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cps: concat of nothing")
+	}
+	n := parts[0].Size()
+	total := 0
+	for _, p := range parts {
+		if p.Size() != n {
+			return nil, fmt.Errorf("cps: concat size mismatch: %d vs %d", p.Size(), n)
+		}
+		total += p.NumStages()
+	}
+	return &ConcatSeq{name: name, parts: parts, total: total}, nil
+}
+
+// Name implements Sequence.
+func (c *ConcatSeq) Name() string { return c.name }
+
+// Size implements Sequence.
+func (c *ConcatSeq) Size() int { return c.parts[0].Size() }
+
+// NumStages implements Sequence.
+func (c *ConcatSeq) NumStages() int { return c.total }
+
+// Bidirectional reports whether every part is bidirectional.
+func (c *ConcatSeq) Bidirectional() bool {
+	for _, p := range c.parts {
+		if !p.Bidirectional() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stage implements Sequence.
+func (c *ConcatSeq) Stage(s int) Stage {
+	for _, p := range c.parts {
+		if s < p.NumStages() {
+			return p.Stage(s)
+		}
+		s -= p.NumStages()
+	}
+	panic(fmt.Sprintf("cps: concat stage %d out of range", s))
+}
+
+// ReversedSeq plays a sequence's stages in reverse order with every flow
+// direction flipped — the schedule of the "mirror" collective (reduce
+// from broadcast, gather from scatter).
+type ReversedSeq struct {
+	inner Sequence
+}
+
+// Reversed mirrors a sequence.
+func Reversed(s Sequence) *ReversedSeq { return &ReversedSeq{inner: s} }
+
+// Name implements Sequence.
+func (r *ReversedSeq) Name() string { return r.inner.Name() + "-reversed" }
+
+// Size implements Sequence.
+func (r *ReversedSeq) Size() int { return r.inner.Size() }
+
+// NumStages implements Sequence.
+func (r *ReversedSeq) NumStages() int { return r.inner.NumStages() }
+
+// Bidirectional implements Sequence.
+func (r *ReversedSeq) Bidirectional() bool { return r.inner.Bidirectional() }
+
+// Stage implements Sequence.
+func (r *ReversedSeq) Stage(s int) Stage {
+	st := r.inner.Stage(r.inner.NumStages() - 1 - s)
+	out := make(Stage, len(st))
+	for i, p := range st {
+		out[i] = Pair{Src: p.Dst, Dst: p.Src}
+	}
+	return out
+}
+
+// ReduceScatterAllgather builds the classic large-message allreduce
+// schedule: recursive halving (reduce-scatter) followed by its mirror
+// (allgather) — 2*ceil(log2 n) stages plus proxies on non-pow2 sizes.
+func ReduceScatterAllgather(n int) (Sequence, error) {
+	rs := RecursiveHalving(n)
+	ag := Reversed(RecursiveHalving(n))
+	return Concat("reduce-scatter-allgather", rs, ag)
+}

@@ -1,0 +1,102 @@
+package cps
+
+import "testing"
+
+func TestConcat(t *testing.T) {
+	c, err := Concat("combo", Binomial(16), Dissemination(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStages() != 8 {
+		t.Fatalf("stages = %d, want 4+4", c.NumStages())
+	}
+	if c.Size() != 16 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if c.Bidirectional() {
+		t.Error("unidirectional parts marked bidirectional")
+	}
+	// First half is the binomial, second the dissemination.
+	if len(c.Stage(0)) != 1 {
+		t.Errorf("stage 0 = %v, want binomial's single pair", c.Stage(0))
+	}
+	if len(c.Stage(4)) != 16 {
+		t.Errorf("stage 4 size = %d, want dissemination's 16", len(c.Stage(4)))
+	}
+	if err := Validate(c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := Concat("x"); err == nil {
+		t.Error("empty concat accepted")
+	}
+	if _, err := Concat("x", Ring(8), Ring(9)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestConcatStagePanicsOutOfRange(t *testing.T) {
+	c, err := Concat("x", Ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range stage did not panic")
+		}
+	}()
+	c.Stage(5)
+}
+
+func TestReversedMirrors(t *testing.T) {
+	b := Binomial(16)
+	r := Reversed(b)
+	if r.NumStages() != b.NumStages() || r.Size() != 16 {
+		t.Fatal("metadata wrong")
+	}
+	last := b.NumStages() - 1
+	for s := 0; s <= last; s++ {
+		fwd := b.Stage(s)
+		rev := r.Stage(last - s)
+		if len(fwd) != len(rev) {
+			t.Fatalf("stage %d sizes differ", s)
+		}
+		for i := range fwd {
+			if rev[i].Src != fwd[i].Dst || rev[i].Dst != fwd[i].Src {
+				t.Fatalf("stage %d pair %d: %v not mirror of %v", s, i, rev[i], fwd[i])
+			}
+		}
+	}
+	// Reversed binomial gathers to the root.
+	know := make([]map[int]bool, 16)
+	for i := range know {
+		know[i] = map[int]bool{i: true}
+	}
+	for s := 0; s < r.NumStages(); s++ {
+		for _, p := range r.Stage(s) {
+			for k := range know[p.Src] {
+				know[p.Dst][k] = true
+			}
+		}
+	}
+	if len(know[0]) != 16 {
+		t.Errorf("reversed binomial: root knows %d of 16", len(know[0]))
+	}
+}
+
+func TestReduceScatterAllgather(t *testing.T) {
+	for _, n := range []int{8, 16, 18, 324} {
+		seq, err := ReduceScatterAllgather(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(seq); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if !CoversAllReduce(seq) {
+			t.Errorf("n=%d: reduce-scatter + allgather does not complete an allreduce", n)
+		}
+	}
+}

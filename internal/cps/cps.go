@@ -1,0 +1,219 @@
+// Package cps implements the Collective Permutation Sequences of Section
+// III of the paper: the communication-pattern half of the decomposition of
+// MPI collective algorithms into a permutation sequence plus message
+// content.
+//
+// A sequence is an ordered list of stages; each stage is a set of
+// (source rank, destination rank) flows that are active simultaneously.
+// Bidirectional sequences include both directions of every exchange as
+// explicit flows. The paper's Table 2 defines eight sequences; all of them
+// obey the constant-displacement principle — within a stage the modular
+// distance between source and destination is the same for every pair —
+// and every unidirectional stage is a sub-permutation of some stage of the
+// Shift sequence, which makes Shift the canonical worst case.
+package cps
+
+import "fmt"
+
+// Pair is one flow: rank Src sends to rank Dst during a stage.
+type Pair struct {
+	Src, Dst int32
+}
+
+// Stage is the set of flows active in one step of a collective.
+type Stage []Pair
+
+// Sequence is a collective permutation sequence over ranks 0..Size()-1.
+type Sequence interface {
+	// Name identifies the CPS (matches the paper's Table 2 rows).
+	Name() string
+	// Size is the job size N.
+	Size() int
+	// NumStages is the number of communication stages.
+	NumStages() int
+	// Stage materializes stage s (0-based). Implementations compute it
+	// on demand; callers own the returned slice.
+	Stage(s int) Stage
+	// Bidirectional reports whether every exchange implies the reverse
+	// exchange in the same stage (Table 2's two CPS types).
+	Bidirectional() bool
+}
+
+// Displacement returns the common (dst-src) mod n displacement of the
+// stage and true, or 0 and false if the stage mixes displacements.
+// Bidirectional stages mix d and n-d by construction; for those, callers
+// should test each direction separately via SplitDirections.
+func Displacement(st Stage, n int) (int, bool) {
+	if len(st) == 0 {
+		return 0, true
+	}
+	want := int((st[0].Dst - st[0].Src + int32(n))) % n
+	for _, p := range st[1:] {
+		d := int((p.Dst-p.Src)+int32(n)) % n
+		if d != want {
+			return 0, false
+		}
+	}
+	return want, true
+}
+
+// SplitDirections partitions a stage into the flows with displacement in
+// (0, n/2] ("forward") and the rest ("backward"). For a bidirectional
+// stage built from XOR exchanges the two halves are mirror images.
+func SplitDirections(st Stage, n int) (fwd, bwd Stage) {
+	for _, p := range st {
+		d := int((p.Dst-p.Src)+int32(n)) % n
+		if d != 0 && d*2 <= n {
+			fwd = append(fwd, p)
+		} else {
+			bwd = append(bwd, p)
+		}
+	}
+	return fwd, bwd
+}
+
+// Validate checks structural sanity of an entire sequence: ranks in
+// range, no self-flows, no duplicate flows within a stage, and no rank
+// sending or receiving twice in one stage (permutation property).
+func Validate(s Sequence) error {
+	n := s.Size()
+	for st := 0; st < s.NumStages(); st++ {
+		stage := s.Stage(st)
+		srcSeen := make(map[int32]bool, len(stage))
+		dstSeen := make(map[int32]bool, len(stage))
+		for _, p := range stage {
+			if p.Src < 0 || int(p.Src) >= n || p.Dst < 0 || int(p.Dst) >= n {
+				return fmt.Errorf("cps: %s stage %d: flow %d->%d out of range [0,%d)", s.Name(), st, p.Src, p.Dst, n)
+			}
+			if p.Src == p.Dst {
+				return fmt.Errorf("cps: %s stage %d: self flow at rank %d", s.Name(), st, p.Src)
+			}
+			if srcSeen[p.Src] {
+				return fmt.Errorf("cps: %s stage %d: rank %d sends twice", s.Name(), st, p.Src)
+			}
+			if dstSeen[p.Dst] {
+				return fmt.Errorf("cps: %s stage %d: rank %d receives twice", s.Name(), st, p.Dst)
+			}
+			srcSeen[p.Src] = true
+			dstSeen[p.Dst] = true
+		}
+	}
+	return nil
+}
+
+// IsSubPermutationOfShift reports whether every flow of the stage appears
+// in the Shift stage with the same displacement (Section III's key
+// observation: Shift is a superset of all unidirectional CPS).
+func IsSubPermutationOfShift(st Stage, n int) bool {
+	if len(st) == 0 {
+		return true
+	}
+	d, ok := Displacement(st, n)
+	if !ok {
+		return false
+	}
+	for _, p := range st {
+		if int(p.Dst) != (int(p.Src)+d)%n {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversAllReduce simulates information flow through the sequence: every
+// rank starts knowing only its own contribution; a flow src->dst merges
+// src's knowledge into dst *as of the start of the stage* (exchanges
+// within a stage are simultaneous). It reports whether, after all stages,
+// every rank knows every contribution — the correctness requirement for
+// an allreduce-style collective built on the sequence.
+func CoversAllReduce(s Sequence) bool {
+	n := s.Size()
+	words := (n + 63) / 64
+	know := make([][]uint64, n)
+	for i := range know {
+		know[i] = make([]uint64, words)
+		know[i][i/64] |= 1 << (i % 64)
+	}
+	incoming := make([][]uint64, n)
+	for st := 0; st < s.NumStages(); st++ {
+		stage := s.Stage(st)
+		for _, p := range stage {
+			if incoming[p.Dst] == nil {
+				incoming[p.Dst] = make([]uint64, words)
+			}
+			for w, v := range know[p.Src] {
+				incoming[p.Dst][w] |= v
+			}
+		}
+		for _, p := range stage {
+			if in := incoming[p.Dst]; in != nil {
+				for w, v := range in {
+					know[p.Dst][w] |= v
+				}
+				incoming[p.Dst] = nil
+			}
+		}
+	}
+	for w := 0; w < words; w++ {
+		full := ^uint64(0)
+		if rem := n - w*64; rem < 64 {
+			full = (1 << rem) - 1
+		}
+		for r := 0; r < n; r++ {
+			if know[r][w]&full != full {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CoversBroadcast reports whether rank root's contribution reaches every
+// rank by the end of the sequence (correctness for one-to-all patterns
+// like Binomial broadcast).
+func CoversBroadcast(s Sequence, root int) bool {
+	n := s.Size()
+	know := make([]bool, n)
+	know[root] = true
+	for st := 0; st < s.NumStages(); st++ {
+		var informed []int32
+		for _, p := range s.Stage(st) {
+			if know[p.Src] && !know[p.Dst] {
+				informed = append(informed, p.Dst)
+			}
+		}
+		for _, d := range informed {
+			know[d] = true
+		}
+	}
+	for _, k := range know {
+		if !k {
+			return false
+		}
+	}
+	return true
+}
+
+// log2Ceil returns ceil(log2(n)) for n >= 1.
+func log2Ceil(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// log2Floor returns floor(log2(n)) for n >= 1.
+func log2Floor(n int) int {
+	s := 0
+	for 1<<(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func checkSize(name string, n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("cps: %s wants a positive job size, got %d", name, n))
+	}
+}

@@ -1,0 +1,110 @@
+// Package des is a minimal discrete-event simulation kernel: a time-ordered
+// event queue with deterministic FIFO tie-breaking. It underpins the
+// packet-level network simulator the paper builds in OMNeT++ (Section II).
+package des
+
+import "container/heap"
+
+// Time is simulation time in picoseconds. The int64 range covers ~106
+// days of simulated time, far beyond any experiment here.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Scheduler runs events in time order; ties run in scheduling order.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Executed returns the number of events run so far.
+func (s *Scheduler) Executed() uint64 { return s.ran }
+
+// At schedules fn at absolute time t; scheduling in the past panics
+// (it would silently corrupt causality).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d after the current time.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.ran++
+	e.fn()
+	return true
+}
+
+// Run drains the queue. maxEvents bounds runaway simulations (0 = no
+// bound); it returns false if the bound was hit with events pending.
+func (s *Scheduler) Run(maxEvents uint64) bool {
+	for n := uint64(0); s.Step(); n++ {
+		if maxEvents > 0 && n+1 >= maxEvents && len(s.events) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntil runs events with time <= t, then sets the clock to t.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

@@ -1,0 +1,152 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	if !s.Run(0) {
+		t.Fatal("run hit bound")
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("final time = %d, want 30", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Errorf("executed = %d, want 3", s.Executed())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("ties ran out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var trace []Time
+	s.At(10, func() {
+		trace = append(trace, s.Now())
+		s.After(5, func() { trace = append(trace, s.Now()) })
+	})
+	s.Run(0)
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run(0)
+}
+
+func TestRunBound(t *testing.T) {
+	s := NewScheduler()
+	var bomb func()
+	n := 0
+	bomb = func() {
+		n++
+		s.After(1, bomb)
+	}
+	s.At(0, bomb)
+	if s.Run(100) {
+		t.Error("unbounded chain reported clean completion")
+	}
+	if n == 0 || n > 100 {
+		t.Errorf("ran %d events under bound 100", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.RunUntil(12)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events, want 2", len(got))
+	}
+	if s.Now() != 12 {
+		t.Errorf("now = %d, want 12", s.Now())
+	}
+	s.RunUntil(100)
+	if len(got) != 4 {
+		t.Errorf("ran %d events total, want 4", len(got))
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestMonotonicClockQuick(t *testing.T) {
+	// Property: for any batch of event times, execution times are
+	// non-decreasing.
+	f := func(times []uint16) bool {
+		s := NewScheduler()
+		var seen []Time
+		for _, at := range times {
+			at := Time(at)
+			s.At(at, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run(0)
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Errorf("Second = %d ps", Second)
+	}
+	if Microsecond != 1000*Nanosecond {
+		t.Errorf("Microsecond = %d", Microsecond)
+	}
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"fattree/internal/cps"
+	"fattree/internal/mpi"
+	"fattree/internal/netsim"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// BufferOpts scales the buffer ablation.
+type BufferOpts struct {
+	Cluster topo.PGFT
+	Bytes   int64
+	Buffers []int
+	Stages  int
+	Seed    int64
+}
+
+// DefaultBufferOpts returns the standard sweep.
+func DefaultBufferOpts() BufferOpts {
+	return BufferOpts{
+		Cluster: topo.Cluster324,
+		Bytes:   256 << 10,
+		Buffers: []int{1, 2, 4, 8, 16, 64},
+		Stages:  4,
+		Seed:    1,
+	}
+}
+
+// BufferAblation probes the mechanism behind Figure 2's message-size
+// dependence: head-of-line blocking in finite input buffers. Under a
+// random node order, deeper buffers absorb short contention episodes and
+// recover some bandwidth; under the contention-free configuration the
+// buffer depth is irrelevant — there is never a second flow to absorb.
+func BufferAblation(o BufferOpts) (*Table, error) {
+	tp, err := topo.Build(o.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	lft := route.DModK(tp)
+	n := tp.NumHosts()
+
+	shift := cps.Sequence(cps.Shift(n))
+	idx := make([]int, o.Stages)
+	step := shift.NumStages() / o.Stages
+	for i := range idx {
+		idx[i] = i * step
+	}
+	shift, err = mpi.SampleStages(shift, idx)
+	if err != nil {
+		return nil, err
+	}
+
+	goodJob, err := mpi.NewJob(lft, order.Topology(n, nil))
+	if err != nil {
+		return nil, err
+	}
+	badJob, err := mpi.NewJob(lft, order.Random(n, nil, o.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: input-buffer depth vs normalized BW, Shift, %d nodes, %d KiB", n, o.Bytes>>10),
+		Header: []string{"buffer packets", "ordered BW", "random BW", "random max link util"},
+	}
+	for _, b := range o.Buffers {
+		cfg := netsim.DefaultConfig()
+		cfg.BufferPackets = b
+		g, err := goodJob.Simulate(shift, o.Bytes, false, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := badJob.Simulate(shift, o.Bytes, false, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(b),
+			f3(goodJob.NormalizedBandwidth(g, cfg)),
+			f3(badJob.NormalizedBandwidth(r, cfg)),
+			f2(r.MaxLinkUtilization()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"ordered column is ~1.0 from 2 slots up (a single credit stalls on the credit round-trip even without contention)",
+		"random column improves with depth until the hot links themselves saturate")
+	return t, nil
+}

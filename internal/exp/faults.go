@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"fattree/internal/cps"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/order"
+	"fattree/internal/topo"
+)
+
+// FaultResilience measures how gracefully the contention-free
+// configuration degrades when fabric cables die and the subnet manager
+// reroutes around them (an extension beyond the paper, using its own
+// HSD methodology): the Shift CPS under topology ordering on the
+// rerouted tables, versus the number of dead switch-to-switch links.
+func FaultResilience(cluster topo.PGFT, seeds int) (*Table, error) {
+	tp, err := topo.Build(cluster)
+	if err != nil {
+		return nil, err
+	}
+	n := tp.NumHosts()
+	fabricLinks := 0
+	for i := range tp.Links {
+		if tp.Node(tp.Ports[tp.Links[i].Lower].Node).Kind == topo.Switch {
+			fabricLinks++
+		}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fault resilience: Shift HSD after reroute, %d nodes (%d fabric links)", n, fabricLinks),
+		Header: []string{"dead links", "dead %", "worst max HSD", "mean avg HSD", "broken pairs"},
+	}
+	for _, kill := range []int{0, 1, 2, 4, 8, 16} {
+		if kill > fabricLinks/4 {
+			break
+		}
+		worst := 0
+		meanAvg := 0.0
+		broken := 0
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			fs := fabric.NewFaultSet(tp)
+			if err := fs.FailRandomFabricLinks(kill, seed+1); err != nil {
+				return nil, err
+			}
+			lft, res, err := fs.RouteAround()
+			if err != nil {
+				return nil, err
+			}
+			broken += res.BrokenPairs
+			rep, err := hsd.AnalyzeParallel(lft, order.Topology(n, nil), cps.Shift(n), 0)
+			if err != nil {
+				return nil, err
+			}
+			if rep.MaxHSD() > worst {
+				worst = rep.MaxHSD()
+			}
+			meanAvg += rep.AvgMaxHSD()
+		}
+		meanAvg /= float64(seeds)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(kill),
+			fmt.Sprintf("%.1f%%", 100*float64(kill)/float64(fabricLinks)),
+			fmt.Sprint(worst),
+			f2(meanAvg),
+			fmt.Sprint(broken),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected: HSD grows by ~1 near each fault (flows fold onto neighbouring up-links), no cliff",
+		"broken pairs stay 0 at these fault levels; minimal up*/down* rerouting keeps every host reachable")
+	return t, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+
+	"fattree/internal/des"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+// QueueOpts scales the scheduler-policy study.
+type QueueOpts struct {
+	Cluster topo.PGFT
+	Base    sched.QueueConfig
+}
+
+// DefaultQueueOpts returns the standard trace: 500 jobs at ~80% offered
+// load on the 324-node cluster.
+func DefaultQueueOpts() QueueOpts {
+	return QueueOpts{
+		Cluster: topo.Cluster324,
+		Base: sched.QueueConfig{
+			Seed:             1,
+			Jobs:             500,
+			MeanInterarrival: 10 * des.Millisecond,
+			MeanDuration:     60 * des.Millisecond,
+			MaxGranules:      4,
+			AlignedFraction:  0.3,
+		},
+	}
+}
+
+// SchedulerPolicies replays the same synthetic job trace under three
+// admission policies and tabulates the operational trade-off behind the
+// paper's guarantee: how many jobs run contention free versus the
+// utilization and queueing delay each policy costs.
+func SchedulerPolicies(o QueueOpts) (*Table, error) {
+	tp, err := topo.Build(o.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Scheduler admission policies, %d jobs on %d nodes (granule %d)",
+			o.Base.Jobs, tp.NumHosts(), o.Cluster.AllocationGranule()),
+		Header: []string{"policy", "CF fraction", "isolated fraction", "avg utilization", "mean wait ms"},
+	}
+	type policy struct {
+		name      string
+		pad, wait bool
+	}
+	for _, p := range []policy{
+		{"as-requested", false, false},
+		{"pad-to-granule", true, false},
+		{"pad + aligned-only", true, true},
+	} {
+		cfg := o.Base
+		cfg.PadToGranule = p.pad
+		cfg.WaitForAligned = p.wait
+		st, err := sched.SimulateQueue(tp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		iso := 0.0
+		if st.Completed > 0 {
+			iso = float64(st.Isolated) / float64(st.Completed)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.name,
+			f3(st.CFFraction()),
+			f3(iso),
+			f3(st.AvgUtilization),
+			fmt.Sprintf("%.2f", float64(st.MeanWait)/float64(des.Millisecond)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"padding buys the solo guarantee for most jobs; aligned-only admission buys isolation for all, paid in wait time",
+		"fragmentation, not policy, causes the residual non-CF placements under padding")
+	return t, nil
+}

@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// FaultSet marks dead cables. A production subnet manager reroutes around
+// exactly this information after a sweep notices missing links.
+type FaultSet struct {
+	t    *topo.Topology
+	dead []bool
+}
+
+// NewFaultSet returns an all-alive fault set for the topology.
+func NewFaultSet(t *topo.Topology) *FaultSet {
+	return &FaultSet{t: t, dead: make([]bool, len(t.Links))}
+}
+
+// Fail marks a link dead. Failing a host's only uplink makes that host
+// unroutable; RouteAround reports it.
+func (f *FaultSet) Fail(l topo.LinkID) { f.dead[l] = true }
+
+// Revive marks a link alive again.
+func (f *FaultSet) Revive(l topo.LinkID) { f.dead[l] = false }
+
+// Alive reports whether a link is usable.
+func (f *FaultSet) Alive(l topo.LinkID) bool { return !f.dead[l] }
+
+// Failed returns the number of dead links.
+func (f *FaultSet) Failed() int {
+	n := 0
+	for _, d := range f.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// FailRandomFabricLinks kills n distinct switch-to-switch links (host
+// uplinks are spared so every end-port stays routable), deterministic
+// per seed.
+func (f *FaultSet) FailRandomFabricLinks(n int, seed int64) error {
+	var fabricLinks []topo.LinkID
+	for i := range f.t.Links {
+		lk := &f.t.Links[i]
+		if f.t.Node(f.t.Ports[lk.Lower].Node).Kind == topo.Switch && !f.dead[i] {
+			fabricLinks = append(fabricLinks, topo.LinkID(i))
+		}
+	}
+	if n > len(fabricLinks) {
+		return fmt.Errorf("fabric: cannot fail %d of %d fabric links", n, len(fabricLinks))
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(fabricLinks), func(i, j int) {
+		fabricLinks[i], fabricLinks[j] = fabricLinks[j], fabricLinks[i]
+	})
+	for _, l := range fabricLinks[:n] {
+		f.dead[l] = true
+	}
+	return nil
+}
+
+// RerouteResult reports the collateral damage of a reroute.
+type RerouteResult struct {
+	// UnroutableHosts lost their only uplink; no traffic can reach or
+	// leave them.
+	UnroutableHosts []int
+	// BrokenPairs counts ordered (src,dst) combinations that remained
+	// without a minimal up*/down* path. Fat-tree routing is minimal by
+	// construction; under heavy correlated faults a source's alive
+	// up-links may all lead to spines that lost their link into the
+	// destination's sub-tree, which only a non-minimal detour could
+	// recover — a limitation real ftree engines share.
+	BrokenPairs int
+}
+
+// RouteAround recomputes D-Mod-K-style forwarding tables avoiding dead
+// links, the way OpenSM's ftree engine reroutes after a link failure:
+// for every destination it grows the reachable "down cone" from the
+// destination upward (preferring the parallel copy equation (1) would
+// use), then points every other switch up towards the cone (preferring
+// the equation (1) up port, falling back to the next alive candidate).
+// With no faults the result is bit-identical to route.DModK.
+func (f *FaultSet) RouteAround() (*route.LFT, RerouteResult, error) {
+	t := f.t
+	g := t.Spec
+	lft := route.NewLFT(t, fmt.Sprintf("d-mod-k-reroute[%d faults]", f.Failed()))
+	n := t.NumHosts()
+
+	wprod := make([]int, g.H+1)
+	mprod := make([]int, g.H+1)
+	wprod[0], mprod[0] = 1, 1
+	for l := 1; l <= g.H; l++ {
+		wprod[l] = wprod[l-1] * g.Wi(l)
+		mprod[l] = mprod[l-1] * g.Mi(l)
+	}
+
+	var res RerouteResult
+	// canReach[node] for the current destination.
+	canReach := make([]bool, len(t.Nodes))
+
+	for j := 0; j < n; j++ {
+		for i := range canReach {
+			canReach[i] = false
+		}
+		host := t.Host(j)
+		uplink := t.Ports[host.Up[0]].Link
+		if !f.Alive(uplink) {
+			res.UnroutableHosts = append(res.UnroutableHosts, j)
+			continue
+		}
+		canReach[host.ID] = true
+
+		// Grow the down cone level by level: at level l the ancestors
+		// of j are the switches whose digits above l match j's. Among
+		// parallel links into a parent, equation (1)'s copy wins when
+		// alive.
+		frontier := []topo.NodeID{host.ID}
+		for l := 0; l < g.H; l++ {
+			var next []topo.NodeID
+			for _, cid := range frontier {
+				c := t.Node(cid)
+				for _, pid := range c.Up {
+					if !f.Alive(t.Ports[pid].Link) {
+						continue
+					}
+					peerPort := t.PeerPort(pid)
+					parent := t.Ports[peerPort].Node
+					if lft.Out[parent][j] == topo.None {
+						lft.Out[parent][j] = peerPort
+						canReach[parent] = true
+						next = append(next, parent)
+					} else if preferredDown(t, g, wprod, mprod, j, parent, l+1) == peerPort {
+						lft.Out[parent][j] = peerPort
+					}
+				}
+			}
+			frontier = dedupe(next)
+		}
+
+		deadUp := make(map[int]bool) // unroutable hosts, for pair accounting
+		for _, u := range res.UnroutableHosts {
+			deadUp[u] = true
+		}
+
+		// Point everything else up, top level down to the leaves, so
+		// parents' reachability is known before children choose.
+		for l := g.H - 1; l >= 0; l-- {
+			for _, id := range t.ByLevel[l] {
+				node := t.Node(id)
+				if canReach[id] || (node.Kind == topo.Host && node.Index == j) {
+					continue
+				}
+				if node.Kind == topo.Host && node.Index != j {
+					// Hosts have one uplink.
+					pid := node.Up[0]
+					if f.Alive(t.Ports[pid].Link) && canReach[t.PeerNode(pid)] {
+						lft.Out[id][j] = pid
+						canReach[id] = true
+					} else if !deadUp[node.Index] {
+						res.BrokenPairs++
+					}
+					continue
+				}
+				u := len(node.Up)
+				q0 := (j / wprod[l]) % u
+				for k := 0; k < u; k++ {
+					pid := node.Up[(q0+k)%u]
+					if !f.Alive(t.Ports[pid].Link) {
+						continue
+					}
+					if canReach[t.PeerNode(pid)] {
+						lft.Out[id][j] = pid
+						canReach[id] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return lft, res, nil
+}
+
+// preferredDown returns the down port (as a PortID on parent) that the
+// fault-free equation (1) rule would use towards destination j from a
+// level-l parent, or topo.None if out of range.
+func preferredDown(t *topo.Topology, g topo.PGFT, wprod, mprod []int, j int, parent topo.NodeID, l int) topo.PortID {
+	node := t.Node(parent)
+	a := (j / mprod[l-1]) % g.Mi(l)
+	k := (j / wprod[l-1]) % (g.Wi(l) * g.Pi(l)) / g.Wi(l)
+	r := a + k*g.Mi(l)
+	if r >= len(node.Down) {
+		return topo.None
+	}
+	return node.Down[r]
+}
+
+func dedupe(ids []topo.NodeID) []topo.NodeID {
+	seen := make(map[topo.NodeID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

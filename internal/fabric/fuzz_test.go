@@ -1,0 +1,34 @@
+package fabric
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func FuzzParseLFTs(f *testing.F) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 2}, []int{1, 1}))
+	s := NewSubnet(tp)
+	st := s.Program(route.DModK(tp))
+	var buf bytes.Buffer
+	if err := st.WriteLFTs(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("Unicast lids [0x1-0x10] of switch Lid 0x11 guid 0x0 (L1:0):\n0x0001 003 : (host L0:0)\n")
+	f.Add("0x0001 003 : entry before header\n")
+	f.Add("Unicast lids Lid 0xZZ\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := ParseLFTs(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Self-diff of anything parsed must be empty.
+		if d := DiffLFTs(parsed, parsed); len(d) != 0 {
+			t.Fatalf("self-diff non-empty: %v", d)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package fabric
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (run with -update to refresh)", name)
+	}
+}
+
+func TestGoldenLFTDump(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 2}, []int{1, 1}))
+	s := NewSubnet(tp)
+	st := s.Program(route.DModK(tp))
+	var buf bytes.Buffer
+	if err := st.WriteLFTs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "lfts_small.txt", buf.Bytes())
+	// The golden dump must parse back.
+	parsed, err := ParseLFTs(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 4 {
+		t.Errorf("parsed %d switches, want 4", len(parsed))
+	}
+}

@@ -1,0 +1,100 @@
+package hsd
+
+import (
+	"math/rand"
+	"testing"
+
+	"fattree/internal/cps"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// enumerateRLFTs machine-generates valid 2- and 3-level RLFT specs from
+// the constructor constraints, keeping host counts small enough for
+// exhaustive per-stage analysis.
+func enumerateRLFTs(maxHosts int) []topo.PGFT {
+	var out []topo.PGFT
+	for _, k := range []int{2, 3, 4, 6, 8, 9, 12} {
+		for leaves := 1; leaves <= 2*k; leaves++ {
+			g, err := topo.RLFT2(k, leaves)
+			if err != nil {
+				continue
+			}
+			if g.NumHosts() <= maxHosts {
+				out = append(out, g)
+			}
+		}
+		for groups := 1; groups <= 2*k; groups++ {
+			g, err := topo.RLFT3(k, groups)
+			if err != nil {
+				continue
+			}
+			if g.NumHosts() <= maxHosts {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// TestTheoremsAcrossGeneratedRLFTs is the end-to-end sweep: for every
+// machine-generated RLFT, the full pipeline (build -> D-Mod-K ->
+// topology order -> Shift and topo-aware recursive doubling) must be
+// contention free; and with granule-multiple random removals the
+// rank-compacted variant must be too.
+func TestTheoremsAcrossGeneratedRLFTs(t *testing.T) {
+	specs := enumerateRLFTs(300)
+	if len(specs) < 10 {
+		t.Fatalf("generator produced only %d specs", len(specs))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, g := range specs {
+		tp, err := topo.Build(g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		n := tp.NumHosts()
+		lft := route.DModK(tp)
+		o := order.Topology(n, nil)
+
+		rep, err := Analyze(lft, o, cps.Shift(n))
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !rep.ContentionFree() {
+			t.Errorf("%v: full shift max HSD = %d", g, rep.MaxHSD())
+		}
+
+		ta, err := cps.TopoAwareRecursiveDoubling(g.M)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		taRep, err := Analyze(lft, o, ta)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !taRep.ContentionFree() {
+			t.Errorf("%v: topo-aware RD max HSD = %d", g, taRep.MaxHSD())
+		}
+
+		// Partial: drop one granule's worth of random hosts (when the
+		// tree is big enough to leave at least 2 hosts running).
+		gran := g.AllocationGranule()
+		if n-gran < 2 {
+			continue
+		}
+		perm := rng.Perm(n)
+		active := append([]int(nil), perm[gran:]...)
+		plft := route.DModKActive(tp, active)
+		po := order.Topology(n, active)
+		pRep, err := Analyze(plft, po, cps.Shift(len(active)))
+		if err != nil {
+			t.Fatalf("%v partial: %v", g, err)
+		}
+		if !pRep.ContentionFree() {
+			t.Errorf("%v: partial shift (drop %d) max HSD = %d", g, gran, pRep.MaxHSD())
+		}
+	}
+	t.Logf("verified %d generated RLFTs end to end", len(specs))
+}

@@ -1,0 +1,251 @@
+// Package hsd implements the paper's analytic contention model: given a
+// topology, a routing, an MPI node ordering and a collective permutation
+// sequence, it counts the flows crossing every directed link in every
+// stage. The per-link flow count is the Hot Spot Degree (HSD); a maximal
+// HSD of 1 across all stages means the traffic is contention free and the
+// network delivers full bandwidth and cut-through latency. This is the
+// role the ibdm-based tool plays in Sections II and VII.
+package hsd
+
+import (
+	"fmt"
+	"math"
+
+	"fattree/internal/cps"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// StageResult is the contention summary of one stage.
+type StageResult struct {
+	// MaxHSD is the highest flow count on any directed link.
+	MaxHSD int
+	// Flows is the number of flows in the stage.
+	Flows int
+	// HotLinks is the number of directed links with more than one flow.
+	HotLinks int
+	// MaxUpHSD and MaxDownHSD split the maximum by direction.
+	MaxUpHSD, MaxDownHSD int
+}
+
+// Report aggregates a whole sequence.
+type Report struct {
+	Sequence string
+	Ordering string
+	Routing  string
+	Stages   []StageResult
+}
+
+// MaxHSD returns the worst per-link flow count over all stages.
+func (r *Report) MaxHSD() int {
+	m := 0
+	for _, s := range r.Stages {
+		if s.MaxHSD > m {
+			m = s.MaxHSD
+		}
+	}
+	return m
+}
+
+// AvgMaxHSD returns the mean over stages of the per-stage maximum — the
+// quantity plotted in Figure 3 and tabulated in Table 3. Stages with no
+// flows are skipped.
+func (r *Report) AvgMaxHSD() float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Stages {
+		if s.Flows == 0 {
+			continue
+		}
+		sum += float64(s.MaxHSD)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ContentionFree reports whether every stage has HSD <= 1.
+func (r *Report) ContentionFree() bool { return r.MaxHSD() <= 1 }
+
+// SyncEffectiveBandwidth models fully synchronized stage progression: a
+// stage completes when its most contended link drains, so it lasts
+// MaxHSD time units instead of 1. The return value is the normalized
+// effective bandwidth, total stage work over total time (1.0 means
+// contention free).
+func (r *Report) SyncEffectiveBandwidth() float64 {
+	work, time := 0.0, 0.0
+	for _, s := range r.Stages {
+		if s.Flows == 0 {
+			continue
+		}
+		work++
+		time += float64(s.MaxHSD)
+	}
+	if time == 0 {
+		return 1
+	}
+	return work / time
+}
+
+// Analyzer counts flows per directed link. It is reusable across stages
+// and sequences to avoid re-allocating counters.
+type Analyzer struct {
+	rt route.Router
+	up []int32 // flow count per link, upward direction
+	dn []int32 // flow count per link, downward direction
+}
+
+// NewAnalyzer creates an analyzer bound to a forwarding table set.
+func NewAnalyzer(rt route.Router) *Analyzer {
+	nl := len(rt.Topology().Links)
+	return &Analyzer{rt: rt, up: make([]int32, nl), dn: make([]int32, nl)}
+}
+
+// Stage counts one stage of host-index flows: pairs are (source end-port,
+// destination end-port). It returns the stage summary.
+func (a *Analyzer) Stage(pairs [][2]int) (StageResult, error) {
+	for i := range a.up {
+		a.up[i] = 0
+		a.dn[i] = 0
+	}
+	res := StageResult{Flows: len(pairs)}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			continue
+		}
+		err := a.rt.Walk(p[0], p[1], func(l topo.LinkID, up bool) {
+			if up {
+				a.up[l]++
+			} else {
+				a.dn[l]++
+			}
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+	for i := range a.up {
+		u, d := int(a.up[i]), int(a.dn[i])
+		if u > res.MaxUpHSD {
+			res.MaxUpHSD = u
+		}
+		if d > res.MaxDownHSD {
+			res.MaxDownHSD = d
+		}
+		if u > 1 {
+			res.HotLinks++
+		}
+		if d > 1 {
+			res.HotLinks++
+		}
+	}
+	res.MaxHSD = res.MaxUpHSD
+	if res.MaxDownHSD > res.MaxHSD {
+		res.MaxHSD = res.MaxDownHSD
+	}
+	return res, nil
+}
+
+// LinkLoads returns copies of the current per-link flow counters (after
+// the last Stage call), for histogram-style reporting.
+func (a *Analyzer) LinkLoads() (up, down []int32) {
+	return append([]int32(nil), a.up...), append([]int32(nil), a.dn...)
+}
+
+// Analyze runs a full sequence through the analyzer: CPS ranks are
+// translated to end-ports via the ordering.
+func Analyze(rt route.Router, o *order.Ordering, seq cps.Sequence) (*Report, error) {
+	if o.Size() != seq.Size() {
+		return nil, fmt.Errorf("hsd: ordering size %d != sequence size %d", o.Size(), seq.Size())
+	}
+	if o.NumHosts() != rt.Topology().NumHosts() {
+		return nil, fmt.Errorf("hsd: ordering hosts %d != topology hosts %d", o.NumHosts(), rt.Topology().NumHosts())
+	}
+	a := NewAnalyzer(rt)
+	rep := &Report{Sequence: seq.Name(), Ordering: o.Label, Routing: rt.Label()}
+	var pairs [][2]int
+	for s := 0; s < seq.NumStages(); s++ {
+		stage := seq.Stage(s)
+		pairs = pairs[:0]
+		for _, p := range stage {
+			pairs = append(pairs, [2]int{o.HostOf[p.Src], o.HostOf[p.Dst]})
+		}
+		sr, err := a.Stage(pairs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, sr)
+	}
+	return rep, nil
+}
+
+// AnalyzeHostPairs runs explicit end-port stages (no rank translation),
+// used for raw traffic patterns like the adversarial Ring.
+func AnalyzeHostPairs(rt route.Router, name string, stages [][][2]int) (*Report, error) {
+	a := NewAnalyzer(rt)
+	rep := &Report{Sequence: name, Ordering: "explicit", Routing: rt.Label()}
+	for _, st := range stages {
+		sr, err := a.Stage(st)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, sr)
+	}
+	return rep, nil
+}
+
+// Sweep summarizes AvgMaxHSD over several orderings (the paper's 25
+// random seeds): mean, min and max of the per-ordering averages.
+type Sweep struct {
+	Mean, Min, Max float64
+	Samples        int
+}
+
+// SweepOrderings analyzes the sequence under each ordering and aggregates
+// the per-ordering AvgMaxHSD values.
+func SweepOrderings(rt route.Router, orders []*order.Ordering, seq cps.Sequence) (Sweep, error) {
+	sw := Sweep{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, o := range orders {
+		rep, err := Analyze(rt, o, seq)
+		if err != nil {
+			return Sweep{}, err
+		}
+		v := rep.AvgMaxHSD()
+		sw.Mean += v
+		if v < sw.Min {
+			sw.Min = v
+		}
+		if v > sw.Max {
+			sw.Max = v
+		}
+		sw.Samples++
+	}
+	if sw.Samples > 0 {
+		sw.Mean /= float64(sw.Samples)
+	} else {
+		sw.Min, sw.Max = 0, 0
+	}
+	return sw, nil
+}
+
+// LevelLoads summarizes the current per-link counters (after the last
+// Stage call) by tree level: index l holds the maximum flow count over
+// links joining levels l and l+1 (index 0 = host links), split by
+// direction.
+func (a *Analyzer) LevelLoads() (up, down []int) {
+	t := a.rt.Topology()
+	up = make([]int, t.Spec.H)
+	down = make([]int, t.Spec.H)
+	for i := range t.Links {
+		lvl := t.Links[i].Level - 1
+		if int(a.up[i]) > up[lvl] {
+			up[lvl] = int(a.up[i])
+		}
+		if int(a.dn[i]) > down[lvl] {
+			down[lvl] = int(a.dn[i])
+		}
+	}
+	return up, down
+}

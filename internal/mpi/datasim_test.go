@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fattree/internal/cps"
+)
+
+func randomContrib(n, width int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, width)
+		for j := range out[i] {
+			out[i][j] = float64(r.Intn(1000)) / 8 // exact in float64
+		}
+	}
+	return out
+}
+
+func expectedSum(contrib [][]float64) []float64 {
+	sum := make([]float64, len(contrib[0]))
+	for _, v := range contrib {
+		for j, x := range v {
+			sum[j] += x
+		}
+	}
+	return sum
+}
+
+func checkAllReduce(t *testing.T, seq cps.Sequence, n int) {
+	t.Helper()
+	contrib := randomContrib(n, 4, int64(n))
+	got, err := AllReduceSum(seq, contrib)
+	if err != nil {
+		t.Fatalf("%s n=%d: %v", seq.Name(), n, err)
+	}
+	want := expectedSum(contrib)
+	for r := 0; r < n; r++ {
+		for j := range want {
+			if math.Abs(got[r][j]-want[j]) > 1e-9 {
+				t.Fatalf("%s n=%d: rank %d element %d = %v, want %v", seq.Name(), n, r, j, got[r][j], want[j])
+			}
+		}
+	}
+}
+
+func TestAllReduceSumRecursiveDoubling(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		checkAllReduce(t, cps.RecursiveDoubling(n), n)
+	}
+}
+
+func TestAllReduceSumRecursiveDoublingNonPow2(t *testing.T) {
+	// The pre/post proxy stages must keep the sum exact.
+	for _, n := range []int{3, 5, 6, 7, 12, 18, 24, 100} {
+		checkAllReduce(t, cps.RecursiveDoubling(n), n)
+	}
+}
+
+func TestAllReduceSumTopoAware(t *testing.T) {
+	// The Section VI schedule computes the same sums — including its
+	// pre/post stages on non-power-of-two levels.
+	for _, shape := range [][]int{{4, 4}, {6, 6}, {18, 18}, {4, 4, 4}, {6, 6, 4}} {
+		seq, err := cps.TopoAwareRecursiveDoubling(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAllReduce(t, seq, seq.Size())
+	}
+}
+
+func TestAllReduceSumTopoAwarePartial(t *testing.T) {
+	// Fixup stages must not double-count.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		perm := r.Perm(64)
+		active := perm[r.Intn(20):]
+		seq, err := cps.TopoAwareRecursiveDoublingPartial([]int{4, 4, 4}, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAllReduce(t, seq, seq.Size())
+	}
+}
+
+func TestAllReduceSumInputValidation(t *testing.T) {
+	seq := cps.RecursiveDoubling(4)
+	if _, err := AllReduceSum(seq, randomContrib(3, 4, 1)); err == nil {
+		t.Error("rank-count mismatch accepted")
+	}
+	bad := randomContrib(4, 4, 1)
+	bad[2] = bad[2][:2]
+	if _, err := AllReduceSum(seq, bad); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestAllReduceSumDetectsIncompleteSchedule(t *testing.T) {
+	// A schedule that stops early leaves ranks without contributions.
+	full := cps.RecursiveDoubling(8)
+	truncated, err := SampleStages(full, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllReduceSum(truncated, randomContrib(8, 2, 2)); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestBroadcastDataBinomial(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 31, 64} {
+		seq := cps.Binomial(n)
+		vec := []float64{3.5, -1, 42}
+		out, err := BroadcastData(seq, 0, vec)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for r := 0; r < n; r++ {
+			for j := range vec {
+				if out[r][j] != vec[j] {
+					t.Fatalf("n=%d rank %d got %v", n, r, out[r])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastDataErrors(t *testing.T) {
+	if _, err := BroadcastData(cps.Binomial(8), 9, []float64{1}); err == nil {
+		t.Error("bad root accepted")
+	}
+	// Binomial rooted elsewhere does not reach everyone from rank 3.
+	if _, err := BroadcastData(cps.Binomial(8), 3, []float64{1}); err == nil {
+		t.Error("wrong-root broadcast accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"fattree/internal/cps"
+	"fattree/internal/mpi"
+	"fattree/internal/topo"
+)
+
+// Set up the paper's contention-free configuration and check an
+// all-to-all analytically.
+func ExampleNewContentionFreeJob() {
+	cluster := topo.MustBuild(topo.Cluster324)
+	job, err := mpi.NewContentionFreeJob(cluster, nil)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := job.Analyze(cps.Shift(job.Size()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s over %s: max HSD %d, contention-free %v\n",
+		rep.Sequence, rep.Routing, rep.MaxHSD(), rep.ContentionFree())
+	// Output:
+	// shift over d-mod-k: max HSD 1, contention-free true
+}
+
+// Ask what algorithm a library would run, like its tuned-collectives
+// layer does.
+func ExampleSelectAlgorithm() {
+	small, _ := mpi.SelectAlgorithm(mpi.MVAPICH, "allreduce", 324, 1024)
+	large, _ := mpi.SelectAlgorithm(mpi.OpenMPI, "allreduce", 324, 1<<20)
+	fmt.Printf("mvapich small allreduce: %s (%s)\n", small.Use.Algorithm, small.Use.CPS)
+	fmt.Printf("openmpi large allreduce: %s (%s)\n", large.Use.Algorithm, large.Use.CPS)
+	// Output:
+	// mvapich small allreduce: recursive-doubling (recursive-doubling)
+	// openmpi large allreduce: ring (ring)
+}

@@ -1,0 +1,175 @@
+// Package mpi binds the pieces together the way an MPI library does: a
+// job (topology + routing + node ordering) runs collectives whose
+// communication is a collective permutation sequence (Section III). The
+// package translates CPS stages into end-port traffic for the analytic
+// HSD model and the packet simulator, and encodes the paper's Table 1
+// catalogue of which MVAPICH/OpenMPI collective algorithms use which CPS.
+package mpi
+
+import (
+	"fmt"
+
+	"fattree/internal/cps"
+	"fattree/internal/hsd"
+	"fattree/internal/netsim"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// Job is a single MPI job on a cluster: the topology, the programmed
+// routing and the rank-to-end-port assignment.
+type Job struct {
+	Topo  *topo.Topology
+	Route route.Router
+	Order *order.Ordering
+}
+
+// NewJob validates the cross-references between the pieces.
+func NewJob(rt route.Router, o *order.Ordering) (*Job, error) {
+	if o.NumHosts() != rt.Topology().NumHosts() {
+		return nil, fmt.Errorf("mpi: ordering built for %d hosts, topology has %d", o.NumHosts(), rt.Topology().NumHosts())
+	}
+	return &Job{Topo: rt.Topology(), Route: rt, Order: o}, nil
+}
+
+// NewContentionFreeJob builds the paper's recommended configuration for
+// the active hosts of a topology: rank-compacted D-Mod-K routing plus
+// topology-aware ordering. active == nil means the whole cluster.
+func NewContentionFreeJob(t *topo.Topology, active []int) (*Job, error) {
+	var lft *route.LFT
+	if active == nil {
+		lft = route.DModK(t)
+	} else {
+		lft = route.DModKActive(t, active)
+	}
+	o := order.Topology(t.NumHosts(), active)
+	return NewJob(lft, o)
+}
+
+// Size returns the job size (number of ranks).
+func (j *Job) Size() int { return j.Order.Size() }
+
+// StageMessages translates stage s of the sequence into simulator
+// messages of the given payload size.
+func (j *Job) StageMessages(seq cps.Sequence, s int, bytes int64) []netsim.Message {
+	stage := seq.Stage(s)
+	msgs := make([]netsim.Message, 0, len(stage))
+	for _, p := range stage {
+		msgs = append(msgs, netsim.Message{
+			Src:   j.Order.HostOf[p.Src],
+			Dst:   j.Order.HostOf[p.Dst],
+			Bytes: bytes,
+		})
+	}
+	return msgs
+}
+
+// AllMessages translates every stage.
+func (j *Job) AllMessages(seq cps.Sequence, bytes int64) [][]netsim.Message {
+	out := make([][]netsim.Message, seq.NumStages())
+	for s := range out {
+		out[s] = j.StageMessages(seq, s, bytes)
+	}
+	return out
+}
+
+// Analyze runs the analytic HSD model on the sequence.
+func (j *Job) Analyze(seq cps.Sequence) (*hsd.Report, error) {
+	return hsd.Analyze(j.Route, j.Order, seq)
+}
+
+// Mode selects the stage-progression semantics of a simulation.
+type Mode int
+
+const (
+	// Async is the paper's Section II semantics: each end-port starts
+	// its next message as soon as the previous one has been sent to
+	// the wire, with no cross-host coordination.
+	Async Mode = iota
+	// Barrier separates stages with a global barrier (worst-case
+	// synchronized semantics).
+	Barrier
+	// Dependent is real collective semantics: a rank enters stage s+1
+	// only after its stage-s sends have left and its stage-s receives
+	// have arrived.
+	Dependent
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Async:
+		return "async"
+	case Barrier:
+		return "barrier"
+	case Dependent:
+		return "dependent"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Simulate runs the sequence through the packet simulator. With sync set,
+// a barrier separates stages; otherwise every end-port progresses
+// asynchronously. See SimulateMode for the full semantics menu.
+func (j *Job) Simulate(seq cps.Sequence, bytes int64, sync bool, cfg netsim.Config) (netsim.Stats, error) {
+	mode := Async
+	if sync {
+		mode = Barrier
+	}
+	return j.SimulateMode(seq, bytes, mode, cfg)
+}
+
+// SimulateMode runs the sequence under the chosen progression semantics.
+func (j *Job) SimulateMode(seq cps.Sequence, bytes int64, mode Mode, cfg netsim.Config) (netsim.Stats, error) {
+	nw, err := netsim.New(j.Route, cfg)
+	if err != nil {
+		return netsim.Stats{}, err
+	}
+	stages := j.AllMessages(seq, bytes)
+	switch mode {
+	case Barrier:
+		return nw.RunStages(stages)
+	case Dependent:
+		return nw.RunDependent(stages)
+	default:
+		var flat []netsim.Message
+		for _, st := range stages {
+			flat = append(flat, st...)
+		}
+		return nw.Run(flat)
+	}
+}
+
+// NormalizedBandwidth scales an aggregate bandwidth to the job's ideal
+// injection capacity (size * per-host cap), the Y axis of Figure 2.
+func (j *Job) NormalizedBandwidth(st netsim.Stats, cfg netsim.Config) float64 {
+	ideal := cfg.HostBandwidth * float64(j.Size())
+	if ideal == 0 {
+		return 0
+	}
+	return st.EffectiveBandwidth() / ideal
+}
+
+// SampleStages wraps a sequence exposing only the selected stage indices
+// — used to keep packet simulations of the 1943-stage Shift tractable
+// while preserving per-stage behaviour.
+func SampleStages(seq cps.Sequence, stages []int) (cps.Sequence, error) {
+	for _, s := range stages {
+		if s < 0 || s >= seq.NumStages() {
+			return nil, fmt.Errorf("mpi: stage %d out of range [0,%d)", s, seq.NumStages())
+		}
+	}
+	return &sampledSeq{inner: seq, idx: append([]int(nil), stages...)}, nil
+}
+
+type sampledSeq struct {
+	inner cps.Sequence
+	idx   []int
+}
+
+func (s *sampledSeq) Name() string          { return s.inner.Name() + "-sampled" }
+func (s *sampledSeq) Size() int             { return s.inner.Size() }
+func (s *sampledSeq) NumStages() int        { return len(s.idx) }
+func (s *sampledSeq) Stage(i int) cps.Stage { return s.inner.Stage(s.idx[i]) }
+func (s *sampledSeq) Bidirectional() bool   { return s.inner.Bidirectional() }

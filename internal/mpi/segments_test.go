@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRingAllGather(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 18, 32} {
+		contrib := make([][]float64, n)
+		for r := range contrib {
+			contrib[r] = []float64{float64(r), float64(r * r)}
+		}
+		out, err := RingAllGather(contrib)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for r := 0; r < n; r++ {
+			for seg := 0; seg < n; seg++ {
+				if out[r][seg][0] != float64(seg) || out[r][seg][1] != float64(seg*seg) {
+					t.Fatalf("n=%d: rank %d segment %d = %v", n, r, seg, out[r][seg])
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllGatherEmpty(t *testing.T) {
+	if _, err := RingAllGather(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestHalvingDoublingAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		width := n * 3
+		contrib := make([][]float64, n)
+		want := make([]float64, width)
+		for r := range contrib {
+			contrib[r] = make([]float64, width)
+			for j := range contrib[r] {
+				contrib[r][j] = float64(rng.Intn(100)) / 4
+				want[j] += contrib[r][j]
+			}
+		}
+		out, err := HalvingDoublingAllReduce(contrib)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for r := 0; r < n; r++ {
+			for j := 0; j < width; j++ {
+				if math.Abs(out[r][j]-want[j]) > 1e-9 {
+					t.Fatalf("n=%d rank %d elem %d = %v, want %v", n, r, j, out[r][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestHalvingDoublingValidation(t *testing.T) {
+	if _, err := HalvingDoublingAllReduce(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	bad := make([][]float64, 3) // not a power of two
+	for i := range bad {
+		bad[i] = make([]float64, 6)
+	}
+	if _, err := HalvingDoublingAllReduce(bad); err == nil {
+		t.Error("non-pow2 accepted")
+	}
+	odd := make([][]float64, 4)
+	for i := range odd {
+		odd[i] = make([]float64, 5) // 5 not divisible by 4
+	}
+	if _, err := HalvingDoublingAllReduce(odd); err == nil {
+		t.Error("indivisible width accepted")
+	}
+	ragged := make([][]float64, 4)
+	for i := range ragged {
+		ragged[i] = make([]float64, 8)
+	}
+	ragged[2] = make([]float64, 4)
+	if _, err := HalvingDoublingAllReduce(ragged); err == nil {
+		t.Error("ragged accepted")
+	}
+}

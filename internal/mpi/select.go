@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"fattree/internal/cps"
+)
+
+// This file models the algorithm-selection layer of a tuned MPI
+// collectives module: given a collective, a communicator size and a
+// message size, pick the algorithm (and hence the CPS) the library would
+// run. Thresholds follow the common MVAPICH/OpenMPI defaults the paper's
+// survey covers: ~8 KiB separates "small" from "large", and some
+// algorithms are only selected on power-of-two communicators.
+
+// SmallMessageThreshold is the byte boundary between the small- and
+// large-message algorithm families.
+const SmallMessageThreshold = 8 << 10
+
+// Selection is a resolved algorithm choice.
+type Selection struct {
+	Use      AlgorithmUse
+	Sequence cps.Sequence
+}
+
+// SelectAlgorithm resolves the algorithm a library would pick for the
+// collective at the given communicator and message size, and instantiates
+// its permutation sequence. The choice honours the Pow2Only annotations;
+// when the preferred row is pow2-only and the size is not a power of two,
+// the next matching row is used (the libraries' own fallback behaviour).
+func SelectAlgorithm(lib Library, collective string, commSize int, msgBytes int64) (*Selection, error) {
+	if commSize < 1 {
+		return nil, fmt.Errorf("mpi: communicator size %d", commSize)
+	}
+	class := SmallMessages
+	if msgBytes >= SmallMessageThreshold {
+		class = LargeMessages
+	}
+	pow2 := commSize&(commSize-1) == 0
+	var fallback *AlgorithmUse
+	for i := range Catalog {
+		u := &Catalog[i]
+		if u.Library != lib || u.Collective != collective {
+			continue
+		}
+		if u.Sizes != class {
+			if fallback == nil {
+				fallback = u // size-class mismatch beats nothing
+			}
+			continue
+		}
+		if u.Pow2Only && !pow2 {
+			continue
+		}
+		seq, err := NewSequence(u.CPS, commSize)
+		if err != nil {
+			return nil, err
+		}
+		return &Selection{Use: *u, Sequence: seq}, nil
+	}
+	if fallback != nil && (!fallback.Pow2Only || pow2) {
+		seq, err := NewSequence(fallback.CPS, commSize)
+		if err != nil {
+			return nil, err
+		}
+		return &Selection{Use: *fallback, Sequence: seq}, nil
+	}
+	return nil, fmt.Errorf("mpi: %s has no %s algorithm for n=%d, %d bytes", lib, collective, commSize, msgBytes)
+}
+
+// Collectives returns the distinct collective names a library's
+// catalogue covers, sorted.
+func Collectives(lib Library) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range Catalog {
+		if u.Library == lib && !seen[u.Collective] {
+			seen[u.Collective] = true
+			out = append(out, u.Collective)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package mpi
+
+import (
+	"testing"
+
+	"fattree/internal/cps"
+)
+
+func TestSelectAlgorithmBySize(t *testing.T) {
+	// MVAPICH alltoall: bruck (dissemination) for small messages,
+	// pairwise exchange (shift) for large.
+	small, err := SelectAlgorithm(MVAPICH, "alltoall", 324, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Use.CPS != CPSDissemination {
+		t.Errorf("small alltoall -> %s, want dissemination", small.Use.CPS)
+	}
+	large, err := SelectAlgorithm(MVAPICH, "alltoall", 324, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Use.CPS != CPSShift {
+		t.Errorf("large alltoall -> %s, want shift", large.Use.CPS)
+	}
+	if large.Sequence.Size() != 324 {
+		t.Errorf("sequence size = %d, want 324", large.Sequence.Size())
+	}
+}
+
+func TestSelectAlgorithmPow2Fallback(t *testing.T) {
+	// MVAPICH small allgather: recursive doubling is pow2-only; on a
+	// non-pow2 communicator the bruck row must win.
+	pow2, err := SelectAlgorithm(MVAPICH, "allgather", 256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pow2.Use.CPS != CPSRecursiveDoubling {
+		t.Errorf("pow2 small allgather -> %s, want recursive-doubling", pow2.Use.CPS)
+	}
+	odd, err := SelectAlgorithm(MVAPICH, "allgather", 324, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd.Use.CPS != CPSDissemination {
+		t.Errorf("non-pow2 small allgather -> %s, want dissemination (bruck)", odd.Use.CPS)
+	}
+}
+
+func TestSelectAlgorithmValidSequences(t *testing.T) {
+	// Every selectable combination must produce a valid sequence.
+	for _, lib := range []Library{MVAPICH, OpenMPI} {
+		for _, coll := range Collectives(lib) {
+			for _, n := range []int{16, 324} {
+				for _, bytes := range []int64{256, 1 << 20} {
+					sel, err := SelectAlgorithm(lib, coll, n, bytes)
+					if err != nil {
+						t.Errorf("%s/%s n=%d b=%d: %v", lib, coll, n, bytes, err)
+						continue
+					}
+					if err := cps.Validate(sel.Sequence); err != nil {
+						t.Errorf("%s/%s n=%d b=%d (%s): %v", lib, coll, n, bytes, sel.Use.Algorithm, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectAlgorithmErrors(t *testing.T) {
+	if _, err := SelectAlgorithm(MVAPICH, "no-such", 16, 100); err == nil {
+		t.Error("unknown collective accepted")
+	}
+	if _, err := SelectAlgorithm(MVAPICH, "alltoall", 0, 100); err == nil {
+		t.Error("zero communicator accepted")
+	}
+}
+
+func TestCollectivesListing(t *testing.T) {
+	mv := Collectives(MVAPICH)
+	if len(mv) < 6 {
+		t.Errorf("MVAPICH covers %d collectives, want >= 6", len(mv))
+	}
+	for i := 1; i < len(mv); i++ {
+		if mv[i] <= mv[i-1] {
+			t.Fatalf("collectives not sorted: %v", mv)
+		}
+	}
+	om := Collectives(OpenMPI)
+	if len(om) < 5 {
+		t.Errorf("OpenMPI covers %d collectives, want >= 5", len(om))
+	}
+}

@@ -1,0 +1,715 @@
+// Package netsim is a packet-level, event-driven model of an
+// InfiniBand-like fat-tree network: virtual cut-through switching, credit
+// based link-level flow control, input-buffered switches with
+// head-of-line blocking, and PCIe-capped host injection. It reproduces
+// the role of the paper's OMNeT++ simulation platform (Section II),
+// calibrated to the same nominal rates: QDR links at 4000 MB/s and PCIe
+// Gen2 8x hosts at 3250 MB/s.
+//
+// Traffic follows the deterministic forwarding tables computed by the
+// route package, so contention (or its absence) is exactly the phenomenon
+// the HSD model predicts — but here it plays out in time, producing
+// effective bandwidth and latency numbers.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"fattree/internal/des"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// Config calibrates the simulator.
+type Config struct {
+	// LinkBandwidth is the wire rate in bytes/second (QDR: 4000 MB/s).
+	LinkBandwidth float64
+	// HostBandwidth caps host injection in bytes/second (PCIe Gen2 8x:
+	// 3250 MB/s).
+	HostBandwidth float64
+	// LinkLatency is the propagation + SerDes delay per hop.
+	LinkLatency des.Time
+	// SwitchLatency is the per-switch processing (cut-through) delay.
+	SwitchLatency des.Time
+	// MTU is the packet payload size in bytes (IB: 2048).
+	MTU int
+	// BufferPackets is the number of MTU-sized input-buffer slots per
+	// switch port — the credit budget of virtual cut-through.
+	BufferPackets int
+	// MaxEvents aborts runaway simulations (0 = unbounded).
+	MaxEvents uint64
+	// PerPacketRouting re-asks the router for a path for every packet
+	// instead of once per message — how an adaptive fabric behaves.
+	// With a randomized router this lets packets overtake each other;
+	// Stats.OutOfOrderPackets counts the damage.
+	PerPacketRouting bool
+	// KeepLatencies retains every message latency so Stats.Percentile
+	// works; off by default to keep big runs lean.
+	KeepLatencies bool
+	// FlowLog, when non-nil, receives one CSV line per completed
+	// message: src,dst,bytes,start_ps,end_ps,latency_ps. Useful for
+	// post-processing runs with external tooling.
+	FlowLog io.Writer
+}
+
+// DefaultConfig returns the paper's calibration.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidth: 4000e6,
+		HostBandwidth: 3250e6,
+		LinkLatency:   100 * des.Nanosecond,
+		SwitchLatency: 100 * des.Nanosecond,
+		MTU:           2048,
+		BufferPackets: 8,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LinkBandwidth <= 0 || c.HostBandwidth <= 0 {
+		return fmt.Errorf("netsim: non-positive bandwidth")
+	}
+	if c.MTU < 1 {
+		return fmt.Errorf("netsim: MTU must be at least 1 byte")
+	}
+	if c.BufferPackets < 1 {
+		return fmt.Errorf("netsim: need at least one buffer slot per port")
+	}
+	if c.LinkLatency < 0 || c.SwitchLatency < 0 {
+		return fmt.Errorf("netsim: negative latency")
+	}
+	return nil
+}
+
+// Message is one MPI-level send.
+type Message struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Duration is the simulated makespan.
+	Duration des.Time
+	// BytesDelivered counts payload bytes that reached their
+	// destination hosts.
+	BytesDelivered int64
+	// MessagesDelivered counts completed messages.
+	MessagesDelivered int64
+	// LatencySum/Min/Max aggregate message latencies (injection start
+	// of the first packet to tail arrival of the last).
+	LatencySum, LatencyMin, LatencyMax des.Time
+	// Events is the number of simulator events executed.
+	Events uint64
+	// StageDurations holds the per-stage makespans in barrier mode.
+	StageDurations []des.Time
+	// LinkBusy is the cumulative transmit-busy time per directed
+	// channel (2 per cable: up = 2*link, down = 2*link+1).
+	LinkBusy []des.Time
+	// OutOfOrderPackets counts packet arrivals whose sequence number
+	// did not match the in-order expectation at the destination.
+	OutOfOrderPackets int64
+	// Latencies holds every message latency, ascending, when
+	// Config.KeepLatencies is set.
+	Latencies []des.Time
+}
+
+// Percentile returns the p-th (0..100) latency percentile; requires
+// Config.KeepLatencies.
+func (s Stats) Percentile(p float64) (des.Time, error) {
+	if len(s.Latencies) == 0 {
+		return 0, fmt.Errorf("netsim: no retained latencies (set Config.KeepLatencies)")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("netsim: percentile %v out of range", p)
+	}
+	idx := int(p / 100 * float64(len(s.Latencies)-1))
+	return s.Latencies[idx], nil
+}
+
+// EffectiveBandwidth returns aggregate delivered bytes per second.
+func (s Stats) EffectiveBandwidth() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.BytesDelivered) / (float64(s.Duration) / float64(des.Second))
+}
+
+// MeanLatency returns the average message latency.
+func (s Stats) MeanLatency() des.Time {
+	if s.MessagesDelivered == 0 {
+		return 0
+	}
+	return s.LatencySum / des.Time(s.MessagesDelivered)
+}
+
+// MaxLinkUtilization returns the busiest directed channel's busy
+// fraction of the makespan — 1.0 means some wire never went idle (a
+// saturated hot spot).
+func (s Stats) MaxLinkUtilization() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	var max des.Time
+	for _, b := range s.LinkBusy {
+		if b > max {
+			max = b
+		}
+	}
+	return float64(max) / float64(s.Duration)
+}
+
+// SaturatedLinks counts directed channels busier than the threshold
+// fraction of the makespan.
+func (s Stats) SaturatedLinks(threshold float64) int {
+	if s.Duration <= 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range s.LinkBusy {
+		if float64(b)/float64(s.Duration) >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// channel is one direction of a cable: a transmitter plus the receiver's
+// input buffer.
+type channel struct {
+	id       int
+	from, to topo.NodeID
+	rate     float64  // transmitter bytes/second
+	lastBit  des.Time // busy until (tail departure of current packet)
+	busy     des.Time // cumulative transmit occupancy
+
+	// Receiver input buffer (virtual cut-through credits).
+	credits int
+	buf     []*packet // FIFO; buf[0] is at the switch crossbar head
+
+	// Output arbitration at the transmitter (switch side): input
+	// channels whose head packet wants this channel, FIFO.
+	reqs []*channel
+	// requested marks that this channel's buffer head is already queued
+	// at its output channel (avoid duplicate requests).
+	requested bool
+}
+
+// packet is one MTU-or-less unit of a message in flight.
+type packet struct {
+	msg  *message
+	size int64
+	seq  int     // 0-based position within the message
+	path []int32 // channel ids host->...->host
+	hop  int     // index of the channel the packet traverses next
+	// tailArrive is when the packet's last bit reaches the node it is
+	// currently buffered at (forwarding cannot complete earlier).
+	tailArrive des.Time
+}
+
+// message tracks send/receive progress of one Message.
+type message struct {
+	Message
+	path      []int32
+	packets   int
+	sentPkts  int
+	recvPkts  int
+	startedAt des.Time
+	started   bool
+	host      *hostState // sender
+	// stage tags the collective stage in dependent mode (-1 otherwise).
+	stage int
+	// notBefore delays injection (simulated OS jitter / skew); zero
+	// means immediately eligible.
+	notBefore des.Time
+	timerSet  bool
+}
+
+// hostState is the injection queue of one end-port.
+type hostState struct {
+	id     int
+	up     *channel // host -> leaf
+	queue  []*message
+	nextIn int // next message to inject
+
+	// Dependent-mode bookkeeping: per stage, how many of this host's
+	// sends have not yet fully left the NIC and how many expected
+	// receives have not yet arrived. readyStage is the first stage the
+	// host may inject into (all earlier stages complete).
+	sendLeft, recvLeft []int
+	readyStage         int
+	dependent          bool
+}
+
+// stageComplete reports whether the host finished stage s.
+func (h *hostState) stageComplete(s int) bool {
+	return h.sendLeft[s] == 0 && h.recvLeft[s] == 0
+}
+
+// Network is a simulator instance bound to a topology and routing.
+type Network struct {
+	t   *topo.Topology
+	rt  route.Router
+	cfg Config
+
+	sched    *des.Scheduler
+	channels []*channel // 2 per link: up = 2*link, down = 2*link+1
+	hosts    []*hostState
+
+	stats     Stats
+	remaining int // undelivered messages
+	err       error
+}
+
+// New creates a simulator for the topology/routing pair.
+func New(rt route.Router, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := &Network{t: rt.Topology(), rt: rt, cfg: cfg}
+	return nw, nil
+}
+
+// reset rebuilds the dynamic state for a fresh run.
+func (nw *Network) reset() {
+	t := nw.t
+	nw.sched = des.NewScheduler()
+	nw.stats = Stats{LatencyMin: 1 << 62}
+	nw.err = nil
+	nw.remaining = 0
+	nw.channels = make([]*channel, 2*len(t.Links))
+	for i := range t.Links {
+		lk := &t.Links[i]
+		lower := t.Ports[lk.Lower].Node
+		upper := t.Ports[lk.Upper].Node
+		up := &channel{id: 2 * i, from: lower, to: upper, rate: nw.cfg.LinkBandwidth, credits: nw.cfg.BufferPackets}
+		down := &channel{id: 2*i + 1, from: upper, to: lower, rate: nw.cfg.LinkBandwidth, credits: nw.cfg.BufferPackets}
+		if t.Node(lower).Kind == topo.Host {
+			// Host injection is PCIe capped; host reception is an
+			// effectively infinite sink.
+			up.rate = nw.cfg.HostBandwidth
+			down.credits = 1 << 30
+		}
+		nw.channels[up.id] = up
+		nw.channels[down.id] = down
+	}
+	nw.hosts = make([]*hostState, t.NumHosts())
+	for j := 0; j < t.NumHosts(); j++ {
+		h := t.Host(j)
+		upPort := t.Ports[h.Up[0]]
+		upCh := nw.channels[2*int(upPort.Link)]
+		nw.hosts[j] = &hostState{id: j, up: upCh}
+	}
+}
+
+// chanID maps a route hop to a channel index.
+func chanID(link topo.LinkID, up bool) int32 {
+	if up {
+		return int32(2 * link)
+	}
+	return int32(2*link + 1)
+}
+
+// pathOf computes the channel path for a src->dst flow.
+func (nw *Network) pathOf(src, dst int) ([]int32, error) {
+	var path []int32
+	err := nw.rt.Walk(src, dst, func(l topo.LinkID, up bool) {
+		path = append(path, chanID(l, up))
+	})
+	return path, err
+}
+
+// load enqueues messages on their source hosts (keeping input order per
+// host).
+func (nw *Network) load(msgs []Message) error {
+	for _, m := range msgs {
+		if m.Src == m.Dst {
+			return fmt.Errorf("netsim: self message at host %d", m.Src)
+		}
+		if m.Src < 0 || m.Src >= len(nw.hosts) || m.Dst < 0 || m.Dst >= len(nw.hosts) {
+			return fmt.Errorf("netsim: message %d->%d out of range", m.Src, m.Dst)
+		}
+		if m.Bytes < 1 {
+			return fmt.Errorf("netsim: message %d->%d has %d bytes", m.Src, m.Dst, m.Bytes)
+		}
+		var path []int32
+		if !nw.cfg.PerPacketRouting {
+			var err error
+			path, err = nw.pathOf(m.Src, m.Dst)
+			if err != nil {
+				return err
+			}
+		}
+		pkts := int((m.Bytes + int64(nw.cfg.MTU) - 1) / int64(nw.cfg.MTU))
+		ms := &message{Message: m, path: path, packets: pkts, host: nw.hosts[m.Src], stage: -1}
+		nw.hosts[m.Src].queue = append(nw.hosts[m.Src].queue, ms)
+		nw.remaining++
+	}
+	return nil
+}
+
+// Run simulates all messages with asynchronous per-host progression: each
+// host injects its messages back to back, starting the next as soon as
+// the previous one has fully left for the wire (the paper's Section II
+// semantics).
+func (nw *Network) Run(msgs []Message) (Stats, error) {
+	nw.reset()
+	if err := nw.load(msgs); err != nil {
+		return Stats{}, err
+	}
+	return nw.finish()
+}
+
+// RunStages simulates synchronized stage progression: a barrier separates
+// stages, so a stage's cost is set by its most contended link.
+func (nw *Network) RunStages(stages [][]Message) (Stats, error) {
+	return nw.runStages(stages, 0, 0)
+}
+
+// RunStagesJitter is RunStages with simulated OS jitter: each host's
+// injection within a stage is delayed by an independent uniform draw
+// from [0, jitter] — the skew the paper's Section VII attributes to OS
+// noise and proposes clock-synchronization protocols against.
+func (nw *Network) RunStagesJitter(stages [][]Message, jitter des.Time, seed int64) (Stats, error) {
+	if jitter < 0 {
+		return Stats{}, fmt.Errorf("netsim: negative jitter")
+	}
+	return nw.runStages(stages, jitter, seed)
+}
+
+func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (Stats, error) {
+	nw.reset()
+	rng := rand.New(rand.NewSource(seed))
+	var durs []des.Time
+	var last des.Time
+	for i, st := range stages {
+		if err := nw.load(st); err != nil {
+			return Stats{}, err
+		}
+		if jitter > 0 {
+			// One skew draw per host per stage, applied to all its
+			// messages of this stage.
+			start := nw.sched.Now()
+			skew := make(map[int]des.Time)
+			for _, m := range st {
+				if _, ok := skew[m.Src]; !ok {
+					skew[m.Src] = des.Time(rng.Int63n(int64(jitter) + 1))
+				}
+			}
+			for src, d := range skew {
+				h := nw.hosts[src]
+				for _, ms := range h.queue[h.nextIn:] {
+					ms.notBefore = start + d
+				}
+			}
+		}
+		for j := range nw.hosts {
+			nw.kickHost(nw.hosts[j])
+		}
+		if !nw.sched.Run(nw.cfg.MaxEvents) {
+			return Stats{}, fmt.Errorf("netsim: stage %d exceeded %d events", i, nw.cfg.MaxEvents)
+		}
+		if nw.err != nil {
+			return Stats{}, nw.err
+		}
+		if nw.remaining != 0 {
+			return Stats{}, fmt.Errorf("netsim: stage %d deadlocked with %d messages undelivered", i, nw.remaining)
+		}
+		durs = append(durs, nw.sched.Now()-last)
+		last = nw.sched.Now()
+	}
+	st := nw.collect()
+	st.StageDurations = durs
+	return st, nil
+}
+
+// RunDependent simulates true collective dependency semantics: a host
+// may inject its stage-(s+1) messages only after all of its stage-s
+// sends have fully left the NIC and all of its stage-s receives have
+// arrived. This is how an MPI rank actually progresses through a
+// recursive-doubling or shift schedule — stricter than async per-host
+// progression, looser than a global barrier.
+func (nw *Network) RunDependent(stages [][]Message) (Stats, error) {
+	nw.reset()
+	nStages := len(stages)
+	for i := range nw.hosts {
+		h := nw.hosts[i]
+		h.dependent = true
+		h.sendLeft = make([]int, nStages)
+		h.recvLeft = make([]int, nStages)
+	}
+	prevLen := make([]int, len(nw.hosts))
+	for sIdx, st := range stages {
+		for i, h := range nw.hosts {
+			prevLen[i] = len(h.queue)
+		}
+		if err := nw.load(st); err != nil {
+			return Stats{}, err
+		}
+		for i, h := range nw.hosts {
+			for _, m := range h.queue[prevLen[i]:] {
+				m.stage = sIdx
+				h.sendLeft[sIdx]++
+				nw.hosts[m.Dst].recvLeft[sIdx]++
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// finish drives an async run to completion.
+func (nw *Network) finish() (Stats, error) {
+	for j := range nw.hosts {
+		nw.kickHost(nw.hosts[j])
+	}
+	if !nw.sched.Run(nw.cfg.MaxEvents) {
+		return Stats{}, fmt.Errorf("netsim: exceeded %d events", nw.cfg.MaxEvents)
+	}
+	if nw.err != nil {
+		return Stats{}, nw.err
+	}
+	if nw.remaining != 0 {
+		return Stats{}, fmt.Errorf("netsim: deadlock with %d messages undelivered", nw.remaining)
+	}
+	return nw.collect(), nil
+}
+
+func (nw *Network) collect() Stats {
+	s := nw.stats
+	s.Duration = nw.sched.Now()
+	s.Events = nw.sched.Executed()
+	if s.MessagesDelivered == 0 {
+		s.LatencyMin = 0
+	}
+	s.LinkBusy = make([]des.Time, len(nw.channels))
+	for i, ch := range nw.channels {
+		s.LinkBusy[i] = ch.busy
+	}
+	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
+	return s
+}
+
+// serTime returns the wire occupancy of size bytes at rate.
+func serTime(size int64, rate float64) des.Time {
+	return des.Time(float64(size) * float64(des.Second) / rate)
+}
+
+// kickHost tries to inject the source host's next packet.
+func (nw *Network) kickHost(h *hostState) {
+	ch := h.up
+	now := nw.sched.Now()
+	if ch.lastBit > now || ch.credits <= 0 {
+		return // retried on channel-free / credit-return events
+	}
+	if h.nextIn >= len(h.queue) {
+		return
+	}
+	m := h.queue[h.nextIn]
+	if h.dependent && m.stage > h.readyStage {
+		return // unblocked by advanceReady when dependencies land
+	}
+	if m.notBefore > now {
+		if !m.timerSet {
+			m.timerSet = true
+			nw.sched.At(m.notBefore, func() { nw.kickHost(h) })
+		}
+		return
+	}
+	if !m.started {
+		m.started = true
+		m.startedAt = now
+	}
+	size := int64(nw.cfg.MTU)
+	if rem := m.Bytes - int64(m.sentPkts)*int64(nw.cfg.MTU); rem < size {
+		size = rem
+	}
+	path := m.path
+	if nw.cfg.PerPacketRouting {
+		var err error
+		path, err = nw.pathOf(m.Src, m.Dst)
+		if err != nil {
+			nw.err = err
+			return
+		}
+	}
+	p := &packet{msg: m, size: size, seq: m.sentPkts, path: path, tailArrive: now}
+	m.sentPkts++
+	if m.sentPkts == m.packets {
+		// Message fully handed to the NIC queue; the *next* message
+		// may start once this packet's tail leaves the wire — handled
+		// in the tail-departure event below.
+		h.nextIn++
+	}
+	nw.transmit(p, ch, nil)
+}
+
+// transmit sends packet p over channel ch. fromBuf is the input channel
+// whose buffer currently holds p (nil when injecting from a host).
+// The caller guarantees ch is free and has a credit.
+func (nw *Network) transmit(p *packet, ch *channel, fromBuf *channel) {
+	now := nw.sched.Now()
+	start := now
+	if ch.lastBit > start {
+		panic("netsim: transmit on busy channel")
+	}
+	ser := serTime(p.size, ch.rate)
+	tail := start + ser
+	// Cut-through cannot finish before the packet's bits arrived here.
+	if p.tailArrive > tail {
+		tail = p.tailArrive
+	}
+	ch.lastBit = tail
+	ch.busy += tail - start
+	ch.credits--
+	p.hop++
+	headerAt := start + nw.cfg.LinkLatency
+	if nw.t.Node(ch.to).Kind == topo.Switch {
+		headerAt += nw.cfg.SwitchLatency
+	}
+	tailArrive := tail + nw.cfg.LinkLatency
+	nw.sched.At(headerAt, func() { nw.arriveHeader(p, ch, tailArrive) })
+	nw.sched.At(tail, func() { nw.departTail(p, ch, fromBuf) })
+}
+
+// arriveHeader lands the packet's header at ch's receiver.
+func (nw *Network) arriveHeader(p *packet, ch *channel, tailArrive des.Time) {
+	p.tailArrive = tailArrive
+	to := nw.t.Node(ch.to)
+	if to.Kind == topo.Host {
+		// Delivery completes when the tail arrives.
+		nw.sched.At(tailArrive, func() { nw.deliver(p, ch) })
+		return
+	}
+	ch.buf = append(ch.buf, p)
+	if len(ch.buf) == 1 {
+		nw.requestForward(ch)
+	}
+}
+
+// requestForward queues ch's buffer head at its output channel and tries
+// to arbitrate.
+func (nw *Network) requestForward(in *channel) {
+	if len(in.buf) == 0 || in.requested {
+		return
+	}
+	p := in.buf[0]
+	if p.hop >= len(p.path) {
+		nw.err = fmt.Errorf("netsim: packet overran its path at node %d", in.to)
+		return
+	}
+	out := nw.channels[p.path[p.hop]]
+	in.requested = true
+	out.reqs = append(out.reqs, in)
+	nw.tryForward(out)
+}
+
+// tryForward arbitrates the output channel: FIFO over requesting inputs.
+func (nw *Network) tryForward(out *channel) {
+	now := nw.sched.Now()
+	for out.lastBit <= now && out.credits > 0 && len(out.reqs) > 0 {
+		in := out.reqs[0]
+		out.reqs = out.reqs[1:]
+		in.requested = false
+		if len(in.buf) == 0 {
+			continue // stale
+		}
+		p := in.buf[0]
+		if p.hop >= len(p.path) || nw.channels[p.path[p.hop]] != out {
+			// Stale request (head changed); requeue the real target.
+			nw.requestForward(in)
+			continue
+		}
+		nw.transmit(p, out, in)
+	}
+}
+
+// departTail runs when p's last bit leaves channel ch's transmitter.
+func (nw *Network) departTail(p *packet, ch *channel, fromBuf *channel) {
+	if fromBuf == nil {
+		// Left a host NIC: sender may proceed with its next message
+		// ("sent to the wire").
+		m := p.msg
+		if m.host.dependent && p.seq == m.packets-1 {
+			m.host.sendLeft[m.stage]--
+			nw.advanceReady(m.host)
+		}
+		nw.kickHost(m.host)
+	} else {
+		// Free the input-buffer slot, return the credit upstream and
+		// let the new head arbitrate.
+		if len(fromBuf.buf) == 0 || fromBuf.buf[0] != p {
+			nw.err = fmt.Errorf("netsim: buffer head mismatch on channel %d", fromBuf.id)
+			return
+		}
+		fromBuf.buf = fromBuf.buf[1:]
+		fromBuf.credits++
+		nw.creditReturn(fromBuf)
+		nw.requestForward(fromBuf)
+	}
+	// The channel is free at this instant: re-arbitrate.
+	if nw.t.Node(ch.from).Kind == topo.Host {
+		nw.kickHost(nw.hosts[nw.t.Node(ch.from).Index])
+	} else {
+		nw.tryForward(ch)
+	}
+}
+
+// creditReturn wakes the transmitter feeding channel ch.
+func (nw *Network) creditReturn(ch *channel) {
+	from := nw.t.Node(ch.from)
+	if from.Kind == topo.Host {
+		nw.kickHost(nw.hosts[from.Index])
+	} else {
+		nw.tryForward(ch)
+	}
+}
+
+// advanceReady moves the host's ready frontier over completed stages
+// and re-kicks its injection queue.
+func (nw *Network) advanceReady(h *hostState) {
+	moved := false
+	for h.readyStage < len(h.sendLeft) && h.stageComplete(h.readyStage) {
+		h.readyStage++
+		moved = true
+	}
+	if moved {
+		nw.kickHost(h)
+	}
+}
+
+// deliver completes a packet at its destination host.
+func (nw *Network) deliver(p *packet, ch *channel) {
+	m := p.msg
+	if p.seq != m.recvPkts {
+		nw.stats.OutOfOrderPackets++
+	}
+	m.recvPkts++
+	nw.stats.BytesDelivered += p.size
+	if m.recvPkts == m.packets {
+		nw.stats.MessagesDelivered++
+		nw.remaining--
+		if nw.hosts[m.Dst].dependent {
+			dh := nw.hosts[m.Dst]
+			dh.recvLeft[m.stage]--
+			nw.advanceReady(dh)
+		}
+		lat := nw.sched.Now() - m.startedAt
+		if nw.cfg.FlowLog != nil {
+			fmt.Fprintf(nw.cfg.FlowLog, "%d,%d,%d,%d,%d,%d\n",
+				m.Src, m.Dst, m.Bytes, m.startedAt, nw.sched.Now(), lat)
+		}
+		if nw.cfg.KeepLatencies {
+			nw.stats.Latencies = append(nw.stats.Latencies, lat)
+		}
+		nw.stats.LatencySum += lat
+		if lat < nw.stats.LatencyMin {
+			nw.stats.LatencyMin = lat
+		}
+		if lat > nw.stats.LatencyMax {
+			nw.stats.LatencyMax = lat
+		}
+	}
+	_ = ch
+}

@@ -1,0 +1,72 @@
+package route
+
+import (
+	"math/rand"
+	"sync"
+
+	"fattree/internal/topo"
+)
+
+// Adaptive approximates an adaptive-routing fabric: every Walk of the
+// same source-destination pair may climb through a different random
+// up-path (the down-path is still forced by the destination). This is
+// the alternative the paper's introduction argues against: it reacts to
+// congestion only after it forms, and because consecutive packets of a
+// flow take different paths, packets arrive out of order — which
+// InfiniBand's Reliable Connected transport cannot tolerate. The
+// simulator counts those out-of-order arrivals.
+//
+// Walk draws from the router's internal RNG, so two Walks of the same
+// pair differ; use a fixed seed for reproducible experiments.
+type Adaptive struct {
+	T *topo.Topology
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewAdaptive builds the randomized router.
+func NewAdaptive(t *topo.Topology, seed int64) *Adaptive {
+	return &Adaptive{T: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Topology implements Router.
+func (a *Adaptive) Topology() *topo.Topology { return a.T }
+
+// Label implements Router.
+func (a *Adaptive) Label() string { return "adaptive-random" }
+
+// Walk implements Router: random alive up-port at each climb step, then
+// the destination-digit down-path using the parallel copy drawn at the
+// top.
+func (a *Adaptive) Walk(src, dst int, visit func(link topo.LinkID, up bool)) error {
+	t := a.T
+	g := t.Spec
+	if src == dst {
+		return nil
+	}
+	top := g.LCALevel(src, dst)
+	cur := t.Host(src)
+	a.mu.Lock()
+	picks := make([]int, top)
+	for l := 0; l < top; l++ {
+		picks[l] = a.rng.Int()
+	}
+	a.mu.Unlock()
+	for l := 0; l < top; l++ {
+		q := picks[l] % len(cur.Up)
+		pid := cur.Up[q]
+		visit(t.Ports[pid].Link, true)
+		cur = t.Node(t.PeerNode(pid))
+	}
+	for l := top; l >= 1; l-- {
+		aDigit := (dst / g.MProd(l-1)) % g.Mi(l)
+		// Any parallel copy reaches the child; reuse the climb draw for
+		// the level to stay within the RNG budget.
+		k := picks[l-1] % g.Pi(l)
+		pid := cur.Down[aDigit+k*g.Mi(l)]
+		visit(t.Ports[pid].Link, false)
+		cur = t.Node(t.PeerNode(pid))
+	}
+	return nil
+}

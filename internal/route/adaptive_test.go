@@ -1,0 +1,80 @@
+package route
+
+import (
+	"testing"
+
+	"fattree/internal/topo"
+)
+
+func TestAdaptiveDelivers(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	a := NewAdaptive(tp, 1)
+	n := tp.NumHosts()
+	for src := 0; src < n; src += 5 {
+		for dst := 0; dst < n; dst += 7 {
+			if src == dst {
+				continue
+			}
+			hops := 0
+			last := topo.NodeID(tp.HostID(src))
+			err := a.Walk(src, dst, func(l topo.LinkID, up bool) {
+				hops++
+				lk := &tp.Links[l]
+				if up {
+					if tp.Ports[lk.Lower].Node != last {
+						t.Fatalf("%d->%d: discontinuous path", src, dst)
+					}
+					last = tp.Ports[lk.Upper].Node
+				} else {
+					if tp.Ports[lk.Upper].Node != last {
+						t.Fatalf("%d->%d: discontinuous path", src, dst)
+					}
+					last = tp.Ports[lk.Lower].Node
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last != tp.HostID(dst) {
+				t.Fatalf("%d->%d landed on node %d", src, dst, last)
+			}
+			if want := 2 * tp.Spec.LCALevel(src, dst); hops != want {
+				t.Fatalf("%d->%d: %d hops, want minimal %d", src, dst, hops, want)
+			}
+		}
+	}
+}
+
+func TestAdaptiveVariesPaths(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	a := NewAdaptive(tp, 2)
+	paths := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		key := ""
+		err := a.Walk(0, 323, func(l topo.LinkID, up bool) {
+			key += string(rune(l)) + ","
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[key] = true
+	}
+	if len(paths) < 2 {
+		t.Errorf("adaptive router produced %d distinct paths in 20 walks", len(paths))
+	}
+}
+
+func TestAdaptiveSelfFlow(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	a := NewAdaptive(tp, 3)
+	called := false
+	if err := a.Walk(4, 4, func(topo.LinkID, bool) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("self flow visited links")
+	}
+	if a.Label() != "adaptive-random" || a.Topology() != tp {
+		t.Error("router metadata wrong")
+	}
+}

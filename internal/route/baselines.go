@@ -1,0 +1,73 @@
+package route
+
+import (
+	"math/rand"
+
+	"fattree/internal/topo"
+)
+
+// MinHopRandom builds minimal-hop forwarding tables with uniformly random
+// port choices: a valid but oblivious routing, representative of a subnet
+// manager that balances nothing. Down-going entries keep the mandatory
+// child digit but pick a random parallel copy, up-going entries pick any
+// up port. Deterministic for a given seed.
+func MinHopRandom(t *topo.Topology, seed int64) *LFT {
+	r := rand.New(rand.NewSource(seed))
+	f := NewLFT(t, "minhop-random")
+	g := t.Spec
+	n := t.NumHosts()
+	for id := range t.Nodes {
+		node := &t.Nodes[id]
+		l := node.Level
+		for j := 0; j < n; j++ {
+			switch {
+			case node.Kind == topo.Host:
+				if node.Index == j {
+					continue
+				}
+				f.Out[id][j] = node.Up[r.Intn(len(node.Up))]
+			case t.IsDescendantHost(node, j):
+				a := g.HostDigit(j, l)
+				k := r.Intn(g.Pi(l))
+				f.Out[id][j] = node.Down[a+k*g.Mi(l)]
+			default:
+				f.Out[id][j] = node.Up[r.Intn(len(node.Up))]
+			}
+		}
+	}
+	return f
+}
+
+// DModKNaive is the broken variant of D-Mod-K that skips the division by
+// prod(w_i): every level spreads by the raw destination index,
+//
+//	q = j mod (w_{l+1} * p_{l+1})
+//
+// which re-correlates flows above the leaves (all destinations passing a
+// level-2 switch already share j mod w_2, so they pile onto few ports).
+// Kept as an ablation baseline demonstrating why equation (1) divides.
+func DModKNaive(t *topo.Topology) *LFT {
+	f := NewLFT(t, "d-mod-k-naive")
+	g := t.Spec
+	n := t.NumHosts()
+	for id := range t.Nodes {
+		node := &t.Nodes[id]
+		l := node.Level
+		for j := 0; j < n; j++ {
+			switch {
+			case node.Kind == topo.Host:
+				if node.Index == j {
+					continue
+				}
+				f.Out[id][j] = node.Up[j%(g.Wi(1)*g.Pi(1))]
+			case t.IsDescendantHost(node, j):
+				a := g.HostDigit(j, l)
+				k := (j % (g.Wi(l) * g.Pi(l))) / g.Wi(l)
+				f.Out[id][j] = node.Down[a+k*g.Mi(l)]
+			default:
+				f.Out[id][j] = node.Up[j%(g.Wi(l+1)*g.Pi(l+1))]
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,124 @@
+package route
+
+import (
+	"fmt"
+
+	"fattree/internal/topo"
+)
+
+// Verify checks that the tables deliver every source-destination pair over
+// an up*/down* path of the minimal length 2*LCALevel. pairs limits the
+// number of (src,dst) combinations checked per source (0 = all); sources
+// are always all checked.
+func Verify(f *LFT, pairsPerSrc int) error {
+	t := f.T
+	n := t.NumHosts()
+	for src := 0; src < n; src++ {
+		step := 1
+		if pairsPerSrc > 0 && n > pairsPerSrc {
+			step = n / pairsPerSrc
+		}
+		for dst := 0; dst < n; dst += step {
+			if dst == src {
+				continue
+			}
+			if err := VerifyPath(f, src, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyPath checks a single pair: delivery, up*/down* shape, minimality.
+func VerifyPath(f *LFT, src, dst int) error {
+	hops, err := f.Trace(src, dst)
+	if err != nil {
+		return err
+	}
+	descending := false
+	for i, h := range hops {
+		if h.Up && descending {
+			return fmt.Errorf("route: %s: %d->%d climbs after descending at hop %d", f.Name, src, dst, i)
+		}
+		if !h.Up {
+			descending = true
+		}
+	}
+	if want := 2 * f.T.Spec.LCALevel(src, dst); len(hops) != want {
+		return fmt.Errorf("route: %s: %d->%d takes %d hops, want minimal %d", f.Name, src, dst, len(hops), want)
+	}
+	return nil
+}
+
+// DownPortConflicts counts Theorem 2 violations: for every switch down
+// port it tallies how many distinct destinations are ever routed *through*
+// that port (over all-to-all traffic) and returns the number of ports
+// carrying more than one destination. D-Mod-K on a complete RLFT must
+// return 0.
+func DownPortConflicts(f *LFT) (int, error) {
+	t := f.T
+	n := t.NumHosts()
+	// destOn[port] = first destination seen on this down port, or -1.
+	destOn := make([]int, len(t.Ports))
+	for i := range destOn {
+		destOn[i] = -1
+	}
+	conflicts := make(map[topo.PortID]bool)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			cur := t.HostID(src)
+			for {
+				node := t.Node(cur)
+				if node.Kind == topo.Host && node.Index == dst {
+					break
+				}
+				out := f.Out[cur][dst]
+				if out == topo.None {
+					return 0, fmt.Errorf("route: %s: no entry for dst %d at %v", f.Name, dst, node)
+				}
+				if t.Ports[out].Dir == topo.Down {
+					switch destOn[out] {
+					case -1:
+						destOn[out] = dst
+					case dst:
+					default:
+						conflicts[out] = true
+					}
+				}
+				cur = t.PeerNode(out)
+			}
+		}
+	}
+	return len(conflicts), nil
+}
+
+// TopSwitchOf returns the index (within the top level) of the single
+// root switch that carries all traffic towards dst, per Lemma 5, by
+// walking up from host 0 (any non-descendant source reaches the same
+// root). Returns an error if dst shares a leaf with host 0 and never
+// reaches the top (use another probe source in that case).
+func TopSwitchOf(f *LFT, probe, dst int) (int, error) {
+	t := f.T
+	cur := t.HostID(probe)
+	for {
+		node := t.Node(cur)
+		if node.Level == t.Spec.H {
+			return node.Index, nil
+		}
+		if node.Kind == topo.Host && node.Index == dst {
+			return 0, fmt.Errorf("route: %s: path %d->%d never reaches the top", f.Name, probe, dst)
+		}
+		out := f.Out[cur][dst]
+		if out == topo.None {
+			return 0, fmt.Errorf("route: %s: no entry for dst %d at %v", f.Name, dst, node)
+		}
+		if t.Ports[out].Dir == topo.Down && node.Level < t.Spec.H {
+			return 0, fmt.Errorf("route: %s: path %d->%d turns down at level %d", f.Name, probe, dst, node.Level)
+		}
+		cur = t.PeerNode(out)
+	}
+}

@@ -1,0 +1,114 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"fattree/internal/topo"
+)
+
+// DModK builds the D-Mod-K forwarding tables of equation (1) for a fully
+// populated tree: at a level-l node, traffic towards a non-descendant
+// destination j leaves through up port
+//
+//	q = floor(j / prod_{i<=l} w_i) mod (w_{l+1} * p_{l+1})
+//
+// and traffic towards a descendant j leaves through the down port selected
+// by j's child digit at that level, on the parallel copy the up-going rule
+// would have used one level below — which makes the down path to every
+// destination unique (Theorem 2).
+func DModK(t *topo.Topology) *LFT {
+	return dModK(t, nil, "d-mod-k")
+}
+
+// DModKActive builds the rank-compacted D-Mod-K tables for a partially
+// populated tree running a job on the given active end-ports (ascending
+// order not required; duplicates are rejected by Validate-time panics).
+// The spreading index of destination j is its rank among the active hosts
+// rather than its raw index, which is how the production subnet-manager
+// variant ("enhanced to handle real-life fat-trees") keeps the cyclic
+// up-port assignment gap-free when hosts are missing. Inactive
+// destinations still get consistent entries (routed by the same rule).
+func DModKActive(t *topo.Topology, active []int) *LFT {
+	rank := activeRanks(t.NumHosts(), active)
+	return dModK(t, rank, fmt.Sprintf("d-mod-k[%d active]", len(active)))
+}
+
+// activeRanks maps each host index to its rank among the sorted active
+// set; inactive hosts get the rank they would have if inserted (count of
+// active hosts below them), keeping the rule monotone.
+func activeRanks(n int, active []int) []int {
+	as := append([]int(nil), active...)
+	sort.Ints(as)
+	for i := 1; i < len(as); i++ {
+		if as[i] == as[i-1] {
+			panic(fmt.Sprintf("route: duplicate active host %d", as[i]))
+		}
+	}
+	if len(as) > 0 && (as[0] < 0 || as[len(as)-1] >= n) {
+		panic(fmt.Sprintf("route: active host out of range [0,%d)", n))
+	}
+	rank := make([]int, n)
+	k := 0
+	for j := 0; j < n; j++ {
+		if k < len(as) && as[k] == j {
+			rank[j] = k
+			k++
+		} else {
+			rank[j] = k
+		}
+	}
+	return rank
+}
+
+func dModK(t *topo.Topology, rank []int, name string) *LFT {
+	f := NewLFT(t, name)
+	g := t.Spec
+	n := t.NumHosts()
+	rnk := func(j int) int {
+		if rank == nil {
+			return j
+		}
+		return rank[j]
+	}
+	// Precompute prod w and prod m per level.
+	wprod := make([]int, g.H+1)
+	mprod := make([]int, g.H+1)
+	wprod[0], mprod[0] = 1, 1
+	for l := 1; l <= g.H; l++ {
+		wprod[l] = wprod[l-1] * g.Wi(l)
+		mprod[l] = mprod[l-1] * g.Mi(l)
+	}
+	for id := range t.Nodes {
+		node := &t.Nodes[id]
+		l := node.Level
+		for j := 0; j < n; j++ {
+			if node.Kind == topo.Host {
+				if node.Index == j {
+					continue // delivered
+				}
+				q := rnk(j) % (g.Wi(1) * g.Pi(1)) // w1*p1 == 1 on RLFTs
+				f.Out[id][j] = node.Up[q]
+				continue
+			}
+			if t.IsDescendantHost(node, j) {
+				// Down: child digit at this level plus the
+				// parallel copy the level-(l-1) up rule uses.
+				a := (j / mprod[l-1]) % g.Mi(l)
+				k := (rnk(j) / wprod[l-1]) % (g.Wi(l) * g.Pi(l)) / g.Wi(l)
+				f.Out[id][j] = node.Down[a+k*g.Mi(l)]
+				continue
+			}
+			// Up: equation (1).
+			q := (rnk(j) / wprod[l]) % (g.Wi(l+1) * g.Pi(l+1))
+			f.Out[id][j] = node.Up[q]
+		}
+	}
+	return f
+}
+
+// UpPortOf exposes the closed-form up-port rule for a level-l node and
+// destination index j on spec g (used by tests against the built tables).
+func UpPortOf(g topo.PGFT, l, j int) int {
+	return (j / g.WProd(l)) % (g.Wi(l+1) * g.Pi(l+1))
+}

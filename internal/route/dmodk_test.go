@@ -1,0 +1,322 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/topo"
+)
+
+func TestDModKDelivers(t *testing.T) {
+	for _, g := range []topo.PGFT{
+		topo.Cluster128,
+		topo.Cluster324,
+		topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}),
+		topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2}),
+	} {
+		tp := topo.MustBuild(g)
+		f := DModK(tp)
+		if err := Verify(f, 0); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestDModKDelivers1944Sampled(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster1944)
+	f := DModK(tp)
+	if err := Verify(f, 64); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDModKMatchesClosedForm(t *testing.T) {
+	g := topo.Cluster324
+	tp := topo.MustBuild(g)
+	f := DModK(tp)
+	// At every leaf, for every non-descendant destination, the chosen up
+	// port must equal equation (1).
+	for _, lid := range tp.ByLevel[1] {
+		leaf := tp.Node(lid)
+		for j := 0; j < tp.NumHosts(); j++ {
+			if tp.IsDescendantHost(leaf, j) {
+				continue
+			}
+			out := f.Out[lid][j]
+			got := tp.Ports[out].Num
+			if tp.Ports[out].Dir != topo.Up {
+				t.Fatalf("leaf %v dst %d: entry is not an up port", leaf, j)
+			}
+			if want := UpPortOf(g, 1, j); got != want {
+				t.Fatalf("leaf %v dst %d: up port %d, want %d", leaf, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDModKDownPortUniqueness(t *testing.T) {
+	// Theorem 2: over all-to-all traffic no down port carries more than
+	// one destination on a complete RLFT.
+	for _, g := range []topo.PGFT{
+		topo.Cluster128,
+		topo.Cluster324,
+		topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2}),
+	} {
+		tp := topo.MustBuild(g)
+		f := DModK(tp)
+		c, err := DownPortConflicts(f)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if c != 0 {
+			t.Errorf("%v: %d down ports carry multiple destinations, want 0", g, c)
+		}
+	}
+}
+
+func TestDModKLemma5SingleRootPerDest(t *testing.T) {
+	// Lemma 5: all sources send traffic for a destination through the
+	// same top-level switch.
+	tp := topo.MustBuild(topo.Cluster324)
+	f := DModK(tp)
+	n := tp.NumHosts()
+	for dst := 0; dst < n; dst += 7 {
+		want := -1
+		for probe := 0; probe < n; probe += 13 {
+			if tp.Spec.LCALevel(probe, dst) != tp.Spec.H {
+				continue // path would not reach the top
+			}
+			got, err := TopSwitchOf(f, probe, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == -1 {
+				want = got
+			} else if got != want {
+				t.Fatalf("dst %d reached via roots %d and %d", dst, want, got)
+			}
+		}
+	}
+}
+
+func TestDModKRootLoadBalanced(t *testing.T) {
+	// Lemma 6 corollary: each root switch serves at most
+	// ceil(N / numRoots) destinations; on a complete RLFT exactly
+	// N / numRoots.
+	tp := topo.MustBuild(topo.Cluster1728)
+	f := DModK(tp)
+	n := tp.NumHosts()
+	roots := len(tp.ByLevel[tp.Spec.H])
+	counts := make([]int, roots)
+	for dst := 0; dst < n; dst++ {
+		// Probe from a host in a different top-level subtree.
+		probe := (dst + n/2) % n
+		if tp.Spec.LCALevel(probe, dst) != tp.Spec.H {
+			t.Fatalf("bad probe choice for dst %d", dst)
+		}
+		r, err := TopSwitchOf(f, probe, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[r]++
+	}
+	want := n / roots
+	for r, c := range counts {
+		if c != want {
+			t.Errorf("root %d serves %d destinations, want %d", r, c, want)
+		}
+	}
+}
+
+func TestDModKActiveDelivers(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	r := rand.New(rand.NewSource(42))
+	active := r.Perm(tp.NumHosts())[:300]
+	f := DModKActive(tp, active)
+	if err := Verify(f, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDModKActiveFullEqualsDModK(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	all := make([]int, tp.NumHosts())
+	for i := range all {
+		all[i] = i
+	}
+	a := DModKActive(tp, all)
+	b := DModK(tp)
+	for id := range tp.Nodes {
+		for j := 0; j < tp.NumHosts(); j++ {
+			if a.Out[id][j] != b.Out[id][j] {
+				t.Fatalf("node %d dst %d: active-all %d != full %d", id, j, a.Out[id][j], b.Out[id][j])
+			}
+		}
+	}
+}
+
+func TestActiveRanks(t *testing.T) {
+	r := activeRanks(8, []int{1, 4, 5})
+	want := []int{0, 0, 1, 1, 1, 2, 3, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("activeRanks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestActiveRanksPanics(t *testing.T) {
+	for _, bad := range [][]int{{1, 1}, {-1}, {8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("activeRanks(8, %v) did not panic", bad)
+				}
+			}()
+			activeRanks(8, bad)
+		}()
+	}
+}
+
+func TestMinHopRandomDelivers(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	f := MinHopRandom(tp, 1)
+	if err := Verify(f, 0); err != nil {
+		t.Error(err)
+	}
+	// Deterministic per seed.
+	f2 := MinHopRandom(tp, 1)
+	f3 := MinHopRandom(tp, 2)
+	same, diff := true, false
+	for id := range tp.Nodes {
+		for j := 0; j < tp.NumHosts(); j++ {
+			if f.Out[id][j] != f2.Out[id][j] {
+				same = false
+			}
+			if f.Out[id][j] != f3.Out[id][j] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different tables")
+	}
+	if !diff {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestDModKNaiveDeliversButConflicts(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2}))
+	f := DModKNaive(tp)
+	if err := Verify(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DownPortConflicts(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == 0 {
+		t.Error("naive variant shows no down-port conflicts; expected it to be worse than d-mod-k")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	f := DModK(tp)
+	// Dead end: erase an entry on the path 0 -> 127.
+	leaf := tp.LeafOf(0)
+	f.Out[leaf.ID][127] = topo.None
+	if _, err := f.Trace(0, 127); err == nil {
+		t.Error("trace across erased entry should fail")
+	}
+	// Loop: bounce between host 0 and its leaf.
+	f2 := DModK(tp)
+	f2.Out[leaf.ID][127] = leaf.Down[0] // back to host 0
+	if _, err := f2.Trace(0, 127); err == nil {
+		t.Error("forwarding loop should be detected")
+	}
+}
+
+func TestWalkMatchesTrace(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	f := DModK(tp)
+	for _, pair := range [][2]int{{0, 323}, {17, 18}, {100, 200}, {5, 4}} {
+		hops, err := f.Trace(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var walked []Hop
+		err = f.Walk(pair[0], pair[1], func(l topo.LinkID, up bool) {
+			walked = append(walked, Hop{Link: l, Up: up})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(walked) != len(hops) {
+			t.Fatalf("walk %v: %d hops, trace %d", pair, len(walked), len(hops))
+		}
+		for i := range hops {
+			if hops[i] != walked[i] {
+				t.Fatalf("walk %v hop %d: %v != %v", pair, i, walked[i], hops[i])
+			}
+		}
+	}
+}
+
+func TestDModKActiveDownPortUniquenessOverActivePairs(t *testing.T) {
+	// Theorem 2's analogue for partial trees: over all-to-all traffic
+	// among the active hosts, no down port carries two destinations
+	// when the removal respects the allocation granule.
+	tp := topo.MustBuild(topo.Cluster128) // granule 8
+	r := rand.New(rand.NewSource(31))
+	perm := r.Perm(tp.NumHosts())
+	active := append([]int(nil), perm[8:]...) // drop one granule
+	f := DModKActive(tp, active)
+
+	destOn := make(map[topo.PortID]int)
+	for _, src := range active {
+		for _, dst := range active {
+			if src == dst {
+				continue
+			}
+			err := f.Walk(src, dst, func(l topo.LinkID, up bool) {
+				if up {
+					return
+				}
+				port := tp.Links[l].Upper
+				if prev, ok := destOn[port]; ok && prev != dst {
+					t.Fatalf("down port %d carries destinations %d and %d", port, prev, dst)
+				}
+				destOn[port] = dst
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestUpPortOfMatchesTablesQuick(t *testing.T) {
+	// Property: for random (switch level, destination) samples on the
+	// 1728-node cluster, the built tables agree with the closed form.
+	tp := topo.MustBuild(topo.Cluster1728)
+	g := tp.Spec
+	f := DModK(tp)
+	check := func(raw uint32) bool {
+		l := 1 + int(raw>>16)%(g.H-1) // levels 1..H-1 have up ports
+		idx := int(raw>>8) % g.NumSwitches(l)
+		j := int(raw) % tp.NumHosts()
+		sw := tp.SwitchAt(l, idx)
+		if tp.IsDescendantHost(sw, j) {
+			return true // down entries are covered elsewhere
+		}
+		out := f.Out[sw.ID][j]
+		port := tp.Ports[out]
+		return port.Dir == topo.Up && port.Num == UpPortOf(g, l, j)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package route implements deterministic destination-based routing for
+// PGFT/RLFT fat-trees, centered on the D-Mod-K routing of Section V of the
+// paper (equation 1), plus baseline routings used for comparison and
+// validation helpers.
+//
+// Routing is materialized as linear forwarding tables (LFTs), exactly like
+// an InfiniBand subnet manager would program switches: for every switch and
+// every destination end-port the table names the output port. Traffic
+// climbs the tree until it reaches an ancestor of the destination and then
+// descends; D-Mod-K chooses *which* ancestor by spreading destinations
+// cyclically over up-going ports.
+package route
+
+import (
+	"fmt"
+
+	"fattree/internal/topo"
+)
+
+// Router is anything that can walk the hops of a source-destination flow
+// on a topology. Destination-based linear forwarding tables (LFT) are the
+// canonical implementation — the only one InfiniBand switches can be
+// programmed with — but source-based schemes like S-Mod-K implement it
+// too, which lets the analysis and simulation layers compare them.
+type Router interface {
+	// Topology returns the fabric the router is bound to.
+	Topology() *topo.Topology
+	// Label names the routing scheme for reports.
+	Label() string
+	// Walk visits every hop of the src->dst flow in order.
+	Walk(src, dst int, visit func(link topo.LinkID, up bool)) error
+}
+
+// LFT is a set of per-node linear forwarding tables. Out[node][dst] is the
+// port (a PortID on that node) that traffic for destination end-port dst
+// leaves through. Host nodes also carry a table (their single up port) so
+// that tracing can start uniformly.
+type LFT struct {
+	T    *topo.Topology
+	Name string
+	Out  [][]topo.PortID
+}
+
+// Topology implements Router.
+func (f *LFT) Topology() *topo.Topology { return f.T }
+
+// Label implements Router.
+func (f *LFT) Label() string { return f.Name }
+
+// NewLFT allocates an empty table set for t (all entries topo.None).
+func NewLFT(t *topo.Topology, name string) *LFT {
+	n := t.NumHosts()
+	out := make([][]topo.PortID, len(t.Nodes))
+	for i := range out {
+		out[i] = make([]topo.PortID, n)
+		for j := range out[i] {
+			out[i][j] = topo.None
+		}
+	}
+	return &LFT{T: t, Name: name, Out: out}
+}
+
+// OutPort returns the forwarding entry for dst at node id.
+func (f *LFT) OutPort(id topo.NodeID, dst int) topo.PortID {
+	return f.Out[id][dst]
+}
+
+// Hop is one link traversal of a traced path.
+type Hop struct {
+	Link topo.LinkID
+	Up   bool // true when traversed from the lower to the upper node
+}
+
+// Trace follows the forwarding tables from src to dst and returns the
+// traversed hops. It fails on dead ends and forwarding loops.
+func (f *LFT) Trace(src, dst int) ([]Hop, error) {
+	var hops []Hop
+	t := f.T
+	cur := t.HostID(src)
+	limit := 2*t.Spec.H + 2
+	for steps := 0; ; steps++ {
+		n := t.Node(cur)
+		if n.Kind == topo.Host && n.Index == dst {
+			return hops, nil
+		}
+		if steps >= limit {
+			return nil, fmt.Errorf("route: %s: loop routing %d->%d (hops %v)", f.Name, src, dst, hops)
+		}
+		out := f.Out[cur][dst]
+		if out == topo.None {
+			return nil, fmt.Errorf("route: %s: no entry for dst %d at %v", f.Name, dst, n)
+		}
+		p := &t.Ports[out]
+		if p.Node != cur {
+			return nil, fmt.Errorf("route: %s: entry for dst %d at %v names foreign port", f.Name, dst, n)
+		}
+		hops = append(hops, Hop{Link: p.Link, Up: p.Dir == topo.Up})
+		cur = t.PeerNode(out)
+	}
+}
+
+// Walk is a zero-allocation Trace for hot loops: visit is called once per
+// hop. It returns an error under the same conditions as Trace.
+func (f *LFT) Walk(src, dst int, visit func(link topo.LinkID, up bool)) error {
+	t := f.T
+	cur := t.HostID(src)
+	limit := 2*t.Spec.H + 2
+	for steps := 0; ; steps++ {
+		n := t.Node(cur)
+		if n.Kind == topo.Host && n.Index == dst {
+			return nil
+		}
+		if steps >= limit {
+			return fmt.Errorf("route: %s: loop routing %d->%d", f.Name, src, dst)
+		}
+		out := f.Out[cur][dst]
+		if out == topo.None {
+			return fmt.Errorf("route: %s: no entry for dst %d at %v", f.Name, dst, n)
+		}
+		p := &t.Ports[out]
+		visit(p.Link, p.Dir == topo.Up)
+		cur = t.PeerNode(out)
+	}
+}
+
+// NextNode returns the node reached from id when forwarding towards dst.
+func (f *LFT) NextNode(id topo.NodeID, dst int) (topo.NodeID, error) {
+	out := f.Out[id][dst]
+	if out == topo.None {
+		return 0, fmt.Errorf("route: %s: no entry for dst %d at node %d", f.Name, dst, id)
+	}
+	return f.T.PeerNode(out), nil
+}

@@ -1,0 +1,210 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkWiring verifies the structural invariants every built PGFT must
+// satisfy.
+func checkWiring(t *testing.T, tp *Topology) {
+	t.Helper()
+	g := tp.Spec
+	// Node counts per level.
+	if got := len(tp.ByLevel[0]); got != g.NumHosts() {
+		t.Errorf("%v: hosts = %d, want %d", g, got, g.NumHosts())
+	}
+	for l := 1; l <= g.H; l++ {
+		if got := len(tp.ByLevel[l]); got != g.NumSwitches(l) {
+			t.Errorf("%v: level %d switches = %d, want %d", g, l, got, g.NumSwitches(l))
+		}
+	}
+	// Port counts per node and full connectivity.
+	for i := range tp.Nodes {
+		n := &tp.Nodes[i]
+		if got := len(n.Up); got != g.UpPorts(n.Level) {
+			t.Errorf("%v: %v up ports = %d, want %d", g, n, got, g.UpPorts(n.Level))
+		}
+		wantDown := 0
+		if n.Level > 0 {
+			wantDown = g.DownPorts(n.Level)
+		}
+		if got := len(n.Down); got != wantDown {
+			t.Errorf("%v: %v down ports = %d, want %d", g, n, got, wantDown)
+		}
+	}
+	for i := range tp.Ports {
+		if tp.Ports[i].Link == None {
+			t.Errorf("%v: port %d unconnected", g, i)
+		}
+	}
+	// Links join adjacent levels, lower-up to upper-down, and each link
+	// is referenced by exactly its two ports.
+	refs := make(map[LinkID]int)
+	for i := range tp.Ports {
+		refs[tp.Ports[i].Link]++
+	}
+	for i := range tp.Links {
+		lk := &tp.Links[i]
+		lo := &tp.Ports[lk.Lower]
+		up := &tp.Ports[lk.Upper]
+		if lo.Dir != Up || up.Dir != Down {
+			t.Errorf("%v: link %d directions wrong", g, i)
+		}
+		ln := &tp.Nodes[lo.Node]
+		un := &tp.Nodes[up.Node]
+		if un.Level != ln.Level+1 {
+			t.Errorf("%v: link %d joins levels %d and %d", g, i, ln.Level, un.Level)
+		}
+		if refs[lk.ID] != 2 {
+			t.Errorf("%v: link %d referenced by %d ports, want 2", g, i, refs[lk.ID])
+		}
+	}
+	// The k-th parallel connection rule: up port q on node a reaches the
+	// parent whose digit at position l+1 is q mod w, on its down port
+	// a.Digits[l] + (q/w)*m.
+	for i := range tp.Nodes {
+		a := &tp.Nodes[i]
+		if a.Level == g.H {
+			continue
+		}
+		w := g.Wi(a.Level + 1)
+		m := g.Mi(a.Level + 1)
+		for q, pid := range a.Up {
+			peer := &tp.Ports[tp.PeerPort(pid)]
+			parent := &tp.Nodes[peer.Node]
+			if parent.Digits[a.Level] != q%w {
+				t.Fatalf("%v: %v up port %d reaches parent digit %d, want %d",
+					g, a, q, parent.Digits[a.Level], q%w)
+			}
+			wantR := a.Digits[a.Level] + (q/w)*m
+			if peer.Num != wantR {
+				t.Fatalf("%v: %v up port %d lands on down port %d, want %d",
+					g, a, q, peer.Num, wantR)
+			}
+			// All non-(l+1) digits must agree.
+			for d := 0; d < g.H; d++ {
+				if d == a.Level {
+					continue
+				}
+				if parent.Digits[d] != a.Digits[d] {
+					t.Fatalf("%v: %v connected to non-matching parent %v (digit %d)",
+						g, a, parent, d+1)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildFigure4b(t *testing.T) {
+	tp := MustBuild(MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+	checkWiring(t, tp)
+	if got := len(tp.Links); got != 16+16 {
+		t.Errorf("links = %d, want 32 (16 host + 16 fabric)", got)
+	}
+	// Each of the 2 spines must reach each leaf over exactly 2 parallel
+	// links.
+	for _, sid := range tp.ByLevel[2] {
+		sp := tp.Node(sid)
+		seen := make(map[NodeID]int)
+		for _, pid := range sp.Down {
+			seen[tp.PeerNode(pid)]++
+		}
+		if len(seen) != 4 {
+			t.Errorf("spine %v reaches %d leaves, want 4", sp, len(seen))
+		}
+		for leaf, c := range seen {
+			if c != 2 {
+				t.Errorf("spine %v reaches leaf %v over %d links, want 2", sp, tp.Node(leaf), c)
+			}
+		}
+	}
+}
+
+func TestBuildPaperClusters(t *testing.T) {
+	for _, g := range []PGFT{Cluster128, Cluster324, Cluster1728, Cluster1944} {
+		tp, err := Build(g)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", g, err)
+		}
+		checkWiring(t, tp)
+	}
+}
+
+func TestBuildSingleLevel(t *testing.T) {
+	// A single crossbar with 8 hosts.
+	tp := MustBuild(MustPGFT(1, []int{8}, []int{1}, []int{1}))
+	checkWiring(t, tp)
+	if len(tp.ByLevel[1]) != 1 {
+		t.Fatalf("want exactly one switch, got %d", len(tp.ByLevel[1]))
+	}
+	if got := len(tp.Links); got != 8 {
+		t.Errorf("links = %d, want 8", got)
+	}
+}
+
+// randomSpec draws a small random PGFT for property testing.
+func randomSpec(r *rand.Rand) PGFT {
+	h := 1 + r.Intn(3)
+	m := make([]int, h)
+	w := make([]int, h)
+	p := make([]int, h)
+	for i := 0; i < h; i++ {
+		m[i] = 1 + r.Intn(4)
+		w[i] = 1 + r.Intn(3)
+		p[i] = 1 + r.Intn(2)
+	}
+	w[0] = 1 // keep graphs small and host-uplink-like
+	return MustPGFT(h, m, w, p)
+}
+
+func TestBuildPropertyRandomSpecs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		g := randomSpec(r)
+		tp, err := Build(g)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", g, err)
+		}
+		checkWiring(t, tp)
+	}
+}
+
+func TestDigitsIndexRoundTripQuick(t *testing.T) {
+	tp := MustBuild(Cluster324)
+	f := func(raw uint16, lvl uint8) bool {
+		l := int(lvl) % (tp.Spec.H + 1)
+		idx := int(raw) % tp.levelCount(l)
+		d := tp.digitsOf(l, idx)
+		return tp.indexOf(l, d) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeIndexMatchesPosition(t *testing.T) {
+	tp := MustBuild(Cluster1728)
+	for l := 0; l <= tp.Spec.H; l++ {
+		for i, id := range tp.ByLevel[l] {
+			n := tp.Node(id)
+			if n.Index != i || n.Level != l {
+				t.Fatalf("node %v filed under level %d pos %d", n, l, i)
+			}
+		}
+	}
+}
+
+func TestHostLinearIndexIsMixedRadix(t *testing.T) {
+	tp := MustBuild(Cluster1944)
+	g := tp.Spec
+	for _, j := range []int{0, 1, 18, 19, 324, 1943} {
+		h := tp.Host(j)
+		for i := 1; i <= g.H; i++ {
+			if h.Digits[i-1] != g.HostDigit(j, i) {
+				t.Errorf("host %d digit %d = %d, want %d", j, i, h.Digits[i-1], g.HostDigit(j, i))
+			}
+		}
+	}
+}

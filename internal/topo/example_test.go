@@ -1,0 +1,50 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"fattree/internal/topo"
+)
+
+// Build the paper's 324-node cluster and inspect its shape.
+func ExampleBuild() {
+	t := topo.MustBuild(topo.Cluster324)
+	k, _ := t.Spec.IsRLFT()
+	fmt.Println(t.Spec)
+	fmt.Println("hosts:", t.NumHosts())
+	fmt.Println("leaves:", t.Spec.NumSwitches(1))
+	fmt.Println("spines:", t.Spec.NumSwitches(2))
+	fmt.Println("arity K:", k)
+	fmt.Println("allocation granule:", t.Spec.AllocationGranule())
+	// Output:
+	// PGFT(2;18,18;1,9;1,2)
+	// hosts: 324
+	// leaves: 18
+	// spines: 9
+	// arity K: 18
+	// allocation granule: 18
+}
+
+// Parse a command-line topology spec.
+func ExampleParseSpec() {
+	g, err := topo.ParseSpec("rlft3:18,6")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g, "=", g.NumHosts(), "hosts")
+	// Output:
+	// PGFT(3;18,18,6;1,18,3;1,1,6) = 1944 hosts
+}
+
+// Locate a host's leaf switch and the level where two hosts' paths must
+// meet.
+func ExamplePGFT_LCALevel() {
+	g := topo.Cluster1944
+	fmt.Println("same leaf:", g.LCALevel(0, 17))
+	fmt.Println("same level-2 subtree:", g.LCALevel(0, 323))
+	fmt.Println("across the top:", g.LCALevel(0, 324))
+	// Output:
+	// same leaf: 1
+	// same level-2 subtree: 2
+	// across the top: 3
+}

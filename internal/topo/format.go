@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a small, ibnetdiscover-flavoured description:
+//
+//	pgft h=2 m=18,18 w=1,9 p=1,2
+//	link L1:4/u7 L2:3/d22
+//	...
+//
+// The header line carries the canonical tuple; each link line names the
+// lower node ("L<level>:<index>" with its up port u<q>) and the upper node
+// (down port d<r>). Writing always emits the full link list; parsing
+// accepts a bare header (the links are reproducible from the spec) and, if
+// link lines are present, verifies them against the reconstructed wiring.
+
+// WriteTo serializes the topology.
+func (t *Topology) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "pgft h=%d m=%s w=%s p=%s\n",
+		t.Spec.H, intList(t.Spec.M), intList(t.Spec.W), intList(t.Spec.P))); err != nil {
+		return n, err
+	}
+	for i := range t.Links {
+		lk := &t.Links[i]
+		lo := &t.Ports[lk.Lower]
+		up := &t.Ports[lk.Upper]
+		ln := &t.Nodes[lo.Node]
+		un := &t.Nodes[up.Node]
+		if err := count(fmt.Fprintf(bw, "link L%d:%d/u%d L%d:%d/d%d\n",
+			ln.Level, ln.Index, lo.Num, un.Level, un.Index, up.Num)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Parse reads a topology description, rebuilds the graph from the header
+// tuple and verifies any link lines against the canonical wiring.
+func Parse(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var t *Topology
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "pgft":
+			if t != nil {
+				return nil, fmt.Errorf("topo: line %d: duplicate pgft header", lineNo)
+			}
+			spec, err := parseHeader(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", lineNo, err)
+			}
+			t, err = Build(spec)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", lineNo, err)
+			}
+		case "link":
+			if t == nil {
+				return nil, fmt.Errorf("topo: line %d: link before pgft header", lineNo)
+			}
+			if err := t.verifyLinkLine(fields[1:]); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("topo: missing pgft header")
+	}
+	return t, nil
+}
+
+func parseHeader(fields []string) (PGFT, error) {
+	var h int
+	var m, w, p []int
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return PGFT{}, fmt.Errorf("malformed header field %q", f)
+		}
+		switch k {
+		case "h":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return PGFT{}, fmt.Errorf("bad h: %v", err)
+			}
+			h = n
+		case "m", "w", "p":
+			vals, err := parseIntList(v)
+			if err != nil {
+				return PGFT{}, fmt.Errorf("bad %s: %v", k, err)
+			}
+			switch k {
+			case "m":
+				m = vals
+			case "w":
+				w = vals
+			case "p":
+				p = vals
+			}
+		default:
+			return PGFT{}, fmt.Errorf("unknown header field %q", k)
+		}
+	}
+	return NewPGFT(h, m, w, p)
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// verifyLinkLine checks one "L1:4/u7 L2:3/d22" pair against the built
+// wiring.
+func (t *Topology) verifyLinkLine(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("link wants 2 endpoints, got %d", len(fields))
+	}
+	loLevel, loIdx, loDir, loPort, err := parseEndpoint(fields[0])
+	if err != nil {
+		return err
+	}
+	upLevel, upIdx, upDir, upPort, err := parseEndpoint(fields[1])
+	if err != nil {
+		return err
+	}
+	if loDir != Up || upDir != Down {
+		return fmt.Errorf("link endpoints must be lower/u and upper/d")
+	}
+	if upLevel != loLevel+1 {
+		return fmt.Errorf("link levels must be adjacent, got %d and %d", loLevel, upLevel)
+	}
+	if loLevel < 0 || loLevel > t.Spec.H || loIdx < 0 || loIdx >= len(t.ByLevel[loLevel]) {
+		return fmt.Errorf("no node L%d:%d", loLevel, loIdx)
+	}
+	if upIdx < 0 || upIdx >= len(t.ByLevel[upLevel]) {
+		return fmt.Errorf("no node L%d:%d", upLevel, upIdx)
+	}
+	lo := &t.Nodes[t.ByLevel[loLevel][loIdx]]
+	up := &t.Nodes[t.ByLevel[upLevel][upIdx]]
+	if loPort >= len(lo.Up) {
+		return fmt.Errorf("node %v has no up port %d", lo, loPort)
+	}
+	if upPort >= len(up.Down) {
+		return fmt.Errorf("node %v has no down port %d", up, upPort)
+	}
+	lp := lo.Up[loPort]
+	if t.Ports[lp].Link == None {
+		return fmt.Errorf("port u%d of %v unconnected", loPort, lo)
+	}
+	peer := t.Ports[t.PeerPort(lp)]
+	if peer.Node != up.ID || peer.Num != upPort {
+		return fmt.Errorf("link mismatch: u%d of %v connects to d%d of %v, file says d%d of %v",
+			loPort, lo, peer.Num, &t.Nodes[peer.Node], upPort, up)
+	}
+	return nil
+}
+
+// parseEndpoint decodes "L1:4/u7".
+func parseEndpoint(s string) (level, idx int, dir Direction, port int, err error) {
+	if !strings.HasPrefix(s, "L") {
+		return 0, 0, 0, 0, fmt.Errorf("malformed endpoint %q", s)
+	}
+	rest := s[1:]
+	lvlStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("malformed endpoint %q", s)
+	}
+	idxStr, portStr, ok := strings.Cut(rest, "/")
+	if !ok || len(portStr) < 2 {
+		return 0, 0, 0, 0, fmt.Errorf("malformed endpoint %q", s)
+	}
+	level, err = strconv.Atoi(lvlStr)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("malformed level in %q: %v", s, err)
+	}
+	idx, err = strconv.Atoi(idxStr)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("malformed index in %q: %v", s, err)
+	}
+	switch portStr[0] {
+	case 'u':
+		dir = Up
+	case 'd':
+		dir = Down
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("malformed port in %q", s)
+	}
+	port, err = strconv.Atoi(portStr[1:])
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("malformed port in %q: %v", s, err)
+	}
+	return level, idx, dir, port, nil
+}

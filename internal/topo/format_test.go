@@ -1,0 +1,103 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, g := range []PGFT{
+		Cluster128,
+		Cluster324,
+		MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}),
+		MustPGFT(1, []int{8}, []int{1}, []int{1}),
+	} {
+		tp := MustBuild(g)
+		var buf bytes.Buffer
+		if _, err := tp.WriteTo(&buf); err != nil {
+			t.Fatalf("%v: WriteTo: %v", g, err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: Parse: %v", g, err)
+		}
+		if got.Spec.String() != g.String() {
+			t.Errorf("round trip spec %v != %v", got.Spec, g)
+		}
+		if len(got.Links) != len(tp.Links) {
+			t.Errorf("%v: round trip links %d != %d", g, len(got.Links), len(tp.Links))
+		}
+	}
+}
+
+func TestParseHeaderOnly(t *testing.T) {
+	tp, err := Parse(strings.NewReader("pgft h=2 m=4,4 w=1,2 p=1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts() != 16 {
+		t.Errorf("hosts = %d, want 16", tp.NumHosts())
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\npgft h=1 m=4 w=1 p=1\n# trailing\n"
+	tp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts() != 4 {
+		t.Errorf("hosts = %d, want 4", tp.NumHosts())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"unknown directive", "frob x\n"},
+		{"link before header", "link L0:0/u0 L1:0/d0\n"},
+		{"duplicate header", "pgft h=1 m=4 w=1 p=1\npgft h=1 m=4 w=1 p=1\n"},
+		{"bad h", "pgft h=x m=4 w=1 p=1\n"},
+		{"bad list", "pgft h=1 m=4,a w=1 p=1\n"},
+		{"missing equals", "pgft h1\n"},
+		{"unknown field", "pgft h=1 m=4 w=1 p=1 z=3\n"},
+		{"inconsistent lengths", "pgft h=2 m=4 w=1 p=1\n"},
+		{"bad link endpoint", "pgft h=1 m=4 w=1 p=1\nlink bogus L1:0/d0\n"},
+		{"link arity", "pgft h=1 m=4 w=1 p=1\nlink L0:0/u0\n"},
+		{"wrong link wiring", "pgft h=1 m=4 w=1 p=1\nlink L0:0/u0 L1:0/d1\n"},
+		{"link direction swap", "pgft h=1 m=4 w=1 p=1\nlink L0:0/d0 L1:0/u0\n"},
+		{"link out of range", "pgft h=1 m=4 w=1 p=1\nlink L0:9/u0 L1:0/d0\n"},
+		{"nonadjacent levels", "pgft h=2 m=4,4 w=1,2 p=1,2\nlink L0:0/u0 L2:0/d0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsOwnLinkLines(t *testing.T) {
+	tp := MustBuild(MustPGFT(2, []int{3, 2}, []int{1, 3}, []int{1, 1}))
+	var buf bytes.Buffer
+	if _, err := tp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Every emitted link line must verify.
+	if _, err := Parse(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("self round-trip failed: %v\n%s", err, buf.String())
+	}
+	// Corrupt one port number; parsing must fail.
+	s := buf.String()
+	bad := strings.Replace(s, "link L0:0/u0", "link L0:1/u0", 1)
+	if bad == s {
+		t.Fatal("test setup: pattern not found")
+	}
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("corrupted link accepted")
+	}
+}

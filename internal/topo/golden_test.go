@@ -1,0 +1,41 @@
+package topo
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenTopologyFile(t *testing.T) {
+	tp := MustBuild(MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+	var buf bytes.Buffer
+	if _, err := tp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fig4b.topo")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("topology serialization changed; run with -update if intentional")
+	}
+	// The golden file must parse back into the same spec.
+	got, err := Parse(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.String() != tp.Spec.String() {
+		t.Errorf("golden parses to %v, want %v", got.Spec, tp.Spec)
+	}
+}

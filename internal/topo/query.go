@@ -1,0 +1,143 @@
+package topo
+
+// HostDigit returns digit position i (1-based) of host index j in the m
+// mixed radix: a_i = (j / prod_{k<i} m_k) mod m_i.
+func (g PGFT) HostDigit(j, i int) int {
+	return (j / g.MProd(i-1)) % g.Mi(i)
+}
+
+// IsDescendantHost reports whether host j lies in the sub-tree under the
+// switch sw: all of j's m-radix digits above sw's level must match the
+// switch's digits.
+func (t *Topology) IsDescendantHost(sw *Node, j int) bool {
+	for i := sw.Level + 1; i <= t.Spec.H; i++ {
+		if t.Spec.HostDigit(j, i) != sw.Digits[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafOf returns the leaf switch (level 1) host j attaches to, assuming
+// the single-uplink RLFT restriction (w_1 == 1). With w_1 > 1 it returns
+// the parent with digit 0.
+func (t *Topology) LeafOf(j int) *Node {
+	h := t.Host(j)
+	up := t.Ports[h.Up[0]]
+	return &t.Nodes[t.Ports[t.PeerPort(up.ID)].Node]
+}
+
+// LCALevel returns the level of the lowest common ancestor sub-tree of
+// hosts a and b: the smallest l such that all digits above l agree (so
+// traffic between them must climb exactly to level l). Returns 0 when
+// a == b.
+func (g PGFT) LCALevel(a, b int) int {
+	if a == b {
+		return 0
+	}
+	l := g.H
+	for l > 1 {
+		// Check whether digits at positions l..H all agree; walking
+		// down from the top, the first disagreement pins the level.
+		if g.HostDigit(a, l) != g.HostDigit(b, l) {
+			return l
+		}
+		l--
+	}
+	return 1
+}
+
+// HostsUnder returns the host indices in the sub-tree below sw, in
+// ascending index order.
+func (t *Topology) HostsUnder(sw *Node) []int {
+	if sw.Kind == Host {
+		return []int{sw.Index}
+	}
+	below := t.Spec.MProd(sw.Level)
+	base := 0
+	mul := t.Spec.MProd(sw.Level)
+	for i := sw.Level + 1; i <= t.Spec.H; i++ {
+		base += sw.Digits[i-1] * mul
+		mul *= t.Spec.Mi(i)
+	}
+	hosts := make([]int, below)
+	for k := 0; k < below; k++ {
+		hosts[k] = base + k
+	}
+	return hosts
+}
+
+// ParentsOf returns the distinct parent node IDs of n (each reachable via
+// p_{l+1} parallel links), in parent digit order.
+func (t *Topology) ParentsOf(n *Node) []NodeID {
+	if n.Level >= t.Spec.H {
+		return nil
+	}
+	w := t.Spec.Wi(n.Level + 1)
+	out := make([]NodeID, 0, w)
+	seen := make(map[NodeID]bool, w)
+	for _, pid := range n.Up {
+		peer := t.Ports[t.PeerPort(pid)].Node
+		if !seen[peer] {
+			seen[peer] = true
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// ChildrenOf returns the distinct child node IDs of n, in child digit
+// order.
+func (t *Topology) ChildrenOf(n *Node) []NodeID {
+	if n.Level == 0 {
+		return nil
+	}
+	m := t.Spec.Mi(n.Level)
+	out := make([]NodeID, 0, m)
+	seen := make(map[NodeID]bool, m)
+	for _, pid := range n.Down {
+		peer := t.Ports[t.PeerPort(pid)].Node
+		if !seen[peer] {
+			seen[peer] = true
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// UpPortTo returns the up-going port numbers on n that reach the parent
+// with digit b at position level+1 (one per parallel link, ascending).
+func (t *Topology) UpPortTo(n *Node, parentDigit int) []int {
+	w := t.Spec.Wi(n.Level + 1)
+	p := t.Spec.Pi(n.Level + 1)
+	out := make([]int, 0, p)
+	for k := 0; k < p; k++ {
+		out = append(out, parentDigit+k*w)
+	}
+	return out
+}
+
+// Diameter returns the maximum hop count between two end-ports: up to
+// the roots and back down.
+func (g PGFT) Diameter() int { return 2 * g.H }
+
+// BisectionLinks returns the number of cables crossing into the top
+// level — on a constant-CBB tree this equals the host count, the
+// "full bisection" property marketing sheets quote.
+func (g PGFT) BisectionLinks() int {
+	if g.H < 2 {
+		return 0
+	}
+	return g.NumSwitches(g.H-1) * g.UpPorts(g.H-1)
+}
+
+// LinksAtLevel counts the cables joining levels l-1 and l.
+func (t *Topology) LinksAtLevel(l int) int {
+	n := 0
+	for i := range t.Links {
+		if t.Links[i].Level == l {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec turns a command-line topology description into a PGFT.
+// Accepted forms:
+//
+//	128 | 324 | 1728 | 1944          — the paper's named clusters
+//	pgft:h;m1,..,mh;w1,..,wh;p1,..,ph — explicit tuple
+//	rlft2:K,leaves                   — two-level RLFT builder
+//	rlft3:K,groups                   — three-level RLFT builder
+//	max:h,K                          — maximal h-level RLFT of 2K-port switches
+//	kary:k,n                         — k-ary-n-tree
+func ParseSpec(s string) (PGFT, error) {
+	switch s {
+	case "128":
+		return Cluster128, nil
+	case "324":
+		return Cluster324, nil
+	case "1728":
+		return Cluster1728, nil
+	case "1944":
+		return Cluster1944, nil
+	}
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return PGFT{}, fmt.Errorf("topo: unrecognized spec %q (try \"324\" or \"pgft:2;18,18;1,9;1,2\")", s)
+	}
+	switch kind {
+	case "pgft":
+		parts := strings.Split(rest, ";")
+		if len(parts) != 4 {
+			return PGFT{}, fmt.Errorf("topo: pgft spec wants h;m;w;p, got %q", rest)
+		}
+		h, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return PGFT{}, fmt.Errorf("topo: bad level count in %q: %v", s, err)
+		}
+		m, err := parseIntList(parts[1])
+		if err != nil {
+			return PGFT{}, fmt.Errorf("topo: bad m vector in %q: %v", s, err)
+		}
+		w, err := parseIntList(parts[2])
+		if err != nil {
+			return PGFT{}, fmt.Errorf("topo: bad w vector in %q: %v", s, err)
+		}
+		p, err := parseIntList(parts[3])
+		if err != nil {
+			return PGFT{}, fmt.Errorf("topo: bad p vector in %q: %v", s, err)
+		}
+		return NewPGFT(h, m, w, p)
+	case "rlft2", "rlft3", "max", "kary":
+		args, err := parseIntList(rest)
+		if err != nil || len(args) != 2 {
+			return PGFT{}, fmt.Errorf("topo: %s spec wants two integers, got %q", kind, rest)
+		}
+		switch kind {
+		case "rlft2":
+			return RLFT2(args[0], args[1])
+		case "rlft3":
+			return RLFT3(args[0], args[1])
+		case "max":
+			return MaximalRLFT(args[0], args[1])
+		default:
+			return KAryNTree(args[0], args[1])
+		}
+	default:
+		return PGFT{}, fmt.Errorf("topo: unknown spec kind %q", kind)
+	}
+}

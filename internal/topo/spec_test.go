@@ -1,0 +1,54 @@
+package topo
+
+import "testing"
+
+func TestParseSpecNamed(t *testing.T) {
+	for name, want := range map[string]PGFT{
+		"128": Cluster128, "324": Cluster324, "1728": Cluster1728, "1944": Cluster1944,
+	} {
+		got, err := ParseSpec(name)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", name, err)
+			continue
+		}
+		if got.String() != want.String() {
+			t.Errorf("ParseSpec(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseSpecForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"pgft:2;4,4;1,2;1,2", "PGFT(2;4,4;1,2;1,2)"},
+		{"rlft2:18,18", Cluster324.String()},
+		{"rlft3:18,6", Cluster1944.String()},
+		{"max:3,18", "PGFT(3;18,18,36;1,18,18;1,1,1)"},
+		{"kary:4,2", "PGFT(2;4,4;1,4;1,1)"},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("ParseSpec(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "bogus", "pgft:", "pgft:2;4,4;1,2", "pgft:x;4;1;1",
+		"pgft:1;a;1;1", "pgft:1;4;b;1", "pgft:1;4;1;c",
+		"rlft2:18", "rlft2:18,5", "rlft3:18,x", "max:0,4", "kary:0,1",
+		"frob:1,2", "pgft:2;4;1,2;1,2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (run with -update to refresh)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenDOT(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 2}, []int{1, 1}))
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, tp, DOTOptions{RankPerLevel: true}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4_small.dot", buf.Bytes())
+}
+
+func TestGoldenFigure1Listing(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+	lft := route.DModK(tp)
+	o := order.Topology(16, nil)
+	var pairs [][2]int
+	for r := 0; r < 16; r++ {
+		pairs = append(pairs, [2]int{o.HostOf[r], o.HostOf[(r+4)%16]})
+	}
+	var buf bytes.Buffer
+	if err := Figure1Style(&buf, lft, pairs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1_ordered.txt", buf.Bytes())
+}

@@ -1,0 +1,149 @@
+// Package viz renders fat-tree topologies and per-link load annotations:
+// Graphviz DOT output for offline drawing, and a compact ASCII rendering
+// of small trees in the style of the paper's Figure 1 (links labelled
+// with the destinations routed through them, hot links highlighted).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// DOTOptions tunes the Graphviz output.
+type DOTOptions struct {
+	// RankPerLevel groups nodes of each tree level on one rank.
+	RankPerLevel bool
+	// LinkLoads annotates links with flow counts (nil = no labels);
+	// indexed like hsd.Analyzer counters: per link, up and down.
+	UpLoads, DownLoads []int32
+	// HotThreshold colors links carrying at least this many flows
+	// (0 = disabled).
+	HotThreshold int
+}
+
+// WriteDOT emits the topology as a Graphviz graph.
+func WriteDOT(w io.Writer, t *topo.Topology, o DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph fattree {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	for l := 0; l <= t.Spec.H; l++ {
+		if o.RankPerLevel {
+			fmt.Fprintf(bw, "  { rank=same;")
+			for _, id := range t.ByLevel[l] {
+				fmt.Fprintf(bw, " %s;", dotName(t.Node(id)))
+			}
+			fmt.Fprintf(bw, " }\n")
+		}
+		for _, id := range t.ByLevel[l] {
+			n := t.Node(id)
+			shape := "box"
+			if n.Kind == topo.Host {
+				shape = "ellipse"
+			}
+			fmt.Fprintf(bw, "  %s [label=\"%s\", shape=%s];\n", dotName(n), dotLabel(n), shape)
+		}
+	}
+	for i := range t.Links {
+		lk := &t.Links[i]
+		lo := t.Node(t.Ports[lk.Lower].Node)
+		up := t.Node(t.Ports[lk.Upper].Node)
+		attrs := []string{}
+		if o.UpLoads != nil && o.DownLoads != nil {
+			attrs = append(attrs, fmt.Sprintf("label=\"%d/%d\"", o.UpLoads[i], o.DownLoads[i]))
+			if o.HotThreshold > 0 &&
+				(int(o.UpLoads[i]) >= o.HotThreshold || int(o.DownLoads[i]) >= o.HotThreshold) {
+				attrs = append(attrs, "color=red", "penwidth=2")
+			}
+		}
+		a := ""
+		if len(attrs) > 0 {
+			a = " [" + strings.Join(attrs, ", ") + "]"
+		}
+		fmt.Fprintf(bw, "  %s -- %s%s;\n", dotName(lo), dotName(up), a)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func dotName(n *topo.Node) string {
+	if n.Kind == topo.Host {
+		return fmt.Sprintf("h%d", n.Index)
+	}
+	return fmt.Sprintf("s%d_%d", n.Level, n.Index)
+}
+
+func dotLabel(n *topo.Node) string {
+	if n.Kind == topo.Host {
+		return fmt.Sprintf("H%d", n.Index)
+	}
+	return fmt.Sprintf("L%d:%d", n.Level, n.Index)
+}
+
+// Figure1Style renders a small 2-level tree the way the paper's Figure 1
+// does: one line per leaf switch listing, for every up-going port, the
+// destinations routed through it for the given traffic stage, with
+// multi-flow ports flagged as HOT.
+func Figure1Style(w io.Writer, lft *route.LFT, pairs [][2]int) error {
+	t := lft.T
+	if t.Spec.H != 2 {
+		return fmt.Errorf("viz: figure-1 rendering wants a 2-level tree, got %d levels", t.Spec.H)
+	}
+	// For every flow, find the leaf up-port it uses and record the
+	// destination.
+	type key struct {
+		leaf, port int
+	}
+	flows := make(map[key][]int)
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		if src == dst {
+			continue
+		}
+		err := lft.Walk(src, dst, func(l topo.LinkID, up bool) {
+			if !up {
+				return
+			}
+			lk := &t.Links[l]
+			lo := t.Node(t.Ports[lk.Lower].Node)
+			if lo.Kind != topo.Switch || lo.Level != 1 {
+				return
+			}
+			flows[key{lo.Index, t.Ports[lk.Lower].Num}] = append(
+				flows[key{lo.Index, t.Ports[lk.Lower].Num}], dst)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriter(w)
+	hot := 0
+	for leaf := 0; leaf < len(t.ByLevel[1]); leaf++ {
+		fmt.Fprintf(bw, "leaf %d:", leaf)
+		nUp := t.Spec.UpPorts(1)
+		for q := 0; q < nUp; q++ {
+			ds := flows[key{leaf, q}]
+			sort.Ints(ds)
+			cell := "-"
+			if len(ds) > 0 {
+				parts := make([]string, len(ds))
+				for i, d := range ds {
+					parts[i] = fmt.Sprint(d)
+				}
+				cell = strings.Join(parts, ",")
+			}
+			if len(ds) > 1 {
+				cell += " HOT"
+				hot++
+			}
+			fmt.Fprintf(bw, "  u%d[%s]", q, cell)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "hot up-ports: %d\n", hot)
+	return bw.Flush()
+}

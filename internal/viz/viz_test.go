@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fattree/internal/hsd"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func fig1Topo() *topo.Topology {
+	return topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+}
+
+func TestWriteDOTBasic(t *testing.T) {
+	tp := fig1Topo()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, tp, DOTOptions{RankPerLevel: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph fattree {", "rank=same", "h0 [label=\"H0\"", "s1_0 [label=\"L1:0\"",
+		"s2_1", "h15", "--",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// 16 host links + 16 fabric links.
+	if got := strings.Count(out, " -- "); got != 32 {
+		t.Errorf("DOT has %d edges, want 32", got)
+	}
+}
+
+func TestWriteDOTWithLoads(t *testing.T) {
+	tp := fig1Topo()
+	lft := route.DModK(tp)
+	a := hsd.NewAnalyzer(lft)
+	// A contended stage: two sources aiming at same-slot destinations.
+	if _, err := a.Stage([][2]int{{0, 4}, {1, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	up, down := a.LinkLoads()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, tp, DOTOptions{UpLoads: up, DownLoads: down, HotThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "color=red") {
+		t.Error("hot link not highlighted")
+	}
+	if !strings.Contains(out, "label=\"2/0\"") {
+		t.Error("load label 2/0 missing")
+	}
+}
+
+func TestFigure1StyleOrderedVsRandom(t *testing.T) {
+	tp := fig1Topo()
+	lft := route.DModK(tp)
+	mk := func(o *order.Ordering) [][2]int {
+		var pairs [][2]int
+		for r := 0; r < 16; r++ {
+			pairs = append(pairs, [2]int{o.HostOf[r], o.HostOf[(r+4)%16]})
+		}
+		return pairs
+	}
+	var good bytes.Buffer
+	if err := Figure1Style(&good, lft, mk(order.Topology(16, nil))); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(good.String(), "hot up-ports: 0") {
+		t.Errorf("ordered rendering should show zero hot ports:\n%s", good.String())
+	}
+	// The paper's random example shows 3 hot links; find a seed that
+	// reproduces contention.
+	var bad bytes.Buffer
+	if err := Figure1Style(&bad, lft, mk(order.Random(16, nil, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(bad.String(), "hot up-ports: 0") {
+		t.Errorf("random(4) rendering should show hot ports:\n%s", bad.String())
+	}
+	if !strings.Contains(bad.String(), "HOT") {
+		t.Error("hot cells not flagged")
+	}
+}
+
+func TestFigure1StyleWants2Level(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(3, []int{2, 2, 2}, []int{1, 2, 1}, []int{1, 1, 2}))
+	lft := route.DModK(tp)
+	var buf bytes.Buffer
+	if err := Figure1Style(&buf, lft, nil); err == nil {
+		t.Error("3-level tree accepted")
+	}
+}
+
+func TestFigure1StyleSkipsSelfFlows(t *testing.T) {
+	tp := fig1Topo()
+	lft := route.DModK(tp)
+	var buf bytes.Buffer
+	if err := Figure1Style(&buf, lft, [][2]int{{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hot up-ports: 0") {
+		t.Error("self flow counted")
+	}
+}
