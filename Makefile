@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-quick fuzz clean
+.PHONY: all build vet test race bench bench-json experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot of the top-level suite, for
+# tracking perf over time (one dated JSON stream per run).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_$$(date +%Y-%m-%d).json
 
 # Regenerate every table and figure at paper scale (minutes).
 experiments:

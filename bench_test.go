@@ -462,3 +462,91 @@ func BenchmarkNetsimDependentRecDbl(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompiledVsWalk1944 runs the same HSD workload — a
+// stride-sampled Shift over the 1944-host RLFT, the
+// BenchmarkHSDAnalyzeSequential-equivalent job at paper scale — once
+// through per-pair table walks and once through the compiled path cache.
+// The acceptance bar for the cache is >=3x on the "compiled" variant.
+// The "compile" sub-benchmark prices the one-time arena build that the
+// replays amortize.
+func BenchmarkCompiledVsWalk1944(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster1944)
+	n := t.NumHosts()
+	lft := route.DModK(t)
+	o := order.Topology(n, nil)
+	full := cps.Shift(n)
+	stages := make([]int, 0, full.NumStages()/9+1)
+	for s := 0; s < full.NumStages(); s += 9 {
+		stages = append(stages, s)
+	}
+	seq, err := mpi.SampleStages(full, stages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsd.Analyze(lft, o, seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := route.CompileParallel(route.Router(lft), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c, err := route.Compile(lft)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsd.Analyze(c, o, seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepOrderingsParallel compares the sequential Walk-based
+// ordering sweep against the compiled parallel sweep on the 324-node
+// cluster — the Figure 3 inner loop.
+func BenchmarkSweepOrderingsParallel(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	n := t.NumHosts()
+	lft := route.DModK(t)
+	var orders []*order.Ordering
+	for s := int64(0); s < 10; s++ {
+		orders = append(orders, order.Random(n, nil, s))
+	}
+	full := cps.Shift(n)
+	stages := make([]int, 0, full.NumStages()/4+1)
+	for s := 0; s < full.NumStages(); s += 4 {
+		stages = append(stages, s)
+	}
+	seq, err := mpi.SampleStages(full, stages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("walk-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsd.SweepOrderings(lft, orders, seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c, err := route.Compile(lft)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsd.SweepOrderingsParallel(c, orders, seq, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -22,11 +22,13 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment: f1 | f2 | f3 | t3 | ring | cf | wrap | routing | bidir | semantics | placement | latency | taper | patterns | adaptive | jitter | buffers | jobs | queue | faults | all")
-		quick  = flag.Bool("quick", false, "reduced scale for a fast run")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		which    = flag.String("exp", "all", "experiment: f1 | f2 | f3 | t3 | ring | cf | wrap | routing | bidir | semantics | placement | latency | taper | patterns | adaptive | jitter | buffers | jobs | queue | faults | all")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast run")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
 	)
 	flag.Parse()
+	exp.UseCompiledPaths = *compiled
 	if err := run(*which, *quick, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ftbench:", err)
 		os.Exit(1)

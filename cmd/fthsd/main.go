@@ -35,15 +35,16 @@ func main() {
 		dropSeed = flag.Int64("drop-seed", 1, "seed for the exclusion draw")
 		perStage = flag.Bool("stages", false, "print per-stage detail")
 		levels   = flag.Bool("levels", false, "print the per-tree-level breakdown of the worst stage")
+		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
 	)
 	flag.Parse()
-	if err := run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels); err != nil {
+	if err := run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled); err != nil {
 		fmt.Fprintln(os.Stderr, "fthsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels bool) error {
+func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled bool) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -64,7 +65,20 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 	if active == nil {
 		lft = route.DModK(t)
 	} else {
-		lft = route.DModKActive(t, active)
+		lft, err = route.DModKActive(t, active)
+		if err != nil {
+			return err
+		}
+	}
+	// The compiled path cache makes multi-ordering sweeps and long
+	// sequences iterate packed arenas instead of re-walking the tables.
+	var rt route.Router = lft
+	if compiled {
+		c, err := route.Compile(lft)
+		if err != nil {
+			return err
+		}
+		rt = c
 	}
 	jobSize := n
 	if active != nil {
@@ -84,7 +98,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 	switch ordering {
 	case "topology":
 		o := order.Topology(n, active)
-		rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+		rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
 		if err != nil {
 			return err
 		}
@@ -102,7 +116,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		if active != nil {
 			return fmt.Errorf("adversarial ordering supports full population only")
 		}
-		rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+		rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
 		if err != nil {
 			return err
 		}
@@ -117,7 +131,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		for s := 0; s < seeds; s++ {
 			orders = append(orders, order.Random(n, active, int64(s)))
 		}
-		sw, err := hsd.SweepOrderings(lft, orders, seq)
+		sw, err := hsd.SweepOrderingsParallel(rt, orders, seq, 0)
 		if err != nil {
 			return err
 		}

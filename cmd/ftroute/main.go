@@ -29,15 +29,16 @@ func main() {
 		verify  = flag.Bool("verify", false, "verify delivery, minimality and up*/down* shape")
 		dump    = flag.Bool("dump", false, "dump the forwarding tables")
 		trace   = flag.String("trace", "", "trace a path: src,dst")
+		active  = flag.String("active", "", "comma-separated active end-ports for rank-compacted d-mod-k (partial job)")
 	)
 	flag.Parse()
-	if err := run(*spec, *routing, *seed, *verify, *dump, *trace); err != nil {
+	if err := run(*spec, *routing, *seed, *verify, *dump, *trace, *active); err != nil {
 		fmt.Fprintln(os.Stderr, "ftroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, routing string, seed int64, verify, dump bool, trace string) error {
+func run(spec, routing string, seed int64, verify, dump bool, trace, activeList string) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -46,16 +47,38 @@ func run(spec, routing string, seed int64, verify, dump bool, trace string) erro
 	if err != nil {
 		return err
 	}
+	var active []int
+	if activeList != "" {
+		for _, f := range strings.Split(activeList, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad -active entry %q: %v", f, err)
+			}
+			active = append(active, h)
+		}
+	}
 	var lft *route.LFT
 	switch routing {
 	case "dmodk":
-		lft = route.DModK(t)
+		if active != nil {
+			// Malformed sets (duplicates, out-of-range hosts) surface
+			// here as errors, not panics.
+			lft, err = route.DModKActive(t, active)
+			if err != nil {
+				return err
+			}
+		} else {
+			lft = route.DModK(t)
+		}
 	case "dmodk-naive":
 		lft = route.DModKNaive(t)
 	case "minhop-random":
 		lft = route.MinHopRandom(t, seed)
 	default:
 		return fmt.Errorf("unknown routing %q", routing)
+	}
+	if active != nil && routing != "dmodk" {
+		return fmt.Errorf("-active requires -routing dmodk")
 	}
 	did := false
 	if verify {

@@ -81,7 +81,7 @@ func run(spec string, dot, fig1 bool, shift int, ordering string, seed int64) er
 		if _, err := a.Stage(pairs); err != nil {
 			return err
 		}
-		up, down := a.LinkLoads()
+		up, down := a.LinkLoads(nil, nil)
 		opts.UpLoads, opts.DownLoads = up, down
 		opts.HotThreshold = 2
 	}

@@ -33,7 +33,10 @@ func main() {
 	for _, drop := range []int{18, 36, 90, 10, 25} {
 		perm := r.Perm(n)
 		active := append([]int(nil), perm[drop:]...)
-		lft := route.DModKActive(cluster, active)
+		lft, err := route.DModKActive(cluster, active)
+		if err != nil {
+			log.Fatal(err)
+		}
 		o := order.Topology(n, active)
 
 		shift, err := hsd.Analyze(lft, o, cps.Shift(len(active)))

@@ -38,9 +38,12 @@ func WrapAblation(cluster topo.PGFT, seeds int) (*Table, error) {
 		worst, avg := 0, 0.0
 		for seed := int64(0); seed < int64(seeds); seed++ {
 			_, active := activeSet(n, drop, seed+1)
-			lft := route.DModKActive(tp, active)
+			lft, err := route.DModKActive(tp, active)
+			if err != nil {
+				return nil, err
+			}
 			o := order.Topology(n, active)
-			rep, err := hsd.AnalyzeParallel(lft, o, cps.Shift(len(active)), 0)
+			rep, err := hsd.AnalyzeParallel(fastRouter(lft), o, cps.Shift(len(active)), 0)
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +84,7 @@ func RoutingAblation(cluster topo.PGFT) (*Table, error) {
 		route.DModKNaive(tp),
 		route.MinHopRandom(tp, 1),
 	} {
-		rep, err := hsd.AnalyzeParallel(lft, o, shift, 0)
+		rep, err := hsd.AnalyzeParallel(fastRouter(lft), o, shift, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +104,7 @@ func BidirAblation(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	rt := fastRouter(route.DModK(tp))
 	n := tp.NumHosts()
 	o := order.Topology(n, nil)
 	flat := cps.RecursiveDoubling(n)
@@ -114,7 +117,7 @@ func BidirAblation(cluster topo.PGFT) (*Table, error) {
 		Header: []string{"sequence", "stages", "max HSD", "avg max HSD"},
 	}
 	for _, seq := range []cps.Sequence{flat, ta} {
-		rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+		rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,28 @@
+package exp
+
+import "fattree/internal/route"
+
+// UseCompiledPaths selects the analysis fast path for every experiment:
+// forwarding-table routers are compiled into a packed per-pair path cache
+// (route.Compiled) before HSD analysis, so repeated evaluation of the
+// same tables — 25-seed ordering sweeps, multi-sequence figures, the
+// Table 3 columns — iterates flat arenas instead of re-walking tables.
+// Defaults to on; cmd/ftbench -compiled=false restores the direct walk
+// (useful for benchmarking the cache itself, or for topologies too big
+// to hold an all-pairs path table in memory).
+var UseCompiledPaths = true
+
+// fastRouter returns the analysis router for a forwarding-table set: the
+// compiled path cache when enabled, the raw tables otherwise. Compilation
+// only fails on broken tables; in that case the raw router is returned so
+// the analysis surfaces the same error through the slow path.
+func fastRouter(lft *route.LFT) route.Router {
+	if !UseCompiledPaths {
+		return lft
+	}
+	c, err := route.Compile(lft)
+	if err != nil {
+		return lft
+	}
+	return c
+}

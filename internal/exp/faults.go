@@ -48,7 +48,7 @@ func FaultResilience(cluster topo.PGFT, seeds int) (*Table, error) {
 				return nil, err
 			}
 			broken += res.BrokenPairs
-			rep, err := hsd.AnalyzeParallel(lft, order.Topology(n, nil), cps.Shift(n), 0)
+			rep, err := hsd.AnalyzeParallel(fastRouter(lft), order.Topology(n, nil), cps.Shift(n), 0)
 			if err != nil {
 				return nil, err
 			}

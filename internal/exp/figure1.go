@@ -38,13 +38,13 @@ func Figure1(randomSeeds int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	rt := fastRouter(route.DModK(tp))
 	seq := ShiftBy(16, 4)
 	t := &Table{
 		Title:  "Figure 1: routing-aware vs random MPI node order, dst=(src+4) mod 16",
 		Header: []string{"ordering", "max HSD", "hot links"},
 	}
-	ordered, err := hsd.AnalyzeParallel(lft, order.Topology(16, nil), seq, 0)
+	ordered, err := hsd.AnalyzeParallel(rt, order.Topology(16, nil), seq, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +52,7 @@ func Figure1(randomSeeds int) (*Table, error) {
 		"routing-aware", fmt.Sprint(ordered.MaxHSD()), fmt.Sprint(ordered.Stages[0].HotLinks),
 	})
 	for seed := int64(0); seed < int64(randomSeeds); seed++ {
-		rep, err := hsd.AnalyzeParallel(lft, order.Random(16, nil, seed), seq, 0)
+		rep, err := hsd.AnalyzeParallel(rt, order.Random(16, nil, seed), seq, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -68,7 +68,7 @@ func Figure3(o Figure3Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		lft := route.DModK(tp)
+		rt := fastRouter(route.DModK(tp))
 		n := tp.NumHosts()
 		var orders []*order.Ordering
 		for seed := 0; seed < o.Seeds; seed++ {
@@ -80,7 +80,7 @@ func Figure3(o Figure3Opts) (*Table, error) {
 		}
 		row := []string{fmt.Sprint(n)}
 		for _, seq := range seqs {
-			sw, err := hsd.SweepOrderingsParallel(lft, orders, seq, 0)
+			sw, err := hsd.SweepOrderingsParallel(rt, orders, seq, 0)
 			if err != nil {
 				return nil, err
 			}

@@ -20,7 +20,7 @@ func MultiJob(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	rt := fastRouter(route.DModK(tp))
 	alloc, err := sched.New(tp)
 	if err != nil {
 		return nil, err
@@ -44,7 +44,7 @@ func MultiJob(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	worst, err := jointWorstHSD(lft, [][]int{ja.Hosts, jb.Hosts})
+	worst, err := jointWorstHSD(rt, [][]int{ja.Hosts, jb.Hosts})
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +71,7 @@ func MultiJob(cluster topo.PGFT) (*Table, error) {
 		allCF = allCF && j.ContentionFree
 		ids = append(ids, j.ID)
 	}
-	worst, err = jointWorstHSD(lft, jobs)
+	worst, err = jointWorstHSD(rt, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func MultiJob(cluster topo.PGFT) (*Table, error) {
 	k, _ := cluster.IsRLFT()
 	a := hostRange(0, 2*k)
 	b := hostRange(2*k-k/2, k)
-	worst, err = jointWorstHSD(lft, [][]int{a, b})
+	worst, err = jointWorstHSD(rt, [][]int{a, b})
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func hostRange(start, size int) []int {
 
 // jointWorstHSD stage-aligns every job's Shift (shorter jobs cycle) and
 // returns the worst combined per-link flow count.
-func jointWorstHSD(lft *route.LFT, jobs [][]int) (int, error) {
+func jointWorstHSD(rt route.Router, jobs [][]int) (int, error) {
 	shifts := make([]*cps.ShiftSeq, len(jobs))
 	maxStages := 0
 	for i, hosts := range jobs {
@@ -118,7 +118,7 @@ func jointWorstHSD(lft *route.LFT, jobs [][]int) (int, error) {
 			maxStages = s
 		}
 	}
-	a := hsd.NewAnalyzer(lft)
+	a := hsd.NewAnalyzer(rt)
 	worst := 0
 	for s := 0; s < maxStages; s++ {
 		var pairs [][2]int

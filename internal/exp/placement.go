@@ -27,7 +27,7 @@ func PlacementComparison(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	rt := fastRouter(route.DModK(tp))
 	n := tp.NumHosts()
 
 	block := order.Topology(n, nil)
@@ -55,7 +55,7 @@ func PlacementComparison(cluster topo.PGFT) (*Table, error) {
 	for _, seq := range seqs {
 		row := []string{seq.Name()}
 		for _, o := range []*order.Ordering{block, cyclic, random} {
-			rep, err := hsd.AnalyzeParallel(lft, o, seq, 0)
+			rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
 			if err != nil {
 				return nil, err
 			}

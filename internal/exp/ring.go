@@ -37,12 +37,13 @@ func RingAdversarial(o RingOpts) (*Table, error) {
 		return nil, err
 	}
 	lft := route.DModK(tp)
+	rt := fastRouter(lft)
 	n := tp.NumHosts()
 	k, _ := o.Cluster.IsRLFT()
 	ring := cps.Ring(n)
 
 	run := func(ord *order.Ordering) (float64, float64, error) {
-		rep, err := hsd.AnalyzeParallel(lft, ord, ring, 0)
+		rep, err := hsd.AnalyzeParallel(rt, ord, ring, 0)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -75,7 +75,11 @@ func Table3(o Table3Opts) (*Table, error) {
 		}
 		n := tp.NumHosts()
 		active, activeList := activeSet(n, c.Drop, c.Seed)
-		lft := route.DModKActive(tp, activeList)
+		lft, err := route.DModKActive(tp, activeList)
+		if err != nil {
+			return nil, err
+		}
+		rt := fastRouter(lft)
 		ordered := order.Topology(n, activeList)
 
 		shift := cps.Sequence(cps.Shift(len(activeList)))
@@ -89,7 +93,7 @@ func Table3(o Table3Opts) (*Table, error) {
 				return nil, err
 			}
 		}
-		repShift, err := hsd.AnalyzeParallel(lft, ordered, shift, 0)
+		repShift, err := hsd.AnalyzeParallel(rt, ordered, shift, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +102,7 @@ func Table3(o Table3Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		repTA, err := hsd.AnalyzeParallel(lft, ordered, taSeq, 0)
+		repTA, err := hsd.AnalyzeParallel(rt, ordered, taSeq, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +111,7 @@ func Table3(o Table3Opts) (*Table, error) {
 		for seed := 0; seed < o.RandomSeeds; seed++ {
 			orders = append(orders, order.Random(n, activeList, int64(seed)))
 		}
-		sw, err := hsd.SweepOrderings(lft, orders, shift)
+		sw, err := hsd.SweepOrderingsParallel(rt, orders, shift, 0)
 		if err != nil {
 			return nil, err
 		}

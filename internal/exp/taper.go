@@ -39,8 +39,7 @@ func TaperAblation() (*Table, error) {
 			return nil, err
 		}
 		n := tp.NumHosts()
-		lft := route.DModK(tp)
-		rep, err := hsd.AnalyzeParallel(lft, order.Topology(n, nil), cps.Shift(n), 0)
+		rep, err := hsd.AnalyzeParallel(fastRouter(route.DModK(tp)), order.Topology(n, nil), cps.Shift(n), 0)
 		if err != nil {
 			return nil, err
 		}

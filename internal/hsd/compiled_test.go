@@ -1,0 +1,138 @@
+package hsd
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fattree/internal/cps"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// TestCompiledAnalyzerEquivalence asserts the compiled fast path produces
+// bit-identical StageResults to the Walk-based analyzer across every
+// routing x collective combination on small PGFTs, under both the
+// topology and a random ordering.
+func TestCompiledAnalyzerEquivalence(t *testing.T) {
+	topos := []topo.PGFT{
+		topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}),
+		topo.MustPGFT(3, []int{4, 4, 4}, []int{1, 4, 2}, []int{1, 1, 2}),
+	}
+	seqs := func(n int) []cps.Sequence {
+		return []cps.Sequence{
+			cps.Shift(n),
+			cps.Ring(n),
+			cps.Binomial(n),
+			cps.RecursiveDoubling(n),
+			cps.Dissemination(n),
+			cps.Tournament(n),
+		}
+	}
+	for _, g := range topos {
+		tp := topo.MustBuild(g)
+		n := tp.NumHosts()
+		half := make([]int, 0, n/2)
+		for h := 0; h < n; h += 2 {
+			half = append(half, h)
+		}
+		partial, err := route.DModKActive(tp, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers := []route.Router{
+			route.DModK(tp),
+			route.DModKNaive(tp),
+			route.MinHopRandom(tp, 42),
+			route.NewSModK(tp),
+			partial,
+		}
+		for _, rt := range routers {
+			c, err := route.Compile(rt)
+			if err != nil {
+				t.Fatalf("%v %s: %v", g, rt.Label(), err)
+			}
+			job := n
+			var active []int
+			if rt == route.Router(partial) {
+				job, active = len(half), half
+			}
+			orders := []*order.Ordering{
+				order.Topology(n, active),
+				order.Random(n, active, 7),
+			}
+			for _, seq := range seqs(job) {
+				for oi, o := range orders {
+					want, err := Analyze(rt, o, seq)
+					if err != nil {
+						t.Fatalf("%v %s %s: %v", g, rt.Label(), seq.Name(), err)
+					}
+					got, err := Analyze(c, o, seq)
+					if err != nil {
+						t.Fatalf("%v %s %s compiled: %v", g, rt.Label(), seq.Name(), err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("%v %s %s order %d: compiled report diverges\nwalk:     %+v\ncompiled: %+v",
+							g, rt.Label(), seq.Name(), oi, want.Stages, got.Stages)
+					}
+					par, err := AnalyzeParallel(c, o, seq, 3)
+					if err != nil {
+						t.Fatalf("%v %s %s parallel: %v", g, rt.Label(), seq.Name(), err)
+					}
+					if !reflect.DeepEqual(want, par) {
+						t.Errorf("%v %s %s order %d: parallel compiled report diverges",
+							g, rt.Label(), seq.Name(), oi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledConcurrentHammer shares one compiled router between many
+// goroutines, each driving its own analyses and sweeps. Run under
+// -race (make race / CI) this proves the arena is safe for concurrent
+// readers.
+func TestCompiledConcurrentHammer(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	n := tp.NumHosts()
+	c, err := route.Compile(route.DModK(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cps.Shift(n)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := order.Random(n, nil, int64(i))
+			rep, err := Analyze(c, o, seq)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rep.MaxHSD() < 1 {
+				errs <- fmt.Errorf("goroutine %d: empty report", i)
+				return
+			}
+			sw, err := SweepOrderingsParallel(c, []*order.Ordering{o, order.Topology(n, nil)}, cps.Ring(n), 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if sw.Min < 1 {
+				errs <- fmt.Errorf("goroutine %d: empty sweep", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -86,7 +86,10 @@ func TestTheoremsAcrossGeneratedRLFTs(t *testing.T) {
 		}
 		perm := rng.Perm(n)
 		active := append([]int(nil), perm[gran:]...)
-		plft := route.DModKActive(tp, active)
+		plft, err := route.DModKActive(tp, active)
+		if err != nil {
+			t.Fatalf("%v partial tables: %v", g, err)
+		}
 		po := order.Topology(n, active)
 		pRep, err := Analyze(plft, po, cps.Shift(len(active)))
 		if err != nil {

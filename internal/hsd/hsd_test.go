@@ -173,7 +173,10 @@ func TestPartialShiftContentionFree(t *testing.T) {
 		}
 		active = append(active, j)
 	}
-	lft := route.DModKActive(tp, active)
+	lft, err := route.DModKActive(tp, active)
+	if err != nil {
+		t.Fatal(err)
+	}
 	o := order.Topology(n, active)
 	rep, err := Analyze(lft, o, cps.Shift(len(active)))
 	if err != nil {
@@ -276,7 +279,7 @@ func TestLinkLoadsExposeCounters(t *testing.T) {
 	if _, err := a.Stage([][2]int{{0, 127}}); err != nil {
 		t.Fatal(err)
 	}
-	up, down := a.LinkLoads()
+	up, down := a.LinkLoads(nil, nil)
 	ups, downs := 0, 0
 	for _, v := range up {
 		ups += int(v)

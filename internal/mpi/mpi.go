@@ -41,7 +41,11 @@ func NewContentionFreeJob(t *topo.Topology, active []int) (*Job, error) {
 	if active == nil {
 		lft = route.DModK(t)
 	} else {
-		lft = route.DModKActive(t, active)
+		var err error
+		lft, err = route.DModKActive(t, active)
+		if err != nil {
+			return nil, err
+		}
 	}
 	o := order.Topology(t.NumHosts(), active)
 	return NewJob(lft, o)

@@ -1,0 +1,183 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fattree/internal/topo"
+)
+
+// PathEntry is one hop of a compiled path, packed into an int32: the link
+// id shifted left once with the direction in bit 0 (1 = up). Packing keeps
+// a full 1944-host path table under one cache-friendly []int32 arena.
+type PathEntry = int32
+
+// PackEntry packs a link traversal into a PathEntry.
+func PackEntry(l topo.LinkID, up bool) PathEntry {
+	e := PathEntry(l) << 1
+	if up {
+		e |= 1
+	}
+	return e
+}
+
+// EntryLink unpacks the link id of a PathEntry.
+func EntryLink(e PathEntry) topo.LinkID { return topo.LinkID(e >> 1) }
+
+// EntryUp unpacks the direction bit of a PathEntry.
+func EntryUp(e PathEntry) bool { return e&1 == 1 }
+
+// PackedPather is implemented by routers that can hand out a
+// pre-materialized per-pair path as a packed slice, letting hot loops (the
+// HSD analyzer above all) iterate hops directly instead of paying a
+// per-hop callback and forwarding-table chase. The returned slice is a
+// view into shared storage: callers must not modify it.
+type PackedPather interface {
+	Router
+	// PackedPath returns the hops of the src->dst flow (empty for
+	// src == dst) or an error for out-of-range indices.
+	PackedPath(src, dst int) ([]PathEntry, error)
+}
+
+// Compiled is a path cache over any deterministic Router: every src->dst
+// path is walked once at construction and stored in a flat CSR-style
+// arena (one []int32 of packed entries plus an offsets table). After
+// construction the cache is immutable, so Walk and PackedPath are safe
+// for unlimited concurrent use — the property the parallel HSD sweeps
+// rely on.
+//
+// Compiling a randomized router (Adaptive) freezes one draw per pair and
+// is almost certainly not what you want; compile forwarding tables
+// (LFT) or deterministic source-based schemes (SModK) instead.
+type Compiled struct {
+	inner   Router
+	n       int
+	offs    []int32 // len n*n+1; path (s,d) is entries[offs[s*n+d]:offs[s*n+d+1]]
+	entries []PathEntry
+}
+
+// Compile materializes every path of r in parallel across sources. It
+// returns r unchanged when it is already a *Compiled.
+func Compile(r Router) (*Compiled, error) { return CompileParallel(r, 0) }
+
+// CompileParallel is Compile with an explicit worker count (<= 0 uses
+// GOMAXPROCS). Each worker walks all destinations of a source into a
+// private row buffer; the rows are then stitched into the shared arena,
+// so no locking is needed during the build either.
+func CompileParallel(r Router, workers int) (*Compiled, error) {
+	if c, ok := r.(*Compiled); ok {
+		return c, nil
+	}
+	t := r.Topology()
+	n := t.NumHosts()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	rows := make([][]PathEntry, n)
+	rowOffs := make([][]int32, n)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int, n)
+	)
+	for src := 0; src < n; src++ {
+		next <- src
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range next {
+				offs := make([]int32, n+1)
+				buf := make([]PathEntry, 0, n*t.Spec.H)
+				for dst := 0; dst < n; dst++ {
+					if dst != src {
+						err := r.Walk(src, dst, func(l topo.LinkID, up bool) {
+							buf = append(buf, PackEntry(l, up))
+						})
+						if err != nil {
+							errOnce.Do(func() {
+								firstErr = fmt.Errorf("route: compile %s: %w", r.Label(), err)
+							})
+							return
+						}
+					}
+					offs[dst+1] = int32(len(buf))
+				}
+				rows[src] = buf
+				rowOffs[src] = offs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("route: compile %s: %d path entries overflow the int32 offset table", r.Label(), total)
+	}
+	c := &Compiled{
+		inner:   r,
+		n:       n,
+		offs:    make([]int32, n*n+1),
+		entries: make([]PathEntry, total),
+	}
+	base := int32(0)
+	for src := 0; src < n; src++ {
+		copy(c.entries[base:], rows[src])
+		o := c.offs[src*n : src*n+n]
+		ro := rowOffs[src]
+		for dst := 0; dst < n; dst++ {
+			o[dst] = base + ro[dst]
+		}
+		base += int32(len(rows[src]))
+	}
+	c.offs[n*n] = base
+	return c, nil
+}
+
+// Topology implements Router.
+func (c *Compiled) Topology() *topo.Topology { return c.inner.Topology() }
+
+// Label implements Router. The compiled view is a transparent
+// acceleration, so it reports the inner router's label unchanged and
+// reports/goldens are identical either way.
+func (c *Compiled) Label() string { return c.inner.Label() }
+
+// Inner returns the router the cache was compiled from.
+func (c *Compiled) Inner() Router { return c.inner }
+
+// NumEntries returns the total packed hop count across all pairs.
+func (c *Compiled) NumEntries() int { return len(c.entries) }
+
+// PackedPath implements PackedPather.
+func (c *Compiled) PackedPath(src, dst int) ([]PathEntry, error) {
+	if src < 0 || src >= c.n || dst < 0 || dst >= c.n {
+		return nil, fmt.Errorf("route: compiled %s: pair %d->%d out of range [0,%d)", c.Label(), src, dst, c.n)
+	}
+	i := src*c.n + dst
+	return c.entries[c.offs[i]:c.offs[i+1]], nil
+}
+
+// Walk implements Router by replaying the cached path.
+func (c *Compiled) Walk(src, dst int, visit func(link topo.LinkID, up bool)) error {
+	p, err := c.PackedPath(src, dst)
+	if err != nil {
+		return err
+	}
+	for _, e := range p {
+		visit(EntryLink(e), EntryUp(e))
+	}
+	return nil
+}

@@ -23,30 +23,35 @@ func DModK(t *topo.Topology) *LFT {
 
 // DModKActive builds the rank-compacted D-Mod-K tables for a partially
 // populated tree running a job on the given active end-ports (ascending
-// order not required; duplicates are rejected by Validate-time panics).
+// order not required). Duplicate or out-of-range hosts — the kind of
+// malformed active set a hand-edited topology file produces — are
+// reported as errors rather than crashing the caller.
 // The spreading index of destination j is its rank among the active hosts
 // rather than its raw index, which is how the production subnet-manager
 // variant ("enhanced to handle real-life fat-trees") keeps the cyclic
 // up-port assignment gap-free when hosts are missing. Inactive
 // destinations still get consistent entries (routed by the same rule).
-func DModKActive(t *topo.Topology, active []int) *LFT {
-	rank := activeRanks(t.NumHosts(), active)
-	return dModK(t, rank, fmt.Sprintf("d-mod-k[%d active]", len(active)))
+func DModKActive(t *topo.Topology, active []int) (*LFT, error) {
+	rank, err := activeRanks(t.NumHosts(), active)
+	if err != nil {
+		return nil, err
+	}
+	return dModK(t, rank, fmt.Sprintf("d-mod-k[%d active]", len(active))), nil
 }
 
 // activeRanks maps each host index to its rank among the sorted active
 // set; inactive hosts get the rank they would have if inserted (count of
 // active hosts below them), keeping the rule monotone.
-func activeRanks(n int, active []int) []int {
+func activeRanks(n int, active []int) ([]int, error) {
 	as := append([]int(nil), active...)
 	sort.Ints(as)
 	for i := 1; i < len(as); i++ {
 		if as[i] == as[i-1] {
-			panic(fmt.Sprintf("route: duplicate active host %d", as[i]))
+			return nil, fmt.Errorf("route: duplicate active host %d", as[i])
 		}
 	}
 	if len(as) > 0 && (as[0] < 0 || as[len(as)-1] >= n) {
-		panic(fmt.Sprintf("route: active host out of range [0,%d)", n))
+		return nil, fmt.Errorf("route: active host out of range [0,%d)", n)
 	}
 	rank := make([]int, n)
 	k := 0
@@ -58,7 +63,7 @@ func activeRanks(n int, active []int) []int {
 			rank[j] = k
 		}
 	}
-	return rank
+	return rank, nil
 }
 
 func dModK(t *topo.Topology, rank []int, name string) *LFT {

@@ -133,7 +133,10 @@ func TestDModKActiveDelivers(t *testing.T) {
 	tp := topo.MustBuild(topo.Cluster324)
 	r := rand.New(rand.NewSource(42))
 	active := r.Perm(tp.NumHosts())[:300]
-	f := DModKActive(tp, active)
+	f, err := DModKActive(tp, active)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Verify(f, 0); err != nil {
 		t.Error(err)
 	}
@@ -145,7 +148,10 @@ func TestDModKActiveFullEqualsDModK(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	a := DModKActive(tp, all)
+	a, err := DModKActive(tp, all)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := DModK(tp)
 	for id := range tp.Nodes {
 		for j := 0; j < tp.NumHosts(); j++ {
@@ -157,7 +163,10 @@ func TestDModKActiveFullEqualsDModK(t *testing.T) {
 }
 
 func TestActiveRanks(t *testing.T) {
-	r := activeRanks(8, []int{1, 4, 5})
+	r, err := activeRanks(8, []int{1, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []int{0, 0, 1, 1, 1, 2, 3, 3}
 	for i := range want {
 		if r[i] != want[i] {
@@ -166,16 +175,15 @@ func TestActiveRanks(t *testing.T) {
 	}
 }
 
-func TestActiveRanksPanics(t *testing.T) {
+func TestActiveRanksRejectsMalformedSets(t *testing.T) {
 	for _, bad := range [][]int{{1, 1}, {-1}, {8}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("activeRanks(8, %v) did not panic", bad)
-				}
-			}()
-			activeRanks(8, bad)
-		}()
+		if _, err := activeRanks(8, bad); err == nil {
+			t.Errorf("activeRanks(8, %v) accepted a malformed set", bad)
+		}
+	}
+	tp := topo.MustBuild(topo.Cluster128)
+	if _, err := DModKActive(tp, []int{0, 0}); err == nil {
+		t.Error("DModKActive accepted a duplicate active host")
 	}
 }
 
@@ -273,7 +281,10 @@ func TestDModKActiveDownPortUniquenessOverActivePairs(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	perm := r.Perm(tp.NumHosts())
 	active := append([]int(nil), perm[8:]...) // drop one granule
-	f := DModKActive(tp, active)
+	f, err := DModKActive(tp, active)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	destOn := make(map[topo.PortID]int)
 	for _, src := range active {

@@ -35,6 +35,11 @@ type Router interface {
 // port (a PortID on that node) that traffic for destination end-port dst
 // leaves through. Host nodes also carry a table (their single up port) so
 // that tracing can start uniformly.
+//
+// All rows are views into one flat backing slice (two allocations total
+// instead of one per node), so a trace touching consecutive nodes stays
+// within a single arena and table builds like DModK stream through
+// contiguous memory.
 type LFT struct {
 	T    *topo.Topology
 	Name string
@@ -50,12 +55,13 @@ func (f *LFT) Label() string { return f.Name }
 // NewLFT allocates an empty table set for t (all entries topo.None).
 func NewLFT(t *topo.Topology, name string) *LFT {
 	n := t.NumHosts()
+	flat := make([]topo.PortID, len(t.Nodes)*n)
+	for i := range flat {
+		flat[i] = topo.None
+	}
 	out := make([][]topo.PortID, len(t.Nodes))
 	for i := range out {
-		out[i] = make([]topo.PortID, n)
-		for j := range out[i] {
-			out[i][j] = topo.None
-		}
+		out[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return &LFT{T: t, Name: name, Out: out}
 }
@@ -74,10 +80,10 @@ type Hop struct {
 // Trace follows the forwarding tables from src to dst and returns the
 // traversed hops. It fails on dead ends and forwarding loops.
 func (f *LFT) Trace(src, dst int) ([]Hop, error) {
-	var hops []Hop
 	t := f.T
 	cur := t.HostID(src)
 	limit := 2*t.Spec.H + 2
+	hops := make([]Hop, 0, limit)
 	for steps := 0; ; steps++ {
 		n := t.Node(cur)
 		if n.Kind == topo.Host && n.Index == dst {

@@ -44,7 +44,7 @@ func TestWriteDOTWithLoads(t *testing.T) {
 	if _, err := a.Stage([][2]int{{0, 4}, {1, 8}}); err != nil {
 		t.Fatal(err)
 	}
-	up, down := a.LinkLoads()
+	up, down := a.LinkLoads(nil, nil)
 	var buf bytes.Buffer
 	err := WriteDOT(&buf, tp, DOTOptions{UpLoads: up, DownLoads: down, HotThreshold: 2})
 	if err != nil {
