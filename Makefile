@@ -1,6 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+# Benchmark iteration budget; CI smoke runs use BENCHTIME=1x.
+BENCHTIME ?= 1s
 
 .PHONY: all build vet test race bench bench-json experiments experiments-quick fuzz clean
 
@@ -16,15 +18,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/
+	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
 
 # Machine-readable benchmark snapshot of the top-level suite, for
 # tracking perf over time (one dated JSON stream per run).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -json . > BENCH_$$(date +%Y-%m-%d).json
 
 # Regenerate every table and figure at paper scale (minutes).
 experiments:

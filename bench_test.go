@@ -16,6 +16,7 @@ import (
 	"fattree/internal/hsd"
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
+	"fattree/internal/obs"
 	"fattree/internal/order"
 	"fattree/internal/route"
 	"fattree/internal/sched"
@@ -508,6 +509,47 @@ func BenchmarkCompiledVsWalk1944(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkNetsimObsOverhead prices the observability tax on the
+// simulator hot path with the same Ring stage as
+// BenchmarkNetsimRingStage324: "off" is the nil-check-only baseline
+// (must stay within noise of that benchmark), "metrics" attaches the
+// registry, and "full" adds probes and the Chrome tracer writing to
+// discard sinks.
+func BenchmarkNetsimObsOverhead(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(t)
+	n := t.NumHosts()
+	msgs := make([]netsim.Message, n)
+	for i := range msgs {
+		msgs[i] = netsim.Message{Src: i, Dst: (i + 1) % n, Bytes: 64 << 10}
+	}
+	run := func(b *testing.B, cfg netsim.Config) {
+		nw, err := netsim.New(lft, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.Run(msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, netsim.DefaultConfig()) })
+	b.Run("metrics", func(b *testing.B) {
+		cfg := netsim.DefaultConfig()
+		cfg.Metrics = obs.NewRegistry()
+		run(b, cfg)
+	})
+	b.Run("full", func(b *testing.B) {
+		cfg := netsim.DefaultConfig()
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Probes = obs.NewSampler(io.Discard, 10*des.Microsecond)
+		cfg.Trace = obs.NewTracer(io.Discard)
+		run(b, cfg)
 	})
 }
 

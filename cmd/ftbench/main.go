@@ -8,6 +8,7 @@
 //	ftbench -exp all -quick
 //	ftbench -exp f3
 //	ftbench -exp t3 > table3.txt
+//	ftbench -exp cf -quick -trace cf.json -metrics cf.jsonl
 package main
 
 import (
@@ -17,6 +18,9 @@ import (
 	"strings"
 
 	"fattree/internal/exp"
+	"fattree/internal/netsim"
+	"fattree/internal/obs"
+	"fattree/internal/obs/prof"
 	"fattree/internal/topo"
 )
 
@@ -26,10 +30,35 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced scale for a fast run")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
+		sinks    obs.FileSinks
 	)
+	sinks.RegisterFlags(flag.CommandLine)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	exp.UseCompiledPaths = *compiled
-	if err := run(*which, *quick, *csvOut); err != nil {
+	err := sinks.Open()
+	if err == nil && sinks.Enabled() {
+		// Attach the sinks to every simulation the experiments run; the
+		// trace concatenates all runs on a shared timeline.
+		exp.Instrument = func(cfg *netsim.Config) {
+			cfg.Metrics = sinks.Registry
+			cfg.Probes = sinks.Sampler
+			cfg.Trace = sinks.Tracer
+		}
+	}
+	if err == nil {
+		err = pf.Start()
+	}
+	if err == nil {
+		err = run(*which, *quick, *csvOut)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if cerr := sinks.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftbench:", err)
 		os.Exit(1)
 	}

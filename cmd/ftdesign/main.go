@@ -17,6 +17,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"fattree/internal/obs/prof"
 	"fattree/internal/topo"
 )
 
@@ -26,8 +27,16 @@ func main() {
 		ports     = flag.Int("ports", 36, "switch port count (2K)")
 		maxLevels = flag.Int("max-levels", 3, "maximum tree levels to consider")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*nodes, *ports, *maxLevels); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*nodes, *ports, *maxLevels)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftdesign:", err)
 		os.Exit(1)
 	}

@@ -17,6 +17,7 @@ import (
 	"fattree/internal/cps"
 	"fattree/internal/fabric"
 	"fattree/internal/hsd"
+	"fattree/internal/obs/prof"
 	"fattree/internal/order"
 	"fattree/internal/route"
 	"fattree/internal/topo"
@@ -31,8 +32,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "fault-draw seed")
 		report   = flag.Bool("report", false, "analyze Shift HSD on the (re)routed fabric")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *discover, *dumpLFTs, *fail, *seed, *report); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *discover, *dumpLFTs, *fail, *seed, *report)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftfabric:", err)
 		os.Exit(1)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"fattree/internal/obs/prof"
 	"fattree/internal/topo"
 )
 
@@ -22,8 +23,16 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 		summary = flag.Bool("summary", false, "print structural summary instead of the link list")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *out, *summary); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *out, *summary)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftgen:", err)
 		os.Exit(1)
 	}

@@ -18,8 +18,11 @@ import (
 	"os"
 
 	"fattree/internal/cps"
+	"fattree/internal/des"
 	"fattree/internal/hsd"
 	"fattree/internal/mpi"
+	"fattree/internal/obs"
+	"fattree/internal/obs/prof"
 	"fattree/internal/order"
 	"fattree/internal/route"
 	"fattree/internal/topo"
@@ -36,15 +39,66 @@ func main() {
 		perStage = flag.Bool("stages", false, "print per-stage detail")
 		levels   = flag.Bool("levels", false, "print the per-tree-level breakdown of the worst stage")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
+		sinks    obs.FileSinks
 	)
+	sinks.RegisterFlags(flag.CommandLine)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled); err != nil {
+	err := sinks.Open()
+	if err == nil {
+		err = pf.Start()
+	}
+	if err == nil {
+		err = run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled, &sinks)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if cerr := sinks.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fthsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled bool) error {
+// emitObs exports an analytic report through the observability sinks:
+// summary gauges, a per-stage HSD histogram and flow counters into the
+// registry, plus a synthetic timeline onto the tracer — the HSD model
+// has no clock, so each stage becomes a span lasting its max HSD in
+// microseconds, the synchronized-bandwidth cost model where a stage
+// with HSD h takes h times the contention-free stage time.
+func emitObs(rep *hsd.Report, sinks *obs.FileSinks) {
+	if !sinks.Enabled() {
+		return
+	}
+	reg := sinks.Registry
+	reg.Gauge("fthsd_stages").Set(int64(len(rep.Stages)))
+	reg.Gauge("fthsd_max_hsd").Set(int64(rep.MaxHSD()))
+	hist := reg.MustHistogram("fthsd_stage_max_hsd", []float64{1, 2, 4, 8, 16, 32, 64})
+	flows := reg.Counter("fthsd_flows_total")
+	hot := reg.Counter("fthsd_hot_links_total")
+	tr := sinks.Tracer
+	tr.ProcessName(0, fmt.Sprintf("%s / %s / %s", rep.Sequence, rep.Routing, rep.Ordering))
+	var at des.Time
+	for i, s := range rep.Stages {
+		hist.Observe(float64(s.MaxHSD))
+		flows.Add(int64(s.Flows))
+		hot.Add(int64(s.HotLinks))
+		dur := des.Time(s.MaxHSD) * des.Microsecond
+		if dur <= 0 {
+			dur = des.Microsecond
+		}
+		tr.Complete(0, 0, at, dur, fmt.Sprintf("stage %d", i),
+			obs.Num("max_hsd", float64(s.MaxHSD)),
+			obs.Num("flows", float64(s.Flows)),
+			obs.Num("hot_links", float64(s.HotLinks)))
+		at += dur
+	}
+}
+
+func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled bool, sinks *obs.FileSinks) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -102,6 +156,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		if err != nil {
 			return err
 		}
+		emitObs(rep, sinks)
 		printReport(rep, perStage)
 		if levels {
 			if err := printLevels(lft, o, seq, rep); err != nil {
@@ -120,6 +175,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		if err != nil {
 			return err
 		}
+		emitObs(rep, sinks)
 		printReport(rep, perStage)
 		if levels {
 			if err := printLevels(lft, o, seq, rep); err != nil {
@@ -134,6 +190,14 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		sw, err := hsd.SweepOrderingsParallel(rt, orders, seq, 0)
 		if err != nil {
 			return err
+		}
+		if sinks.Enabled() {
+			// Sweeps have no per-stage report; record the summary on the
+			// metrics stream (Record is a no-op without -metrics).
+			sinks.Sampler.Record(map[string]interface{}{
+				"sweep": map[string]float64{"mean": sw.Mean, "min": sw.Min, "max": sw.Max},
+				"seeds": seeds,
+			})
 		}
 		fmt.Printf("%s / %s / random x%d on %s (job %d):\n", seq.Name(), lft.Name, seeds, g, jobSize)
 		fmt.Printf("  avg max HSD: mean %.3f  min %.3f  max %.3f\n", sw.Mean, sw.Min, sw.Max)

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 
+	"fattree/internal/obs/prof"
 	"fattree/internal/order"
 	"fattree/internal/sched"
 	"fattree/internal/topo"
@@ -31,8 +32,16 @@ func main() {
 		dropSeed = flag.Int64("drop-seed", 1, "seed for the exclusion draw")
 		format   = flag.String("format", "rankfile", "output: rankfile | hostlist")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *job, *drop, *dropSeed, *format); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *job, *drop, *dropSeed, *format)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftorder:", err)
 		os.Exit(1)
 	}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fattree/internal/obs/prof"
 	"fattree/internal/route"
 	"fattree/internal/topo"
 )
@@ -31,8 +32,16 @@ func main() {
 		trace   = flag.String("trace", "", "trace a path: src,dst")
 		active  = flag.String("active", "", "comma-separated active end-ports for rank-compacted d-mod-k (partial job)")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *routing, *seed, *verify, *dump, *trace, *active); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *routing, *seed, *verify, *dump, *trace, *active)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftroute:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@
 //	ftsim -topo 324 -cps ring -order topology -bytes 262144
 //	ftsim -topo 324 -cps ring -order adversarial -bytes 65536
 //	ftsim -topo 1944 -cps shift -order random -bytes 131072 -sample 8
+//	ftsim -topo 324 -cps ring -trace run.json -metrics run.jsonl
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"fattree/internal/des"
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
+	"fattree/internal/obs"
+	"fattree/internal/obs/prof"
 	"fattree/internal/order"
 	"fattree/internal/route"
 	"fattree/internal/topo"
@@ -35,15 +38,25 @@ func main() {
 		linkBW   = flag.Float64("link-bw", 4000e6, "link bandwidth bytes/s")
 		hostBW   = flag.Float64("host-bw", 3250e6, "host injection bandwidth bytes/s")
 		bufPkts  = flag.Int("buffers", 8, "input-buffer packets per switch port")
+		sinks    obs.FileSinks
 	)
+	sinks.RegisterFlags(flag.CommandLine)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, &sinks)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts int) error {
+func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts int, sinks *obs.FileSinks) error {
 	var mode mpi.Mode
 	switch modeName {
 	case "async":
@@ -106,11 +119,20 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 	cfg.LinkBandwidth = linkBW
 	cfg.HostBandwidth = hostBW
 	cfg.BufferPackets = bufPkts
+	if err := sinks.Open(); err != nil {
+		return err
+	}
+	cfg.Metrics = sinks.Registry
+	cfg.Probes = sinks.Sampler
+	cfg.Trace = sinks.Tracer
 	job, err := mpi.NewJob(lft, o)
 	if err != nil {
 		return err
 	}
 	st, err := job.SimulateMode(seq, bytes, mode, cfg)
+	if cerr := sinks.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

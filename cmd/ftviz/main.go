@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"fattree/internal/hsd"
+	"fattree/internal/obs/prof"
 	"fattree/internal/order"
 	"fattree/internal/route"
 	"fattree/internal/topo"
@@ -30,8 +31,16 @@ func main() {
 		ordering = flag.String("order", "topology", "ordering: topology | random")
 		seed     = flag.Int64("seed", 0, "random-ordering seed")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*spec, *dot, *fig1, *shift, *ordering, *seed); err != nil {
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *dot, *fig1, *shift, *ordering, *seed)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftviz:", err)
 		os.Exit(1)
 	}

@@ -19,9 +19,10 @@ const (
 )
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at     Time
+	seq    uint64
+	fn     func()
+	daemon bool
 }
 
 type eventHeap []event
@@ -44,11 +45,17 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 // Scheduler runs events in time order; ties run in scheduling order.
+// Daemon events (AtDaemon/AfterDaemon) run only while regular work
+// remains queued: once the last regular event has executed, leftover
+// daemon events are discarded without advancing the clock, so periodic
+// instrumentation never extends a simulation or keeps it alive.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	ran    uint64
+	now        Time
+	seq        uint64
+	events     eventHeap
+	ran        uint64
+	work       int // queued non-daemon events
+	maxPending int // high-water mark of work
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -57,8 +64,14 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of queued regular (non-daemon) events.
+func (s *Scheduler) Pending() int { return s.work }
+
+// MaxPending returns the high-water mark of the queue depth — how deep
+// the regular event heap ever got. Observability probes sample Pending
+// over time; this captures the peak between samples. Daemon events are
+// excluded so enabling probes does not alter the reading.
+func (s *Scheduler) MaxPending() int { return s.maxPending }
 
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.ran }
@@ -66,22 +79,47 @@ func (s *Scheduler) Executed() uint64 { return s.ran }
 // At schedules fn at absolute time t; scheduling in the past panics
 // (it would silently corrupt causality).
 func (s *Scheduler) At(t Time, fn func()) {
-	if t < s.now {
-		panic("des: event scheduled in the past")
-	}
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
-	s.seq++
+	s.schedule(t, fn, false)
 }
 
 // After schedules fn d after the current time.
 func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
-// Step runs the next event; it reports false when the queue is empty.
+// AtDaemon schedules fn at absolute time t as a daemon event: it runs
+// only if regular work is still queued when its turn comes, and is
+// otherwise discarded without advancing the clock.
+func (s *Scheduler) AtDaemon(t Time, fn func()) {
+	s.schedule(t, fn, true)
+}
+
+// AfterDaemon schedules a daemon event d after the current time.
+func (s *Scheduler) AfterDaemon(d Time, fn func()) { s.AtDaemon(s.now+d, fn) }
+
+func (s *Scheduler) schedule(t Time, fn func(), daemon bool) {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn, daemon: daemon})
+	s.seq++
+	if !daemon {
+		s.work++
+		if s.work > s.maxPending {
+			s.maxPending = s.work
+		}
+	}
+}
+
+// Step runs the next event; it reports false when no regular events
+// remain (any leftover daemon events are dropped, clock untouched).
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	if s.work == 0 {
+		s.events = s.events[:0]
 		return false
 	}
 	e := heap.Pop(&s.events).(event)
+	if !e.daemon {
+		s.work--
+	}
 	s.now = e.at
 	s.ran++
 	e.fn()

@@ -119,6 +119,82 @@ func TestPendingCount(t *testing.T) {
 	}
 }
 
+func TestDaemonEvents(t *testing.T) {
+	// A self-re-arming daemon interleaves with work but never outlives
+	// it: the tick queued past the last work event is discarded and the
+	// clock stays at the final work event.
+	s := NewScheduler()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, s.Now())
+		s.AfterDaemon(2, tick)
+	}
+	s.AtDaemon(0, tick)
+	worked := 0
+	for _, at := range []Time{1, 3, 5} {
+		s.At(at, func() { worked++ })
+	}
+	if s.Pending() != 3 {
+		t.Errorf("pending = %d, want 3 (daemon events excluded)", s.Pending())
+	}
+	if !s.Run(0) {
+		t.Fatal("run hit bound")
+	}
+	if worked != 3 {
+		t.Errorf("ran %d work events, want 3", worked)
+	}
+	// Daemon ticks at 0, 2, 4; the tick armed for 6 is dropped.
+	if len(ticks) != 3 || ticks[0] != 0 || ticks[1] != 2 || ticks[2] != 4 {
+		t.Errorf("daemon ticks = %v, want [0 2 4]", ticks)
+	}
+	if s.Now() != 5 {
+		t.Errorf("final time = %d, want 5 (daemon must not advance the clock)", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after run", s.Pending())
+	}
+	// A daemon scheduled on a drained scheduler never runs.
+	s.AtDaemon(10, func() { t.Error("daemon ran with no work queued") })
+	s.Run(0)
+	if s.Now() != 5 {
+		t.Errorf("time advanced to %d by a work-less daemon", s.Now())
+	}
+}
+
+func TestDaemonTieWithLastWorkEvent(t *testing.T) {
+	// A daemon scheduled earlier than a work event at the same time
+	// still runs (FIFO tie-break); scheduled later, it is dropped.
+	s := NewScheduler()
+	ran := false
+	s.AtDaemon(5, func() { ran = true })
+	s.At(5, func() {})
+	s.Run(0)
+	if !ran {
+		t.Error("earlier-scheduled daemon at tied time did not run")
+	}
+
+	s2 := NewScheduler()
+	s2.At(5, func() {})
+	s2.AtDaemon(5, func() { t.Error("later-scheduled daemon ran after final work event") })
+	s2.Run(0)
+}
+
+func TestMaxPendingExcludesDaemons(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	s.AtDaemon(1, func() {})
+	s.AtDaemon(2, func() {})
+	if s.MaxPending() != 2 {
+		t.Errorf("max pending = %d, want 2", s.MaxPending())
+	}
+	s.Run(0)
+	if s.MaxPending() != 2 {
+		t.Errorf("max pending after run = %d, want 2", s.MaxPending())
+	}
+}
+
 func TestMonotonicClockQuick(t *testing.T) {
 	// Property: for any batch of event times, execution times are
 	// non-decreasing.

@@ -41,7 +41,7 @@ func AdaptiveComparison(o AdaptiveOpts) (*Table, error) {
 	cfgAda.PerPacketRouting = true
 
 	runOne := func(rt route.Router, ord *order.Ordering, cfg netsim.Config) (float64, int64, error) {
-		nw, err := netsim.New(rt, cfg)
+		nw, err := netsim.New(rt, simConfig(cfg))
 		if err != nil {
 			return 0, 0, err
 		}

@@ -71,11 +71,11 @@ func BufferAblation(o BufferOpts) (*Table, error) {
 	for _, b := range o.Buffers {
 		cfg := netsim.DefaultConfig()
 		cfg.BufferPackets = b
-		g, err := goodJob.Simulate(shift, o.Bytes, false, cfg)
+		g, err := goodJob.Simulate(shift, o.Bytes, false, simConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
-		r, err := badJob.Simulate(shift, o.Bytes, false, cfg)
+		r, err := badJob.Simulate(shift, o.Bytes, false, simConfig(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -64,7 +64,7 @@ func ContentionFree(o CFOpts) (*Table, error) {
 	// Uncontended reference: one message of the experiment size across
 	// the fabric diameter. A contention-free stage should take no longer
 	// than this (plus scheduling noise), no matter how many hosts move.
-	nw, err := netsim.New(job.Route, o.Config)
+	nw, err := netsim.New(job.Route, simConfig(o.Config))
 	if err != nil {
 		return nil, err
 	}
@@ -82,11 +82,11 @@ func ContentionFree(o CFOpts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := job.Simulate(seq, o.Bytes, false, o.Config)
+		st, err := job.Simulate(seq, o.Bytes, false, simConfig(o.Config))
 		if err != nil {
 			return nil, err
 		}
-		syncSt, err := job.Simulate(seq, o.Bytes, true, o.Config)
+		syncSt, err := job.Simulate(seq, o.Bytes, true, simConfig(o.Config))
 		if err != nil {
 			return nil, err
 		}

@@ -9,7 +9,25 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"fattree/internal/netsim"
 )
+
+// Instrument, when non-nil, is applied to every netsim.Config just
+// before it drives a simulation — the hook cmd/ftbench uses to attach
+// observability sinks (metrics registry, probe sampler, tracer) to all
+// experiment runs without threading flags through each Opts type. Like
+// UseCompiledPaths it is a package-level toggle: set it before running
+// experiments, not concurrently with them.
+var Instrument func(*netsim.Config)
+
+// simConfig applies the Instrument hook to a config about to be used.
+func simConfig(cfg netsim.Config) netsim.Config {
+	if Instrument != nil {
+		Instrument(&cfg)
+	}
+	return cfg
+}
 
 // Table is a rendered experiment result.
 type Table struct {

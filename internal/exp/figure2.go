@@ -71,11 +71,11 @@ func Figure2(o Figure2Opts) (*Table, error) {
 		Header: []string{"message bytes", "shift norm BW", "recursive-doubling norm BW"},
 	}
 	for _, size := range o.Sizes {
-		sShift, err := job.Simulate(shift, size, false, o.Config)
+		sShift, err := job.Simulate(shift, size, false, simConfig(o.Config))
 		if err != nil {
 			return nil, err
 		}
-		sRD, err := job.Simulate(recdbl, size, false, o.Config)
+		sRD, err := job.Simulate(recdbl, size, false, simConfig(o.Config))
 		if err != nil {
 			return nil, err
 		}

@@ -68,7 +68,7 @@ func JitterSensitivity(o JitterOpts) (*Table, error) {
 	}
 
 	cfg := netsim.DefaultConfig()
-	nw, err := netsim.New(lft, cfg)
+	nw, err := netsim.New(lft, simConfig(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -56,11 +56,11 @@ func CollectiveLatency(o LatencyOpts) (*Table, error) {
 		Header: []string{"message bytes", "flat RD us", "topo-aware us", "winner"},
 	}
 	for _, size := range o.Sizes {
-		fs, err := job.Simulate(flat, size, true, cfg)
+		fs, err := job.Simulate(flat, size, true, simConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
-		ts, err := job.Simulate(ta, size, true, cfg)
+		ts, err := job.Simulate(ta, size, true, simConfig(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"fattree/internal/des"
+	"fattree/internal/netsim"
+	"fattree/internal/obs"
+	"fattree/internal/topo"
+)
+
+// renderAll runs a representative experiment slate and returns the
+// rendered tables as one byte stream.
+func renderAll(t *testing.T) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	cf, err := ContentionFree(CFOpts{
+		Cluster: topo.Cluster128, Bytes: 64 << 10, ShiftStages: 4,
+		Config: netsim.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := RingAdversarial(RingOpts{
+		Cluster: topo.Cluster324, Bytes: 64 << 10,
+		Config: netsim.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{cf, ring} {
+		if err := tab.Render(&out); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.RenderCSV(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestInstrumentPreservesResults mirrors internal/hsd's compiled-vs-walk
+// equivalence test: attaching the full observability stack through the
+// Instrument hook must leave every rendered experiment table
+// byte-identical — observability reads the simulation, never steers it.
+func TestInstrumentPreservesResults(t *testing.T) {
+	if Instrument != nil {
+		t.Fatal("Instrument already set")
+	}
+	base := renderAll(t)
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(io.Discard)
+	sampler := obs.NewSampler(io.Discard, 5*des.Microsecond)
+	Instrument = func(cfg *netsim.Config) {
+		cfg.Metrics = reg
+		cfg.Trace = tracer
+		cfg.Probes = sampler
+	}
+	defer func() { Instrument = nil }()
+	instrumented := renderAll(t)
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampler.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(base, instrumented) {
+		t.Errorf("instrumented experiment output diverged:\n--- off ---\n%s\n--- on ---\n%s",
+			base, instrumented)
+	}
+	if reg.Counter("netsim_messages_delivered_total").Value() == 0 {
+		t.Error("instrumented runs recorded no deliveries")
+	}
+	if tracer.Events() == 0 {
+		t.Error("instrumented runs produced no trace events")
+	}
+}
+
+// TestSimConfigNoHook asserts the hook-off path is an identity copy.
+func TestSimConfigNoHook(t *testing.T) {
+	if Instrument != nil {
+		t.Fatal("Instrument already set")
+	}
+	cfg := netsim.DefaultConfig()
+	got := simConfig(cfg)
+	if got != cfg {
+		t.Errorf("simConfig altered the config with no hook set")
+	}
+}

@@ -34,7 +34,7 @@ func PatternSweep(o PatternOpts) (*Table, error) {
 	lft := route.DModK(tp)
 	n := tp.NumHosts()
 	cfg := netsim.DefaultConfig()
-	nw, err := netsim.New(lft, cfg)
+	nw, err := netsim.New(lft, simConfig(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -51,7 +51,7 @@ func RingAdversarial(o RingOpts) (*Table, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		st, err := job.Simulate(ring, o.Bytes, false, o.Config)
+		st, err := job.Simulate(ring, o.Bytes, false, simConfig(o.Config))
 		if err != nil {
 			return 0, 0, err
 		}

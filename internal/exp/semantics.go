@@ -69,7 +69,7 @@ func SemanticsComparison(o SemanticsOpts) (*Table, error) {
 		}
 		cells := []string{row.name}
 		for _, mode := range []mpi.Mode{mpi.Async, mpi.Dependent, mpi.Barrier} {
-			st, err := job.SimulateMode(row.seq, o.Bytes, mode, cfg)
+			st, err := job.SimulateMode(row.seq, o.Bytes, mode, simConfig(cfg))
 			if err != nil {
 				return nil, err
 			}

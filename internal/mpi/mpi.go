@@ -126,6 +126,11 @@ func (j *Job) Simulate(seq cps.Sequence, bytes int64, sync bool, cfg netsim.Conf
 
 // SimulateMode runs the sequence under the chosen progression semantics.
 func (j *Job) SimulateMode(seq cps.Sequence, bytes int64, mode Mode, cfg netsim.Config) (netsim.Stats, error) {
+	if cfg.Trace != nil && cfg.TraceLabel == "" {
+		// Name the trace's collective-phase lane after the sequence so
+		// a Perfetto view says which CPS the stage markers belong to.
+		cfg.TraceLabel = seq.Name()
+	}
 	nw, err := netsim.New(j.Route, cfg)
 	if err != nil {
 		return netsim.Stats{}, err

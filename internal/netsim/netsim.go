@@ -13,12 +13,14 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
 
 	"fattree/internal/des"
+	"fattree/internal/obs"
 	"fattree/internal/route"
 	"fattree/internal/topo"
 )
@@ -49,10 +51,29 @@ type Config struct {
 	// KeepLatencies retains every message latency so Stats.Percentile
 	// works; off by default to keep big runs lean.
 	KeepLatencies bool
-	// FlowLog, when non-nil, receives one CSV line per completed
-	// message: src,dst,bytes,start_ps,end_ps,latency_ps. Useful for
+	// FlowLog, when non-nil, receives the flow-completion CSV: a
+	// header line (written once per Network) followed by one record
+	// per completed message — src,dst,bytes,start_ps,end_ps,latency_ps.
+	// docs/SIMULATOR.md documents the schema. Useful for
 	// post-processing runs with external tooling.
 	FlowLog io.Writer
+	// Metrics, when non-nil, receives the simulator's counters,
+	// gauges and histograms (metric names in docs/OBSERVABILITY.md).
+	Metrics *obs.Registry
+	// Probes, when non-nil, samples per-link utilization, input-buffer
+	// occupancy, credit stalls and event-queue depth at the sampler's
+	// interval of simulated time, as JSONL. Probe ticks are scheduler
+	// events, so Stats.Events grows slightly when enabled; message
+	// timings and all other Stats fields are unaffected.
+	Probes *obs.Sampler
+	// Trace, when non-nil, records message/packet lifecycle events
+	// (inject, head-arrives, blocked-on-credit, deliver) and per-stage
+	// phase markers in Chrome trace-event form — open the file in
+	// Perfetto or chrome://tracing.
+	Trace *obs.Tracer
+	// TraceLabel names the collective-phase lane of the trace;
+	// mpi.Job.SimulateMode sets it to the sequence name when empty.
+	TraceLabel string
 }
 
 // DefaultConfig returns the paper's calibration.
@@ -114,16 +135,28 @@ type Stats struct {
 	// Latencies holds every message latency, ascending, when
 	// Config.KeepLatencies is set.
 	Latencies []des.Time
+	// KeptLatencies records whether the run retained per-message
+	// latencies (Config.KeepLatencies), so Percentile can distinguish
+	// "retention was off" from "nothing was delivered".
+	KeptLatencies bool
 }
+
+// ErrLatenciesNotKept is returned by Stats.Percentile when the run did
+// not retain per-message latencies.
+var ErrLatenciesNotKept = errors.New(
+	"netsim: latencies were not retained; set Config.KeepLatencies before the run to use Stats.Percentile")
 
 // Percentile returns the p-th (0..100) latency percentile; requires
 // Config.KeepLatencies.
 func (s Stats) Percentile(p float64) (des.Time, error) {
-	if len(s.Latencies) == 0 {
-		return 0, fmt.Errorf("netsim: no retained latencies (set Config.KeepLatencies)")
-	}
 	if p < 0 || p > 100 {
-		return 0, fmt.Errorf("netsim: percentile %v out of range", p)
+		return 0, fmt.Errorf("netsim: percentile %v out of range [0,100]", p)
+	}
+	if len(s.Latencies) == 0 {
+		if !s.KeptLatencies {
+			return 0, ErrLatenciesNotKept
+		}
+		return 0, fmt.Errorf("netsim: no messages were delivered, so no latencies to rank")
 	}
 	idx := int(p / 100 * float64(len(s.Latencies)-1))
 	return s.Latencies[idx], nil
@@ -261,6 +294,11 @@ type Network struct {
 	stats     Stats
 	remaining int // undelivered messages
 	err       error
+
+	// Observability (nil when disabled; see obs.go).
+	ob            *simObs
+	traceMetaDone bool
+	flowHeader    bool
 }
 
 // New creates a simulator for the topology/routing pair.
@@ -301,6 +339,11 @@ func (nw *Network) reset() {
 		upPort := t.Ports[h.Up[0]]
 		upCh := nw.channels[2*int(upPort.Link)]
 		nw.hosts[j] = &hostState{id: j, up: upCh}
+	}
+	nw.ob = nw.newSimObs()
+	if nw.cfg.FlowLog != nil && !nw.flowHeader {
+		nw.flowHeader = true
+		fmt.Fprintln(nw.cfg.FlowLog, "src,dst,bytes,start_ps,end_ps,latency_ps")
 	}
 }
 
@@ -408,6 +451,7 @@ func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (S
 		for j := range nw.hosts {
 			nw.kickHost(nw.hosts[j])
 		}
+		nw.startProbes()
 		if !nw.sched.Run(nw.cfg.MaxEvents) {
 			return Stats{}, fmt.Errorf("netsim: stage %d exceeded %d events", i, nw.cfg.MaxEvents)
 		}
@@ -417,7 +461,9 @@ func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (S
 		if nw.remaining != 0 {
 			return Stats{}, fmt.Errorf("netsim: stage %d deadlocked with %d messages undelivered", i, nw.remaining)
 		}
+		nw.obsFinalSample()
 		durs = append(durs, nw.sched.Now()-last)
+		nw.obsStage(i, len(st), last, nw.sched.Now())
 		last = nw.sched.Now()
 	}
 	st := nw.collect()
@@ -464,6 +510,7 @@ func (nw *Network) finish() (Stats, error) {
 	for j := range nw.hosts {
 		nw.kickHost(nw.hosts[j])
 	}
+	nw.startProbes()
 	if !nw.sched.Run(nw.cfg.MaxEvents) {
 		return Stats{}, fmt.Errorf("netsim: exceeded %d events", nw.cfg.MaxEvents)
 	}
@@ -473,6 +520,7 @@ func (nw *Network) finish() (Stats, error) {
 	if nw.remaining != 0 {
 		return Stats{}, fmt.Errorf("netsim: deadlock with %d messages undelivered", nw.remaining)
 	}
+	nw.obsFinalSample()
 	return nw.collect(), nil
 }
 
@@ -488,6 +536,8 @@ func (nw *Network) collect() Stats {
 		s.LinkBusy[i] = ch.busy
 	}
 	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
+	s.KeptLatencies = nw.cfg.KeepLatencies
+	nw.obsCollect(&s)
 	return s
 }
 
@@ -501,6 +551,9 @@ func (nw *Network) kickHost(h *hostState) {
 	ch := h.up
 	now := nw.sched.Now()
 	if ch.lastBit > now || ch.credits <= 0 {
+		if nw.ob != nil && ch.credits <= 0 && h.nextIn < len(h.queue) {
+			nw.obsHostStall(h, now)
+		}
 		return // retried on channel-free / credit-return events
 	}
 	if h.nextIn >= len(h.queue) {
@@ -535,6 +588,9 @@ func (nw *Network) kickHost(h *hostState) {
 		}
 	}
 	p := &packet{msg: m, size: size, seq: m.sentPkts, path: path, tailArrive: now}
+	if nw.ob != nil {
+		nw.obsInject(h, p, now)
+	}
 	m.sentPkts++
 	if m.sentPkts == m.packets {
 		// Message fully handed to the NIC queue; the *next* message
@@ -563,6 +619,9 @@ func (nw *Network) transmit(p *packet, ch *channel, fromBuf *channel) {
 	ch.lastBit = tail
 	ch.busy += tail - start
 	ch.credits--
+	if nw.ob != nil {
+		nw.obsTransmit(p, ch, start, tail-start)
+	}
 	p.hop++
 	headerAt := start + nw.cfg.LinkLatency
 	if nw.t.Node(ch.to).Kind == topo.Switch {
@@ -576,6 +635,9 @@ func (nw *Network) transmit(p *packet, ch *channel, fromBuf *channel) {
 // arriveHeader lands the packet's header at ch's receiver.
 func (nw *Network) arriveHeader(p *packet, ch *channel, tailArrive des.Time) {
 	p.tailArrive = tailArrive
+	if nw.ob != nil {
+		nw.obsHeadArrives(ch, nw.sched.Now())
+	}
 	to := nw.t.Node(ch.to)
 	if to.Kind == topo.Host {
 		// Delivery completes when the tail arrives.
@@ -622,6 +684,9 @@ func (nw *Network) tryForward(out *channel) {
 			continue
 		}
 		nw.transmit(p, out, in)
+	}
+	if nw.ob != nil && len(out.reqs) > 0 && out.credits <= 0 && out.lastBit <= now {
+		nw.obsSwitchStall(out, now)
 	}
 }
 
@@ -684,9 +749,15 @@ func (nw *Network) deliver(p *packet, ch *channel) {
 	m := p.msg
 	if p.seq != m.recvPkts {
 		nw.stats.OutOfOrderPackets++
+		if nw.ob != nil {
+			nw.ob.outOfOrder.Inc()
+		}
 	}
 	m.recvPkts++
 	nw.stats.BytesDelivered += p.size
+	if nw.ob != nil {
+		nw.obsDeliverPacket(p)
+	}
 	if m.recvPkts == m.packets {
 		nw.stats.MessagesDelivered++
 		nw.remaining--
@@ -696,6 +767,9 @@ func (nw *Network) deliver(p *packet, ch *channel) {
 			nw.advanceReady(dh)
 		}
 		lat := nw.sched.Now() - m.startedAt
+		if nw.ob != nil {
+			nw.obsDeliverMessage(m, lat, nw.sched.Now())
+		}
 		if nw.cfg.FlowLog != nil {
 			fmt.Fprintf(nw.cfg.FlowLog, "%d,%d,%d,%d,%d,%d\n",
 				m.Src, m.Dst, m.Bytes, m.startedAt, nw.sched.Now(), lat)

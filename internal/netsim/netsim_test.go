@@ -681,9 +681,13 @@ func TestFlowLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("flow log has %d lines, want 2:\n%s", len(lines), log.String())
+	if len(lines) != 3 {
+		t.Fatalf("flow log has %d lines, want header + 2 records:\n%s", len(lines), log.String())
 	}
+	if lines[0] != "src,dst,bytes,start_ps,end_ps,latency_ps" {
+		t.Fatalf("flow log header = %q", lines[0])
+	}
+	lines = lines[1:]
 	totalLat := des.Time(0)
 	for _, line := range lines {
 		var src, dst int

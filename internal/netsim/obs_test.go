@@ -1,0 +1,361 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fattree/internal/des"
+	"fattree/internal/obs"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func fig1Messages() []Message {
+	return []Message{
+		{Src: 0, Dst: 5, Bytes: 4096},
+		{Src: 1, Dst: 9, Bytes: 2048},
+		{Src: 4, Dst: 0, Bytes: 6000},
+	}
+}
+
+// TestObservabilityEquivalence mirrors internal/hsd's compiled
+// equivalence test: enabling metrics and tracing must leave every Stats
+// field bit-identical, and enabling probes may change only Events (the
+// sampler's own ticks run on the scheduler).
+func TestObservabilityEquivalence(t *testing.T) {
+	lft := fig1LFT()
+	msgs := fig1Messages()
+	stages := [][]Message{msgs[:2], msgs[2:]}
+	// Dependent semantics need stage-1 participants to have stage-0
+	// activity to gate on — a 2-stage recursive-doubling slice.
+	depStages := [][]Message{
+		{{Src: 0, Dst: 1, Bytes: 4096}, {Src: 1, Dst: 0, Bytes: 4096}},
+		{{Src: 0, Dst: 2, Bytes: 2048}, {Src: 1, Dst: 3, Bytes: 2048}},
+	}
+
+	type runFn func(nw *Network) (Stats, error)
+	runs := []struct {
+		name string
+		fn   runFn
+	}{
+		{"async", func(nw *Network) (Stats, error) { return nw.Run(msgs) }},
+		{"barrier", func(nw *Network) (Stats, error) { return nw.RunStages(stages) }},
+		{"dependent", func(nw *Network) (Stats, error) { return nw.RunDependent(depStages) }},
+	}
+	for _, run := range runs {
+		base := DefaultConfig()
+		base.KeepLatencies = true
+		nw, err := New(lft, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := run.fn(nw)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", run.name, err)
+		}
+
+		// Metrics + trace attached: everything identical.
+		cfg := base
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Trace = obs.NewTracer(&bytes.Buffer{})
+		nw2, err := New(lft, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run.fn(nw2)
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", run.name, err)
+		}
+		if err := cfg.Trace.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: metrics+trace perturbed Stats\nbase: %+v\nobs:  %+v", run.name, want, got)
+		}
+		if cfg.Metrics.Counter("netsim_messages_delivered_total").Value() != want.MessagesDelivered {
+			t.Errorf("%s: registry delivered %d, stats %d", run.name,
+				cfg.Metrics.Counter("netsim_messages_delivered_total").Value(), want.MessagesDelivered)
+		}
+
+		// Probes attached: identical except the sampler's own events.
+		var probeOut bytes.Buffer
+		cfg3 := base
+		cfg3.Probes = obs.NewSampler(&probeOut, 2*des.Microsecond)
+		nw3, err := New(lft, cfg3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got3, err := run.fn(nw3)
+		if err != nil {
+			t.Fatalf("%s probed: %v", run.name, err)
+		}
+		if err := cfg3.Probes.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got3.Events < want.Events {
+			t.Errorf("%s: probed run executed fewer events (%d < %d)", run.name, got3.Events, want.Events)
+		}
+		got3.Events = want.Events
+		if !reflect.DeepEqual(want, got3) {
+			t.Errorf("%s: probes perturbed Stats beyond Events\nbase:   %+v\nprobed: %+v", run.name, want, got3)
+		}
+		if probeOut.Len() == 0 {
+			t.Errorf("%s: no probe samples emitted", run.name)
+		}
+	}
+}
+
+// TestTraceGoldenSmallRun pins the full Chrome trace of a tiny
+// deterministic run — the end-to-end golden for the trace exporter.
+// Regenerate with `go test ./internal/netsim -run TraceGolden -update`.
+func TestTraceGoldenSmallRun(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 1}, []int{1, 1}))
+	lft := route.DModK(tp)
+	cfg := DefaultConfig()
+	var buf bytes.Buffer
+	cfg.Trace = obs.NewTracer(&buf)
+	cfg.TraceLabel = "golden"
+	nw, err := New(lft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunStages([][]Message{
+		{{Src: 0, Dst: 3, Bytes: 2048}},
+		{{Src: 3, Dst: 0, Bytes: 2048}, {Src: 1, Dst: 2, Bytes: 4096}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_small_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverges from golden (%d vs %d bytes); run -update and inspect the diff",
+			buf.Len(), len(want))
+	}
+}
+
+// chromeTrace is the schema subset needed to validate exported traces.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string                 `json:"name"`
+		Ph   string                 `json:"ph"`
+		Pid  int                    `json:"pid"`
+		Tid  int                    `json:"tid"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTrace324RLFTValid runs one Shift stage of the paper's 324-node
+// RLFT with full observability attached and validates the produced
+// Chrome trace document — the acceptance check behind
+// `ftsim -trace out.json -topo 324`.
+func TestTrace324RLFTValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("324-node simulation in -short mode")
+	}
+	tp := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(tp)
+	n := tp.NumHosts()
+	cfg := DefaultConfig()
+	var traceBuf, probeBuf bytes.Buffer
+	cfg.Trace = obs.NewTracer(&traceBuf)
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Probes = obs.NewSampler(&probeBuf, 10*des.Microsecond)
+	nw, err := New(lft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = Message{Src: i, Dst: (i + 5) % n, Bytes: 8 << 10}
+	}
+	st, err := nw.RunStages([][]Message{msgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Probes.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(traceBuf.Bytes(), &ct); err != nil {
+		t.Fatalf("324-node trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+	phases := map[string]bool{}
+	names := map[string]bool{}
+	for _, ev := range ct.TraceEvents {
+		phases[ev.Ph] = true
+		names[ev.Name] = true
+	}
+	for _, ph := range []string{"M", "i", "X", "C"} {
+		if !phases[ph] {
+			t.Errorf("trace lacks ph=%q events", ph)
+		}
+	}
+	for _, name := range []string{"inject", "head-arrives", "deliver", "stage 0", "event_queue"} {
+		if !names[name] {
+			t.Errorf("trace lacks %q events", name)
+		}
+	}
+	// Registry totals must agree with Stats.
+	if got := cfg.Metrics.Counter("netsim_messages_delivered_total").Value(); got != st.MessagesDelivered {
+		t.Errorf("metrics delivered %d, stats %d", got, st.MessagesDelivered)
+	}
+	if got := cfg.Metrics.Counter("netsim_bytes_delivered_total").Value(); got != st.BytesDelivered {
+		t.Errorf("metrics bytes %d, stats %d", got, st.BytesDelivered)
+	}
+	// Probe JSONL must contain link_util samples with one value per
+	// directed channel.
+	var sawUtil bool
+	for _, line := range strings.Split(strings.TrimSpace(probeBuf.String()), "\n") {
+		var rec struct {
+			T      int64     `json:"t_ps"`
+			Series string    `json:"series"`
+			Values []float64 `json:"values"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad probe line %q: %v", line, err)
+		}
+		if rec.Series == "link_util" {
+			sawUtil = true
+			if len(rec.Values) != 2*len(tp.Links) {
+				t.Fatalf("link_util has %d values, want %d", len(rec.Values), 2*len(tp.Links))
+			}
+		}
+	}
+	if !sawUtil {
+		t.Error("no link_util samples in probe output")
+	}
+}
+
+// TestProbeSnapshotWhileRunning samples the metrics registry from a
+// second goroutine while the simulation runs — the -race proof that
+// observability reads are safe concurrent with the hot path.
+func TestProbeSnapshotWhileRunning(t *testing.T) {
+	lft := fig1LFT()
+	cfg := DefaultConfig()
+	cfg.Metrics = obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	cfg.Trace = obs.NewTracer(&traceBuf)
+	nw, err := New(lft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			snap := cfg.Metrics.Snapshot()
+			if snap.Counters["netsim_messages_delivered_total"] > 12 {
+				t.Error("impossible delivery count")
+			}
+			cfg.Trace.Events()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	msgs := make([]Message, 0, 12)
+	for i := 0; i < 12; i++ {
+		msgs = append(msgs, Message{Src: i % 16, Dst: (i + 7) % 16, Bytes: 64 << 10})
+	}
+	_, err = nw.Run(msgs)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	lft := fig1LFT()
+	nw, _ := New(lft, DefaultConfig())
+	st, err := nw.Run([]Message{{Src: 0, Dst: 5, Bytes: 2048}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KeptLatencies {
+		t.Error("KeptLatencies set without Config.KeepLatencies")
+	}
+	if _, err := st.Percentile(50); !errors.Is(err, ErrLatenciesNotKept) {
+		t.Errorf("Percentile without retention = %v, want ErrLatenciesNotKept", err)
+	}
+	cfg := DefaultConfig()
+	cfg.KeepLatencies = true
+	nw2, _ := New(lft, cfg)
+	st2, err := nw2.Run([]Message{{Src: 0, Dst: 5, Bytes: 2048}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.KeptLatencies {
+		t.Error("KeptLatencies not set")
+	}
+	if _, err := st2.Percentile(50); err != nil {
+		t.Errorf("Percentile with retention: %v", err)
+	}
+	if _, err := st2.Percentile(-1); err == nil || errors.Is(err, ErrLatenciesNotKept) {
+		t.Errorf("Percentile(-1) = %v, want a range error", err)
+	}
+}
+
+// TestFlowLogHeaderOncePerNetwork asserts repeated runs on one Network
+// write a single header.
+func TestFlowLogHeaderOncePerNetwork(t *testing.T) {
+	lft := fig1LFT()
+	cfg := DefaultConfig()
+	var log bytes.Buffer
+	cfg.FlowLog = &log
+	nw, _ := New(lft, cfg)
+	for i := 0; i < 2; i++ {
+		if _, err := nw.Run([]Message{{Src: 0, Dst: 5, Bytes: 2048}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("flow log has %d lines, want 1 header + 2 records:\n%s", len(lines), log.String())
+	}
+	headers := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "src,") {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Errorf("flow log has %d headers, want 1", headers)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree/internal/des"
+)
+
+// FileSinks wires the uniform -trace and -metrics command-line flags
+// the cmd/* tools share: a Chrome trace-event file and a JSONL stream
+// of time-series probes closed by a final registry snapshot. Typical
+// use:
+//
+//	var sinks obs.FileSinks
+//	sinks.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := sinks.Open(); err != nil { ... }
+//	cfg.Metrics, cfg.Probes, cfg.Trace = sinks.Registry, sinks.Sampler, sinks.Tracer
+//	... run ...
+//	err = sinks.Close()
+//
+// With neither flag set every field stays nil, so attaching the sinks
+// to a netsim.Config keeps the simulator's observability disabled.
+type FileSinks struct {
+	TracePath   string
+	MetricsPath string
+	// Interval is the probe sampling period; NewSampler's default
+	// (1 us of simulated time) applies when zero.
+	Interval des.Time
+
+	Registry *Registry
+	Tracer   *Tracer
+	Sampler  *Sampler
+
+	traceFile   *os.File
+	metricsFile *os.File
+}
+
+// RegisterFlags adds -trace and -metrics to fs.
+func (s *FileSinks) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&s.TracePath, "trace", "",
+		"write lifecycle events to `file` in Chrome trace-event format (open in Perfetto or chrome://tracing)")
+	fs.StringVar(&s.MetricsPath, "metrics", "",
+		"write metrics and time-series probes to `file` as JSONL")
+}
+
+// Enabled reports whether either flag was given.
+func (s *FileSinks) Enabled() bool {
+	return s != nil && (s.TracePath != "" || s.MetricsPath != "")
+}
+
+// Open creates the requested files and builds the sinks; a no-op when
+// neither flag was given.
+func (s *FileSinks) Open() error {
+	if !s.Enabled() {
+		return nil
+	}
+	s.Registry = NewRegistry()
+	if s.TracePath != "" {
+		f, err := os.Create(s.TracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		s.traceFile = f
+		s.Tracer = NewTracer(f)
+	}
+	if s.MetricsPath != "" {
+		f, err := os.Create(s.MetricsPath)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		s.metricsFile = f
+		s.Sampler = NewSampler(f, s.Interval)
+	}
+	return nil
+}
+
+// Close appends the final registry snapshot to the metrics stream as a
+// {"snapshot":{...}} record, terminates the trace document and closes
+// both files, reporting the first error seen. Safe to call when Open
+// was a no-op or never ran.
+func (s *FileSinks) Close() error {
+	if !s.Enabled() {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if s.Sampler != nil {
+		s.Sampler.Record(struct {
+			Snapshot Snapshot `json:"snapshot"`
+		}{s.Registry.Snapshot()})
+		keep(s.Sampler.Flush())
+	}
+	if s.Tracer != nil {
+		keep(s.Tracer.Close())
+	}
+	if s.metricsFile != nil {
+		keep(s.metricsFile.Close())
+	}
+	if s.traceFile != nil {
+		keep(s.traceFile.Close())
+	}
+	if first != nil {
+		return fmt.Errorf("closing observability sinks: %w", first)
+	}
+	return nil
+}
