@@ -4,7 +4,7 @@ GO ?= go
 # Benchmark iteration budget; CI smoke runs use BENCHTIME=1x.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test race bench bench-json experiments experiments-quick fuzz clean
+.PHONY: all build vet test race bench bench-json bench-track bench-gate report experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -27,6 +27,22 @@ bench:
 # tracking perf over time (one dated JSON stream per run).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -json . > BENCH_$$(date +%Y-%m-%d).json
+
+# Ingest today's bench-json output into results/bench/ and compare
+# against the baseline (first recorded run seeds it).
+bench-track: bench-json
+	$(GO) run ./cmd/ftreport bench -in BENCH_$$(date +%Y-%m-%d).json
+
+# Same, but fail (non-zero exit) on regressions beyond tolerance.
+bench-gate: bench-json
+	$(GO) run ./cmd/ftreport bench -in BENCH_$$(date +%Y-%m-%d).json -gate
+
+# End-to-end observability smoke: simulate a small cluster with probes
+# and tracing on, then render the self-contained HTML report.
+report:
+	$(GO) run ./cmd/ftsim -topo 128 -cps recursive-doubling -order random \
+		-mode barrier -metrics probes.jsonl -trace trace.json
+	$(GO) run ./cmd/ftreport html -metrics probes.jsonl -trace trace.json -o report.html
 
 # Regenerate every table and figure at paper scale (minutes).
 experiments:

@@ -29,6 +29,7 @@ func main() {
 		which    = flag.String("exp", "all", "experiment: f1 | f2 | f3 | t3 | ring | cf | wrap | routing | bidir | semantics | placement | latency | taper | patterns | adaptive | jitter | buffers | jobs | queue | faults | all")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast run")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit JSON (fattree-table/v1) instead of aligned text")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
 		sinks    obs.FileSinks
 	)
@@ -50,7 +51,7 @@ func main() {
 		err = pf.Start()
 	}
 	if err == nil {
-		err = run(*which, *quick, *csvOut)
+		err = run(*which, *quick, *csvOut, *jsonOut)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -64,7 +65,7 @@ func main() {
 	}
 }
 
-func run(which string, quick, csvOut bool) error {
+func run(which string, quick, csvOut, jsonOut bool) error {
 	sel := map[string]bool{}
 	for _, w := range strings.Split(which, ",") {
 		sel[strings.TrimSpace(w)] = true
@@ -79,7 +80,10 @@ func run(which string, quick, csvOut bool) error {
 	}
 	out := os.Stdout
 	emit := func(t *exp.Table) error {
-		if csvOut {
+		switch {
+		case jsonOut:
+			return t.RenderJSON(out)
+		case csvOut:
 			return t.RenderCSV(out)
 		}
 		return t.Render(out)

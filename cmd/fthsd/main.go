@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 	"fattree/internal/obs"
 	"fattree/internal/obs/prof"
 	"fattree/internal/order"
+	"fattree/internal/report"
 	"fattree/internal/route"
 	"fattree/internal/topo"
 )
@@ -39,6 +41,7 @@ func main() {
 		perStage = flag.Bool("stages", false, "print per-stage detail")
 		levels   = flag.Bool("levels", false, "print the per-tree-level breakdown of the worst stage")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
+		jsonOut  = flag.Bool("json", false, "emit the full per-stage report as JSON (fattree-blame/v1) instead of text")
 		sinks    obs.FileSinks
 	)
 	sinks.RegisterFlags(flag.CommandLine)
@@ -49,7 +52,7 @@ func main() {
 		err = pf.Start()
 	}
 	if err == nil {
-		err = run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled, &sinks)
+		err = run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled, *jsonOut, &sinks)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -98,7 +101,7 @@ func emitObs(rep *hsd.Report, sinks *obs.FileSinks) {
 	}
 }
 
-func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled bool, sinks *obs.FileSinks) error {
+func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled, jsonOut bool, sinks *obs.FileSinks) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -151,18 +154,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 
 	switch ordering {
 	case "topology":
-		o := order.Topology(n, active)
-		rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
-		if err != nil {
-			return err
-		}
-		emitObs(rep, sinks)
-		printReport(rep, perStage)
-		if levels {
-			if err := printLevels(lft, o, seq, rep); err != nil {
-				return err
-			}
-		}
+		return analyzeOne(rt, lft, order.Topology(n, active), seq, perStage, levels, jsonOut, sinks)
 	case "adversarial":
 		o, err := order.Adversarial(t)
 		if err != nil {
@@ -171,18 +163,14 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		if active != nil {
 			return fmt.Errorf("adversarial ordering supports full population only")
 		}
-		rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
-		if err != nil {
-			return err
-		}
-		emitObs(rep, sinks)
-		printReport(rep, perStage)
-		if levels {
-			if err := printLevels(lft, o, seq, rep); err != nil {
-				return err
-			}
-		}
+		return analyzeOne(rt, lft, o, seq, perStage, levels, jsonOut, sinks)
 	case "random":
+		if jsonOut && seeds == 1 {
+			return analyzeOne(rt, lft, order.Random(n, active, 0), seq, perStage, levels, true, sinks)
+		}
+		if jsonOut {
+			return fmt.Errorf("-json needs a single ordering; use -seeds 1")
+		}
 		var orders []*order.Ordering
 		for s := 0; s < seeds; s++ {
 			orders = append(orders, order.Random(n, active, int64(s)))
@@ -203,6 +191,31 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		fmt.Printf("  avg max HSD: mean %.3f  min %.3f  max %.3f\n", sw.Mean, sw.Min, sw.Max)
 	default:
 		return fmt.Errorf("unknown ordering %q", ordering)
+	}
+	return nil
+}
+
+// analyzeOne reports a single ordering: the usual text summary, or with
+// jsonOut the full per-stage blame report (fattree-blame/v1) on stdout.
+// The obs sinks are fed either way.
+func analyzeOne(rt route.Router, lft *route.LFT, o *order.Ordering, seq cps.Sequence, perStage, levels, jsonOut bool, sinks *obs.FileSinks) error {
+	rep, err := hsd.AnalyzeParallel(rt, o, seq, 0)
+	if err != nil {
+		return err
+	}
+	emitObs(rep, sinks)
+	if jsonOut {
+		blame, err := report.BuildBlame(rt, o, seq)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(blame)
+	}
+	printReport(rep, perStage)
+	if levels {
+		return printLevels(lft, o, seq, rep)
 	}
 	return nil
 }

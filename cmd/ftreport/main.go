@@ -1,0 +1,349 @@
+// Command ftreport turns the toolchain's telemetry into reports:
+//
+//	ftreport blame -topo 324 -cps recursive-doubling -order random
+//	    attributes every overloaded link to the exact flows crossing it
+//	    (the HSD model with flow tracking), as a table or -json.
+//
+//	ftreport html -metrics probes.jsonl -trace trace.json -o report.html
+//	    renders the simulator's probe and trace streams into one
+//	    self-contained HTML file: link-utilization heatmap, stage
+//	    timeline, sparklines and quantile tables. No external assets.
+//
+//	ftreport bench -in BENCH_2026-08-05.json
+//	    ingests `make bench-json` output into the dated history under
+//	    results/bench/, compares against the baseline and, with -gate,
+//	    exits non-zero on regressions beyond -tolerance.
+//
+// See docs/OBSERVABILITY.md for every schema this command reads and
+// writes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"fattree/internal/mpi"
+	"fattree/internal/order"
+	"fattree/internal/report"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "blame":
+		err = cmdBlame(os.Args[2:])
+	case "html":
+		err = cmdHTML(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ftreport: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == errGate {
+			// The gate's whole point is the exit code; the table already
+			// told the story.
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "ftreport:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ftreport <blame|html|bench> [flags]
+
+  blame  attribute overloaded links to the flows crossing them
+  html   render probe/trace streams into a self-contained HTML report
+  bench  track benchmark history and gate on regressions
+
+Run 'ftreport <subcommand> -h' for flags.`)
+}
+
+// outWriter opens the -o target, defaulting to stdout.
+func outWriter(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+// closeOut closes w unless it is stdout.
+func closeOut(w io.WriteCloser) error {
+	if w == os.Stdout {
+		return nil
+	}
+	return w.Close()
+}
+
+func cmdBlame(args []string) error {
+	fs := flag.NewFlagSet("ftreport blame", flag.ExitOnError)
+	var (
+		spec     = fs.String("topo", "324", "topology spec")
+		cpsName  = fs.String("cps", "recursive-doubling", "CPS: shift | ring | binomial | dissemination | tournament | recursive-doubling | recursive-halving | topo-aware")
+		ordering = fs.String("order", "random", "ordering: topology | random | adversarial")
+		seed     = fs.Int64("seed", 0, "seed for the random ordering")
+		drop     = fs.Int("drop", 0, "randomly exclude this many end-ports (partial job)")
+		dropSeed = fs.Int64("drop-seed", 1, "seed for the exclusion draw")
+		asJSON   = fs.Bool("json", false, "emit the machine-readable report instead of the table")
+		top      = fs.Int("top", 8, "flows to print per hot link in the table (0 = all)")
+		outPath  = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	rep, err := buildBlame(*spec, *cpsName, *ordering, *seed, *drop, *dropSeed)
+	if err != nil {
+		return err
+	}
+	w, err := outWriter(*outPath)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = rep.WriteBlameTable(w, *top)
+	}
+	if cerr := closeOut(w); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// buildBlame assembles topology, routing, ordering and sequence the
+// same way fthsd does, then runs the tracked analysis.
+func buildBlame(spec, cpsName, ordering string, seed int64, drop int, dropSeed int64) (*report.BlameReport, error) {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumHosts()
+	var active []int
+	if drop > 0 {
+		r := rand.New(rand.NewSource(dropSeed))
+		perm := r.Perm(n)
+		active = append([]int(nil), perm[drop:]...)
+	}
+	var lft *route.LFT
+	if active == nil {
+		lft = route.DModK(t)
+	} else {
+		lft, err = route.DModKActive(t, active)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt, err := route.Compile(lft)
+	if err != nil {
+		return nil, err
+	}
+	jobSize := n
+	if active != nil {
+		jobSize = len(active)
+	}
+	var o *order.Ordering
+	switch ordering {
+	case "topology":
+		o = order.Topology(n, active)
+	case "random":
+		o = order.Random(n, active, seed)
+	case "adversarial":
+		if active != nil {
+			return nil, fmt.Errorf("adversarial ordering supports full population only")
+		}
+		o, err = order.Adversarial(t)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown ordering %q", ordering)
+	}
+	if cpsName == "topo-aware" {
+		s, err := mpi.NewTopoAwareSequence(g.M, active)
+		if err != nil {
+			return nil, err
+		}
+		return report.BuildBlame(rt, o, s)
+	}
+	s, err := mpi.NewSequence(mpi.CPSKind(cpsName), jobSize)
+	if err != nil {
+		return nil, err
+	}
+	return report.BuildBlame(rt, o, s)
+}
+
+func cmdHTML(args []string) error {
+	fs := flag.NewFlagSet("ftreport html", flag.ExitOnError)
+	var (
+		metrics = fs.String("metrics", "", "probe JSONL stream (from -metrics of ftsim/fthsd)")
+		trace   = fs.String("trace", "", "Chrome trace file (from -trace of ftsim/fthsd)")
+		outPath = fs.String("o", "report.html", "output HTML file (- for stdout)")
+		title   = fs.String("title", "", "report title")
+		stamp   = fs.Bool("stamp", true, "include a generation timestamp (disable for reproducible output)")
+		maxRows = fs.Int("max-heatmap-rows", 64, "cap on heatmap channel rows")
+	)
+	fs.Parse(args)
+	if *metrics == "" && *trace == "" {
+		return fmt.Errorf("html: need -metrics and/or -trace")
+	}
+	var probes *report.ProbeData
+	if *metrics != "" {
+		f, err := os.Open(*metrics)
+		if err != nil {
+			return err
+		}
+		probes, err = report.ParseProbes(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var tr *report.TraceData
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		tr, err = report.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	opt := report.HTMLOptions{
+		Title:          *title,
+		MetricsFile:    filepath.Base(*metrics),
+		TraceFile:      filepath.Base(*trace),
+		MaxHeatmapRows: *maxRows,
+	}
+	if *metrics == "" {
+		opt.MetricsFile = ""
+	}
+	if *trace == "" {
+		opt.TraceFile = ""
+	}
+	if *stamp {
+		opt.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	w, err := outWriter(*outPath)
+	if err != nil {
+		return err
+	}
+	err = report.RenderHTML(w, probes, tr, opt)
+	if cerr := closeOut(w); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// errGate signals a failed -gate; main maps it to a bare exit 1.
+var errGate = fmt.Errorf("bench gate failed")
+
+var dateInName = regexp.MustCompile(`\d{4}-\d{2}-\d{2}`)
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("ftreport bench", flag.ExitOnError)
+	var (
+		in        = fs.String("in", "", "bench output to ingest: `go test -json` or plain -bench text (- for stdin); empty compares newest history entry only")
+		history   = fs.String("history", filepath.Join("results", "bench"), "history directory")
+		date      = fs.String("date", "", "date of the run (YYYY-MM-DD; default from -in filename, else today)")
+		label     = fs.String("label", "", "freeform label stored with the run")
+		baseline  = fs.String("baseline", "", "baseline run to compare against (default <history>/baseline.json)")
+		tolerance = fs.Float64("tolerance", 0.10, "allowed slowdown fraction before a bench counts as regressed")
+		gate      = fs.Bool("gate", false, "exit non-zero when regressions exceed tolerance")
+		noSave    = fs.Bool("no-save", false, "compare only; do not write the run into the history")
+	)
+	fs.Parse(args)
+
+	var cur *report.BenchRun
+	if *in != "" {
+		var r io.Reader
+		if *in == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		results, err := report.ParseGoBench(r)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("bench: no benchmark results found in %s", *in)
+		}
+		d := *date
+		if d == "" {
+			d = dateInName.FindString(filepath.Base(*in))
+		}
+		if d == "" {
+			d = time.Now().UTC().Format("2006-01-02")
+		}
+		cur = &report.BenchRun{Date: d, Label: *label, Results: results}
+		if !*noSave {
+			path, seeded, err := report.SaveRun(*history, cur)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d benchmarks in %s\n", len(results), path)
+			if seeded {
+				fmt.Printf("seeded %s from this run; future gates compare against it\n",
+					filepath.Join(*history, "baseline.json"))
+				return nil
+			}
+		}
+	} else {
+		runs, err := report.LoadHistory(*history)
+		if err != nil {
+			return err
+		}
+		if len(runs) == 0 {
+			return fmt.Errorf("bench: no runs under %s; ingest one with -in", *history)
+		}
+		cur = runs[len(runs)-1]
+	}
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath = filepath.Join(*history, "baseline.json")
+	}
+	base, err := report.LoadRun(basePath)
+	if err != nil {
+		return fmt.Errorf("bench: loading baseline: %w", err)
+	}
+	c := report.Compare(base, cur, *tolerance)
+	if err := c.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if *gate && c.Regressions > 0 {
+		return errGate
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ package exp
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -113,6 +114,32 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RenderJSON writes the table as one JSON object, rows as objects keyed
+// by header name — the shape downstream tooling (ftreport, notebooks)
+// wants, without parsing aligned text or CSV comments.
+func (t *Table) RenderJSON(w io.Writer) error {
+	rows := make([]map[string]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(t.Header))
+		for i, h := range t.Header {
+			if i < len(row) {
+				m[h] = row[i]
+			}
+		}
+		rows = append(rows, m)
+	}
+	doc := struct {
+		Schema string              `json:"schema"`
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+		Notes  []string            `json:"notes,omitempty"`
+	}{"fattree-table/v1", t.Title, t.Header, rows, t.Notes}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Cell returns the value of the first row matching key in column 0, for

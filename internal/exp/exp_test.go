@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -538,6 +539,37 @@ func TestRenderCSV(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("CSV missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x", "1"}, {"y", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string              `json:"schema"`
+		Title  string              `json:"title"`
+		Rows   []map[string]string `json:"rows"`
+		Notes  []string            `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("RenderJSON output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "fattree-table/v1" || doc.Title != "T" {
+		t.Errorf("envelope = %q %q", doc.Schema, doc.Title)
+	}
+	if len(doc.Rows) != 2 || doc.Rows[0]["a"] != "x" || doc.Rows[1]["b"] != "2" {
+		t.Errorf("rows = %v", doc.Rows)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "a note" {
+		t.Errorf("notes = %v", doc.Notes)
 	}
 }
 

@@ -1,0 +1,136 @@
+package hsd
+
+import (
+	"testing"
+
+	"fattree/internal/cps"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// stagePairs translates one CPS stage to end-port pairs under o.
+func stagePairs(t *testing.T, o *order.Ordering, seq cps.Sequence, stage int) [][2]int {
+	t.Helper()
+	st := seq.Stage(stage)
+	pairs := make([][2]int, 0, len(st))
+	for _, p := range st {
+		pairs = append(pairs, [2]int{o.HostOf[p.Src], o.HostOf[p.Dst]})
+	}
+	return pairs
+}
+
+// TestStageFlowsMatchCounters pins the tracking invariant on the paper's
+// 324-node cluster: for every directed link the recorded flow set has
+// exactly as many members as the bare counter, on both the compiled
+// fast path and the table-walk path, and the stage summary is identical
+// with tracking on and off.
+func TestStageFlowsMatchCounters(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(tp)
+	compiled, err := route.Compile(lft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := order.Random(tp.NumHosts(), nil, 7)
+	pairs := stagePairs(t, o, cps.RecursiveDoubling(tp.NumHosts()), 3)
+
+	for _, rt := range []route.Router{lft, compiled} {
+		plain := NewAnalyzer(rt)
+		base, err := plain.Stage(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseUp, baseDown := plain.LinkLoads(nil, nil)
+
+		a := NewAnalyzer(rt)
+		a.SetTrackFlows(true)
+		got, err := a.Stage(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("%s: tracked summary %+v != plain %+v", rt.Label(), got, base)
+		}
+		hot := 0
+		for l := range tp.Links {
+			for _, up := range []bool{true, false} {
+				want := baseDown[l]
+				if up {
+					want = baseUp[l]
+				}
+				flows := a.StageFlows(topo.LinkID(l), up)
+				if len(flows) != int(want) {
+					t.Fatalf("%s: link %d up=%v: %d tracked flows, counter %d",
+						rt.Label(), l, up, len(flows), want)
+				}
+				if want > 1 {
+					hot++
+				}
+				// Every member must really cross the link: re-walk it.
+				for _, fi := range flows {
+					p := pairs[fi]
+					found := false
+					err := rt.Walk(p[0], p[1], func(link topo.LinkID, u bool) {
+						if int(link) == l && u == up {
+							found = true
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !found {
+						t.Fatalf("%s: flow %d->%d blamed on link %d up=%v it never crosses",
+							rt.Label(), p[0], p[1], l, up)
+					}
+				}
+			}
+		}
+		if hot == 0 {
+			t.Errorf("%s: random ordering produced no hot links (want contention)", rt.Label())
+		}
+	}
+}
+
+// TestStageFlowsContentionFree checks the negative space: under D-Mod-K
+// with the topology-aware ordering and the topo-aware recursive
+// doubling every recorded flow set has at most one member, matching the
+// paper's contention-freedom claim.
+func TestStageFlowsContentionFree(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	lft := route.DModK(tp)
+	o := order.Topology(tp.NumHosts(), nil)
+	seq, err := cps.TopoAwareRecursiveDoubling(tp.Spec.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(lft)
+	a.SetTrackFlows(true)
+	pairs := make([][2]int, 0, tp.NumHosts())
+	for s := 0; s < seq.NumStages(); s++ {
+		pairs = pairs[:0]
+		for _, p := range seq.Stage(s) {
+			pairs = append(pairs, [2]int{o.HostOf[p.Src], o.HostOf[p.Dst]})
+		}
+		sr, err := a.Stage(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.MaxHSD > 1 {
+			t.Fatalf("stage %d: max HSD %d under topology ordering", s, sr.MaxHSD)
+		}
+		for l := range tp.Links {
+			if n := len(a.StageFlows(topo.LinkID(l), true)); n > 1 {
+				t.Fatalf("stage %d: link %d up tracked %d flows", s, l, n)
+			}
+			if n := len(a.StageFlows(topo.LinkID(l), false)); n > 1 {
+				t.Fatalf("stage %d: link %d down tracked %d flows", s, l, n)
+			}
+		}
+	}
+	// Tracking off: StageFlows must return nil, not stale data.
+	a.SetTrackFlows(false)
+	if a.StageFlows(0, true) != nil {
+		t.Error("StageFlows returned data with tracking off")
+	}
+}

@@ -99,6 +99,11 @@ type Analyzer struct {
 	// route.PathEntry, so the compiled fast path increments cnt[entry]
 	// directly, branch free.
 	cnt []int32
+	// memb, when tracking is on, records per directed-link slot which
+	// pair indexes of the current Stage crossed it — the flow-level
+	// evidence behind contention blame reports. Same indexing as cnt.
+	track bool
+	memb  [][]int32
 }
 
 // NewAnalyzer creates an analyzer bound to a forwarding table set. When
@@ -114,10 +119,43 @@ func NewAnalyzer(rt route.Router) *Analyzer {
 	return a
 }
 
+// SetTrackFlows toggles flow-membership recording: with tracking on,
+// every Stage call also remembers which pairs crossed each directed
+// link, retrievable via StageFlows. Tracking costs one slice append per
+// hop per flow, so it stays off for bulk sweeps and on for forensics.
+func (a *Analyzer) SetTrackFlows(on bool) {
+	a.track = on
+	if on && a.memb == nil {
+		a.memb = make([][]int32, len(a.cnt))
+	}
+}
+
+// StageFlows returns the indexes into the last Stage call's pairs slice
+// of the flows that crossed link l in the given direction. It returns
+// nil when tracking is off; with tracking on the slice length always
+// equals the link's flow counter. The returned slice is reused by the
+// next Stage call — copy it to keep it.
+func (a *Analyzer) StageFlows(l topo.LinkID, up bool) []int32 {
+	if !a.track {
+		return nil
+	}
+	i := int(l) << 1
+	if up {
+		i |= 1
+	}
+	return a.memb[i]
+}
+
 // Stage counts one stage of host-index flows: pairs are (source end-port,
 // destination end-port). It returns the stage summary.
 func (a *Analyzer) Stage(pairs [][2]int) (StageResult, error) {
 	clear(a.cnt)
+	if a.track {
+		for i := range a.memb {
+			a.memb[i] = a.memb[i][:0]
+		}
+		return a.stageTracked(pairs)
+	}
 	res := StageResult{Flows: len(pairs)}
 	if a.pp != nil {
 		cnt := a.cnt
@@ -145,6 +183,41 @@ func (a *Analyzer) Stage(pairs [][2]int) (StageResult, error) {
 				i |= 1
 			}
 			a.cnt[i]++
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+	return a.summarize(res), nil
+}
+
+// stageTracked is the Stage loop with flow-membership recording, split
+// out so the bulk path above stays append free.
+func (a *Analyzer) stageTracked(pairs [][2]int) (StageResult, error) {
+	res := StageResult{Flows: len(pairs)}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			continue
+		}
+		idx := int32(i)
+		if a.pp != nil {
+			path, err := a.pp.PackedPath(p[0], p[1])
+			if err != nil {
+				return res, err
+			}
+			for _, e := range path {
+				a.cnt[e]++
+				a.memb[e] = append(a.memb[e], idx)
+			}
+			continue
+		}
+		err := a.rt.Walk(p[0], p[1], func(l topo.LinkID, up bool) {
+			e := int(l) << 1
+			if up {
+				e |= 1
+			}
+			a.cnt[e]++
+			a.memb[e] = append(a.memb[e], idx)
 		})
 		if err != nil {
 			return res, err

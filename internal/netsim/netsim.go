@@ -25,6 +25,11 @@ import (
 	"fattree/internal/topo"
 )
 
+// FlowLogSchema is the version stamp written as a leading "# ..."
+// comment line of every flow-completion CSV, so downstream tooling can
+// detect the format. Bump the /vN suffix on incompatible changes.
+const FlowLogSchema = "fattree-flowlog/v1"
+
 // Config calibrates the simulator.
 type Config struct {
 	// LinkBandwidth is the wire rate in bytes/second (QDR: 4000 MB/s).
@@ -52,10 +57,11 @@ type Config struct {
 	// works; off by default to keep big runs lean.
 	KeepLatencies bool
 	// FlowLog, when non-nil, receives the flow-completion CSV: a
-	// header line (written once per Network) followed by one record
-	// per completed message — src,dst,bytes,start_ps,end_ps,latency_ps.
-	// docs/SIMULATOR.md documents the schema. Useful for
-	// post-processing runs with external tooling.
+	// "# fattree-flowlog/v1" schema stamp and a header line (written
+	// once per Network) followed by one record per completed message —
+	// src,dst,bytes,start_ps,end_ps,latency_ps. docs/SIMULATOR.md
+	// documents the schema. Useful for post-processing runs with
+	// external tooling.
 	FlowLog io.Writer
 	// Metrics, when non-nil, receives the simulator's counters,
 	// gauges and histograms (metric names in docs/OBSERVABILITY.md).
@@ -343,6 +349,7 @@ func (nw *Network) reset() {
 	nw.ob = nw.newSimObs()
 	if nw.cfg.FlowLog != nil && !nw.flowHeader {
 		nw.flowHeader = true
+		fmt.Fprintln(nw.cfg.FlowLog, "# "+FlowLogSchema)
 		fmt.Fprintln(nw.cfg.FlowLog, "src,dst,bytes,start_ps,end_ps,latency_ps")
 	}
 }

@@ -681,13 +681,16 @@ func TestFlowLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("flow log has %d lines, want header + 2 records:\n%s", len(lines), log.String())
+	if len(lines) != 4 {
+		t.Fatalf("flow log has %d lines, want schema + header + 2 records:\n%s", len(lines), log.String())
 	}
-	if lines[0] != "src,dst,bytes,start_ps,end_ps,latency_ps" {
-		t.Fatalf("flow log header = %q", lines[0])
+	if lines[0] != "# "+FlowLogSchema {
+		t.Fatalf("flow log schema stamp = %q", lines[0])
 	}
-	lines = lines[1:]
+	if lines[1] != "src,dst,bytes,start_ps,end_ps,latency_ps" {
+		t.Fatalf("flow log header = %q", lines[1])
+	}
+	lines = lines[2:]
 	totalLat := des.Time(0)
 	for _, line := range lines {
 		var src, dst int

@@ -346,16 +346,19 @@ func TestFlowLogHeaderOncePerNetwork(t *testing.T) {
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("flow log has %d lines, want 1 header + 2 records:\n%s", len(lines), log.String())
+	if len(lines) != 4 {
+		t.Fatalf("flow log has %d lines, want schema + 1 header + 2 records:\n%s", len(lines), log.String())
 	}
-	headers := 0
+	headers, stamps := 0, 0
 	for _, l := range lines {
 		if strings.HasPrefix(l, "src,") {
 			headers++
 		}
+		if strings.HasPrefix(l, "# ") {
+			stamps++
+		}
 	}
-	if headers != 1 {
-		t.Errorf("flow log has %d headers, want 1", headers)
+	if headers != 1 || stamps != 1 {
+		t.Errorf("flow log has %d headers and %d schema stamps, want 1 each", headers, stamps)
 	}
 }

@@ -162,6 +162,20 @@ func (h *Histogram) BucketCount(i int) uint64 {
 	return h.counts[i].Load()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the current
+// bucket counts; see HistogramSnapshot.Quantile for the estimator.
+// Returns 0 on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s.Quantile(q)
+}
+
 // Registry holds named metrics. The zero value is not usable; a nil
 // *Registry hands out nil handles, making disabled instrumentation free.
 type Registry struct {
@@ -244,12 +258,63 @@ func (r *Registry) MustHistogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// HistogramSnapshot is the frozen state of one histogram.
+// HistogramSnapshot is the frozen state of one histogram. P50/P95/P99
+// are bucket-interpolated quantile estimates (see Quantile), precomputed
+// so JSONL consumers get latency percentiles without re-deriving them.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"` // len(Bounds)+1; last is overflow
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation within the containing bucket — the
+// standard fixed-bucket estimator. The first bucket interpolates from a
+// lower edge of 0 (every histogram in this repository observes
+// non-negative values); ranks landing in the overflow bucket clamp to
+// the last bound, the estimator's resolution limit. The rank is taken
+// against the sum of Counts, so the estimate is self-consistent even if
+// the snapshot raced a concurrent Observe. An empty histogram returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range s.Counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			return lo + (s.Bounds[i]-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a frozen, JSON-serializable view of a registry.
@@ -289,6 +354,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	return s

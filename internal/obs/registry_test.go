@@ -232,3 +232,104 @@ func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
 		t.Errorf("bucket sum %d != count %d", buckets, h.Count())
 	}
 }
+
+// TestHistogramQuantiles pins the bucket-interpolated estimator against
+// distributions whose quantiles are known exactly.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+
+	// Uniform 1..100 into decade buckets: every bucket (lo, lo+10] holds
+	// ten observations, so linear interpolation recovers the true
+	// quantiles exactly: p50 = 50, p95 = 95, p99 = 99.
+	u := r.MustHistogram("uniform", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		u.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1, 100},
+	} {
+		if got := u.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("uniform q%.2f = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Point mass: 1000 observations of the value 3 in bucket (2, 4].
+	// Every quantile lands in that bucket; interpolation positions p50
+	// mid-bucket and p99 near its upper edge.
+	p := r.MustHistogram("point", []float64{2, 4, 8})
+	for i := 0; i < 1000; i++ {
+		p.Observe(3)
+	}
+	if got := p.Quantile(0.5); got <= 2 || got > 4 {
+		t.Errorf("point-mass p50 = %v, want within (2,4]", got)
+	}
+
+	// Overflow clamps to the last bound.
+	o := r.MustHistogram("over", []float64{1, 2})
+	o.Observe(100)
+	o.Observe(200)
+	if got := o.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %v, want clamp to 2", got)
+	}
+
+	// Empty histogram and nil receiver report 0.
+	e := r.MustHistogram("empty", []float64{1})
+	if got := e.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil p50 = %v", got)
+	}
+
+	// Snapshots precompute p50/p95/p99 and round-trip through JSON.
+	snap := r.Snapshot()
+	hs := snap.Histograms["uniform"]
+	if hs.P50 != 50 || hs.P95 != 95 || hs.P99 != 99 {
+		t.Errorf("snapshot quantiles = %v/%v/%v, want 50/95/99", hs.P50, hs.P95, hs.P99)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Histograms["uniform"].P95; got != 95 {
+		t.Errorf("round-tripped p95 = %v", got)
+	}
+	if got := back.Histograms["uniform"].Quantile(0.25); math.Abs(got-25) > 1e-9 {
+		t.Errorf("recomputed q0.25 from parsed snapshot = %v, want 25", got)
+	}
+}
+
+// TestHistogramQuantileSkewed checks the estimator against a geometric
+// pile-up in the lowest buckets, the shape message latencies take.
+func TestHistogramQuantileSkewed(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("skew", []float64{1, 2, 5, 10, 100})
+	// 900 observations in (0,1], 90 in (1,2], 9 in (2,5], 1 in (5,10].
+	for i := 0; i < 900; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(3)
+	}
+	h.Observe(7)
+	// p50: rank 500 of 1000 inside the first bucket -> 500/900 of (0,1].
+	if got, want := h.Quantile(0.5), 500.0/900.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("skew p50 = %v, want %v", got, want)
+	}
+	// p95: rank 950, 50 into the 90-count bucket (1,2].
+	if got, want := h.Quantile(0.95), 1+50.0/90.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("skew p95 = %v, want %v", got, want)
+	}
+	// p99: rank 990 is exactly the cumulative edge of bucket (1,2].
+	if got := h.Quantile(0.99); math.Abs(got-2) > 1e-9 {
+		t.Errorf("skew p99 = %v, want 2", got)
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+// Schema version stamps. Every stream the repository emits carries one,
+// so downstream tooling (cmd/ftreport above all) can detect what it is
+// parsing and fail loudly on incompatible files instead of guessing:
+// the probe JSONL opens with a {"schema":"fattree-probes/v1"} record,
+// and the Chrome trace document carries the version under otherData
+// (ignored by Perfetto, visible to parsers). Bump the /vN suffix on any
+// backwards-incompatible change.
+const (
+	// ProbeSchema stamps the -metrics JSONL stream (probe samples plus
+	// the closing registry snapshot).
+	ProbeSchema = "fattree-probes/v1"
+	// TraceSchema stamps the -trace Chrome trace-event document.
+	TraceSchema = "fattree-trace/v1"
+)
+
+// StreamHeader is the leading record of a probe JSONL stream.
+type StreamHeader struct {
+	Schema string `json:"schema"`
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fattree/internal/des"
 )
@@ -27,8 +28,14 @@ type FileSinks struct {
 	TracePath   string
 	MetricsPath string
 	// Interval is the probe sampling period; NewSampler's default
-	// (1 us of simulated time) applies when zero.
+	// (1 us of simulated time) applies when zero. The -probe-interval
+	// flag sets it from the command line (ProbeEvery below); a non-zero
+	// Interval set from code wins over the flag.
 	Interval des.Time
+	// ProbeEvery is the -probe-interval flag value: the probe sampling
+	// period as a wall-clock style duration that is read as *simulated*
+	// time (500ns of simulation, not of host runtime).
+	ProbeEvery time.Duration
 
 	Registry *Registry
 	Tracer   *Tracer
@@ -38,12 +45,14 @@ type FileSinks struct {
 	metricsFile *os.File
 }
 
-// RegisterFlags adds -trace and -metrics to fs.
+// RegisterFlags adds -trace, -metrics and -probe-interval to fs.
 func (s *FileSinks) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&s.TracePath, "trace", "",
 		"write lifecycle events to `file` in Chrome trace-event format (open in Perfetto or chrome://tracing)")
 	fs.StringVar(&s.MetricsPath, "metrics", "",
 		"write metrics and time-series probes to `file` as JSONL")
+	fs.DurationVar(&s.ProbeEvery, "probe-interval", 0,
+		"probe sampling `period` of simulated time for -metrics (e.g. 500ns, 2us; default 1us)")
 }
 
 // Enabled reports whether either flag was given.
@@ -72,7 +81,13 @@ func (s *FileSinks) Open() error {
 			return fmt.Errorf("metrics: %w", err)
 		}
 		s.metricsFile = f
-		s.Sampler = NewSampler(f, s.Interval)
+		interval := s.Interval
+		if interval == 0 && s.ProbeEvery > 0 {
+			// time.Duration is nanoseconds, des.Time picoseconds.
+			interval = des.Time(s.ProbeEvery.Nanoseconds()) * des.Nanosecond
+		}
+		s.Sampler = NewSampler(f, interval)
+		s.Sampler.Record(StreamHeader{Schema: ProbeSchema})
 	}
 	return nil
 }

@@ -49,7 +49,8 @@ func Num(key string, val float64) Arg { return Arg{key: key, num: val} }
 // reject it.
 func NewTracer(w io.Writer) *Tracer {
 	t := &Tracer{w: bufio.NewWriter(w)}
-	_, t.err = t.w.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	_, t.err = t.w.WriteString(
+		"{\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"" + TraceSchema + "\"},\"traceEvents\":[")
 	return t
 }
 

@@ -1,0 +1,261 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"` // normalized: no "-8" GOMAXPROCS suffix
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchRun is one dated benchmark sweep, the unit stored under
+// results/bench/.
+type BenchRun struct {
+	Schema  string        `json:"schema"`
+	Date    string        `json:"date"` // YYYY-MM-DD, from the file name or -date flag
+	Label   string        `json:"label,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// Get returns the named result, or nil.
+func (r *BenchRun) Get(name string) *BenchResult {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix `go test -bench`
+// appends to benchmark names; stripping it keeps names comparable
+// across machines with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkStageCompiled-8  1203  987654 ns/op  12 B/op  3 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// test2jsonLine is the subset of a `go test -json` event we need.
+type test2jsonLine struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// ParseGoBench reads benchmark results from either `go test -json`
+// output (the Makefile's bench-json target) or plain `go test -bench`
+// text; the format is auto-detected per line. test2json splits bench
+// lines across events mid-line, so Output fields are accumulated and
+// re-split before matching.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var text strings.Builder
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev test2jsonLine
+		if line[0] == '{' && json.Unmarshal(line, &ev) == nil && ev.Action != "" {
+			if ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.Write(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading bench output: %w", err)
+	}
+	var out []BenchResult
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		res := BenchResult{Name: gomaxprocsSuffix.ReplaceAllString(m[1], "")}
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runFile matches dated history entries, e.g. "2026-08-05.json".
+var runFile = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2})(?:[._-].*)?\.json$`)
+
+// SaveRun writes a run into the history directory as <date>.json,
+// creating the directory as needed. When no baseline.json exists yet,
+// the run also seeds it, so the first recorded sweep becomes the
+// reference that later gates compare against.
+func SaveRun(dir string, run *BenchRun) (path string, seededBaseline bool, err error) {
+	if run.Date == "" {
+		return "", false, fmt.Errorf("report: bench run has no date")
+	}
+	run.Schema = BenchSchema
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", false, err
+	}
+	blob, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return "", false, err
+	}
+	blob = append(blob, '\n')
+	path = filepath.Join(dir, run.Date+".json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return "", false, err
+	}
+	base := filepath.Join(dir, "baseline.json")
+	if _, err := os.Stat(base); os.IsNotExist(err) {
+		if err := os.WriteFile(base, blob, 0o644); err != nil {
+			return path, false, err
+		}
+		seededBaseline = true
+	}
+	return path, seededBaseline, nil
+}
+
+// LoadRun reads one stored run.
+func LoadRun(path string) (*BenchRun, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var run BenchRun
+	if err := json.Unmarshal(blob, &run); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return &run, nil
+}
+
+// LoadHistory reads every dated entry in the history directory, oldest
+// first. baseline.json is not part of the history; load it explicitly.
+func LoadHistory(dir string) ([]*BenchRun, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && runFile.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var runs []*BenchRun
+	for _, n := range names {
+		run, err := LoadRun(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// Delta is one benchmark's baseline-vs-current comparison. Ratio is
+// current/baseline ns/op: 1.10 means 10% slower.
+type Delta struct {
+	Name       string  `json:"name"`
+	BaseNsOp   float64 `json:"base_ns_op"`
+	CurNsOp    float64 `json:"cur_ns_op"`
+	Ratio      float64 `json:"ratio"`
+	Regression bool    `json:"regression"`
+}
+
+// Comparison is the outcome of judging a run against a baseline with a
+// tolerance: Regressions counts benchmarks slower than
+// baseline*(1+tolerance); Only* list benchmarks present on one side.
+type Comparison struct {
+	BaseDate    string   `json:"base_date"`
+	CurDate     string   `json:"cur_date"`
+	Tolerance   float64  `json:"tolerance"`
+	Deltas      []Delta  `json:"deltas"`
+	Regressions int      `json:"regressions"`
+	OnlyBase    []string `json:"only_base,omitempty"`
+	OnlyCurrent []string `json:"only_current,omitempty"`
+}
+
+// Compare judges cur against base: any shared benchmark whose ns/op
+// grew by more than tolerance (a fraction; 0.15 = 15%) is flagged.
+func Compare(base, cur *BenchRun, tolerance float64) *Comparison {
+	c := &Comparison{BaseDate: base.Date, CurDate: cur.Date, Tolerance: tolerance}
+	seen := map[string]bool{}
+	for _, b := range base.Results {
+		seen[b.Name] = true
+		r := cur.Get(b.Name)
+		if r == nil {
+			c.OnlyBase = append(c.OnlyBase, b.Name)
+			continue
+		}
+		d := Delta{Name: b.Name, BaseNsOp: b.NsPerOp, CurNsOp: r.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.Ratio = r.NsPerOp / b.NsPerOp
+		}
+		d.Regression = d.Ratio > 1+tolerance
+		if d.Regression {
+			c.Regressions++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, r := range cur.Results {
+		if !seen[r.Name] {
+			c.OnlyCurrent = append(c.OnlyCurrent, r.Name)
+		}
+	}
+	return c
+}
+
+// WriteTable renders the comparison for humans, slowest-relative first.
+func (c *Comparison) WriteTable(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "bench: %s vs baseline %s (tolerance %.0f%%)\n",
+		c.CurDate, c.BaseDate, c.Tolerance*100)
+	if err != nil {
+		return err
+	}
+	deltas := make([]Delta, len(c.Deltas))
+	copy(deltas, c.Deltas)
+	sort.SliceStable(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
+	for _, d := range deltas {
+		flag := "  "
+		if d.Regression {
+			flag = "!!"
+		}
+		fmt.Fprintf(w, "  %s %-50s %12.0f -> %10.0f ns/op  %+6.1f%%\n",
+			flag, d.Name, d.BaseNsOp, d.CurNsOp, (d.Ratio-1)*100)
+	}
+	for _, n := range c.OnlyBase {
+		fmt.Fprintf(w, "  -- %-50s dropped (in baseline only)\n", n)
+	}
+	for _, n := range c.OnlyCurrent {
+		fmt.Fprintf(w, "  ++ %-50s new (no baseline)\n", n)
+	}
+	if c.Regressions > 0 {
+		fmt.Fprintf(w, "  %d regression(s) beyond tolerance\n", c.Regressions)
+	} else {
+		fmt.Fprintln(w, "  no regressions beyond tolerance")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// test2json splits one bench result line across several Output events;
+// this fixture mimics that plus interleaved noise.
+const test2jsonFixture = `{"Action":"start","Package":"fattree"}
+{"Action":"output","Package":"fattree","Output":"goos: linux\n"}
+{"Action":"output","Package":"fattree","Output":"BenchmarkStageCompiled-8   \t"}
+{"Action":"output","Package":"fattree","Output":"    1203\t    987654 ns/op\t      12 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"fattree","Output":"BenchmarkOrderSweep-8      \t      50\t  22000000 ns/op\n"}
+{"Action":"run","Test":"ignored"}
+{"Action":"output","Package":"fattree","Output":"PASS\n"}
+`
+
+func TestParseGoBenchTest2JSON(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(test2jsonFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkStageCompiled" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got[0].Name)
+	}
+	if got[0].Iterations != 1203 || got[0].NsPerOp != 987654 || got[0].BytesPerOp != 12 || got[0].AllocsPerOp != 3 {
+		t.Errorf("first result misparsed: %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkOrderSweep" || got[1].NsPerOp != 22000000 {
+		t.Errorf("second result misparsed: %+v", got[1])
+	}
+}
+
+func TestParseGoBenchRawText(t *testing.T) {
+	raw := "goos: linux\nBenchmarkHSD324-16  \t 100\t 5500.5 ns/op\nPASS\n"
+	got, err := ParseGoBench(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkHSD324" || got[0].NsPerOp != 5500.5 {
+		t.Fatalf("raw text misparsed: %+v", got)
+	}
+}
+
+// TestBenchHistoryAndGate walks the whole flow: the first saved run
+// seeds the baseline, a later run within tolerance passes, and a
+// synthetic slowdown beyond tolerance is flagged — the condition
+// `ftreport bench -gate` turns into a non-zero exit.
+func TestBenchHistoryAndGate(t *testing.T) {
+	dir := t.TempDir()
+	day1 := &BenchRun{Date: "2026-08-01", Results: []BenchResult{
+		{Name: "BenchmarkStageCompiled", NsPerOp: 1000},
+		{Name: "BenchmarkOrderSweep", NsPerOp: 50000},
+		{Name: "BenchmarkRetired", NsPerOp: 10},
+	}}
+	path, seeded, err := SaveRun(dir, day1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seeded {
+		t.Error("first run did not seed the baseline")
+	}
+	if filepath.Base(path) != "2026-08-01.json" {
+		t.Errorf("run saved as %s", path)
+	}
+	if day1.Schema != BenchSchema {
+		t.Errorf("schema not stamped: %q", day1.Schema)
+	}
+
+	// Second run: one bench 5% slower (fine at 15%), one 40% slower
+	// (regression), one dropped, one new.
+	day2 := &BenchRun{Date: "2026-08-05", Results: []BenchResult{
+		{Name: "BenchmarkStageCompiled", NsPerOp: 1050},
+		{Name: "BenchmarkOrderSweep", NsPerOp: 70000},
+		{Name: "BenchmarkBrandNew", NsPerOp: 7},
+	}}
+	if _, seeded, err = SaveRun(dir, day2); err != nil {
+		t.Fatal(err)
+	}
+	if seeded {
+		t.Error("second run re-seeded the baseline")
+	}
+
+	hist, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Date != "2026-08-01" || hist[1].Date != "2026-08-05" {
+		t.Fatalf("history wrong: %d runs", len(hist))
+	}
+
+	base, err := LoadRun(filepath.Join(dir, "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(base, day2, 0.15)
+	if c.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", c.Regressions, c.Deltas)
+	}
+	for _, d := range c.Deltas {
+		switch d.Name {
+		case "BenchmarkOrderSweep":
+			if !d.Regression || d.Ratio != 1.4 {
+				t.Errorf("slowdown not flagged: %+v", d)
+			}
+		case "BenchmarkStageCompiled":
+			if d.Regression {
+				t.Errorf("within-tolerance drift flagged: %+v", d)
+			}
+		}
+	}
+	if len(c.OnlyBase) != 1 || c.OnlyBase[0] != "BenchmarkRetired" {
+		t.Errorf("OnlyBase = %v", c.OnlyBase)
+	}
+	if len(c.OnlyCurrent) != 1 || c.OnlyCurrent[0] != "BenchmarkBrandNew" {
+		t.Errorf("OnlyCurrent = %v", c.OnlyCurrent)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"!! BenchmarkOrderSweep", "+40.0%", "1 regression", "dropped", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Identical runs gate clean.
+	if c := Compare(base, day1, 0.15); c.Regressions != 0 {
+		t.Errorf("self-comparison found %d regressions", c.Regressions)
+	}
+}
+
+func TestSaveRunRequiresDate(t *testing.T) {
+	if _, _, err := SaveRun(t.TempDir(), &BenchRun{}); err == nil {
+		t.Error("dateless run accepted")
+	}
+}

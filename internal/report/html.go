@@ -1,0 +1,453 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HTMLOptions configures RenderHTML.
+type HTMLOptions struct {
+	// Title heads the page; a default is derived from the inputs when
+	// empty.
+	Title string
+	// MetricsFile / TraceFile name the inputs in the provenance line.
+	MetricsFile, TraceFile string
+	// Generated is a freeform provenance stamp (e.g. a timestamp);
+	// omitted when empty so golden tests stay byte-stable.
+	Generated string
+	// MaxHeatmapRows caps the heatmap's channel rows (default 64); the
+	// busiest channels win and truncation is announced in the notes.
+	MaxHeatmapRows int
+}
+
+// RenderHTML renders one self-contained HTML report — no external
+// scripts, styles or images, just inline CSS and SVG — from a parsed
+// probe stream and/or trace. Either input may be nil; the report shows
+// what it has and notes what is missing. Output is deterministic for
+// given inputs, which the golden test pins.
+func RenderHTML(w io.Writer, probes *ProbeData, trace *TraceData, opt HTMLOptions) error {
+	if opt.MaxHeatmapRows <= 0 {
+		opt.MaxHeatmapRows = 64
+	}
+	v := buildView(probes, trace, opt)
+	return pageTmpl.Execute(w, v)
+}
+
+// htmlView is the template's data: pre-rendered SVG fragments plus
+// tables, so the template stays purely structural.
+type htmlView struct {
+	Title     string
+	Generated string
+	Inputs    []string
+	Schemas   []string
+	Heatmap   template.HTML
+	Timeline  template.HTML
+	Sparks    []sparkView
+	Hists     []histView
+	Counters  []kvView
+	Gauges    []kvView
+	Notes     []string
+}
+
+type sparkView struct {
+	Name   string
+	Legend string
+	SVG    template.HTML
+}
+
+type histView struct {
+	Name                string
+	Count               string
+	Mean, P50, P95, P99 string
+}
+
+type kvView struct {
+	Name  string
+	Value string
+}
+
+func buildView(probes *ProbeData, trace *TraceData, opt HTMLOptions) *htmlView {
+	v := &htmlView{Title: opt.Title, Generated: opt.Generated}
+	if v.Title == "" {
+		v.Title = "fat-tree run report"
+	}
+	if opt.MetricsFile != "" {
+		v.Inputs = append(v.Inputs, "metrics: "+opt.MetricsFile)
+	}
+	if opt.TraceFile != "" {
+		v.Inputs = append(v.Inputs, "trace: "+opt.TraceFile)
+	}
+	if probes != nil && probes.Schema != "" {
+		v.Schemas = append(v.Schemas, probes.Schema)
+	}
+	if trace != nil && trace.Schema != "" {
+		v.Schemas = append(v.Schemas, trace.Schema)
+	}
+
+	if probes == nil {
+		v.Notes = append(v.Notes, "no probe stream: heatmap, sparklines and metric tables omitted")
+	} else {
+		if probes.Malformed > 0 {
+			v.Notes = append(v.Notes, fmt.Sprintf("%d malformed line(s) skipped in the probe stream", probes.Malformed))
+		}
+		v.Heatmap = buildHeatmap(probes.Get("link_util"), opt.MaxHeatmapRows, &v.Notes)
+		v.Sparks = buildSparks(probes)
+		v.Hists, v.Counters, v.Gauges = buildSnapshotTables(probes)
+	}
+	if trace == nil {
+		v.Notes = append(v.Notes, "no trace file: stage timeline omitted")
+	} else {
+		v.Timeline = buildTimeline(trace.StageSpans(), &v.Notes)
+	}
+	return v
+}
+
+// f formats an SVG coordinate/length with fixed precision, keeping the
+// output byte-deterministic.
+func f(x float64) string { return strings.TrimSuffix(fmt.Sprintf("%.2f", x), ".00") }
+
+// utilColor maps a utilization in [0,1] to a sequential ramp (near
+// white to deep blue); values above 1 clamp to a warning red.
+func utilColor(u float64) string {
+	if u > 1 {
+		return "#b91c1c"
+	}
+	if u < 0 {
+		u = 0
+	}
+	lerp := func(a, b int) int { return a + int(math.Round(u*float64(b-a))) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(0xf4, 0x1e), lerp(0xf7, 0x40), lerp(0xfa, 0xaf))
+}
+
+// buildHeatmap renders the link-utilization heatmap: one row per
+// directed channel (busiest first, capped), one column per probe tick.
+func buildHeatmap(s *Series, maxRows int, notes *[]string) template.HTML {
+	if s == nil || len(s.Samples) == 0 {
+		*notes = append(*notes, "no link_util series: heatmap omitted")
+		return ""
+	}
+	nCh := s.Width()
+	if nCh == 0 {
+		*notes = append(*notes, "link_util series has empty samples: heatmap omitted")
+		return ""
+	}
+	// Rank channels by peak utilization, keep the busiest.
+	type ranked struct {
+		ch   int
+		peak float64
+	}
+	rk := make([]ranked, nCh)
+	for i := range rk {
+		rk[i].ch = i
+	}
+	for _, sm := range s.Samples {
+		for i, u := range sm.Values {
+			if u > rk[i].peak {
+				rk[i].peak = u
+			}
+		}
+	}
+	sort.SliceStable(rk, func(i, j int) bool { return rk[i].peak > rk[j].peak })
+	rows := nCh
+	if rows > maxRows {
+		rows = maxRows
+		*notes = append(*notes, fmt.Sprintf("heatmap shows the %d busiest of %d directed channels", rows, nCh))
+	}
+	cols := len(s.Samples)
+
+	const labelW, cellH, legendH = 56.0, 10.0, 26.0
+	cellW := math.Max(2, math.Min(18, 820.0/float64(cols)))
+	width := labelW + cellW*float64(cols) + 8
+	height := cellH*float64(rows) + legendH + 18
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="link utilization heatmap">`,
+		f(width), f(height), f(width), f(height))
+	for r := 0; r < rows; r++ {
+		ch := rk[r].ch
+		y := float64(r) * cellH
+		fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">ch%d</text>`,
+			f(labelW-4), f(y+cellH-2), ch)
+		for c, sm := range s.Samples {
+			u := 0.0
+			if ch < len(sm.Values) {
+				u = sm.Values[ch]
+			}
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"><title>ch%d @ %d ps: %.3f</title></rect>`,
+				f(labelW+float64(c)*cellW), f(y), f(cellW), f(cellH), utilColor(u), ch, sm.T, u)
+		}
+	}
+	// Time axis: first and last tick.
+	axisY := cellH*float64(rows) + 12
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl">%d ps</text>`, f(labelW), f(axisY), s.Samples[0].T)
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">%d ps</text>`,
+		f(labelW+cellW*float64(cols)), f(axisY), s.Samples[cols-1].T)
+	// Color legend.
+	ly := axisY + 6
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="12" height="8" fill="%s"/>`,
+			f(labelW+float64(i)*12), f(ly), utilColor(float64(i)/10))
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl">util 0 &#8594; 1 (red &gt; 1)</text>`,
+		f(labelW+11*12+6), f(ly+8))
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// buildTimeline renders the collective stage spans as a single-lane
+// timeline.
+func buildTimeline(spans []StageSpan, notes *[]string) template.HTML {
+	if len(spans) == 0 {
+		*notes = append(*notes, "trace has no stage spans: timeline omitted")
+		return ""
+	}
+	end := 0.0
+	for _, s := range spans {
+		if e := s.Start + s.Dur; e > end {
+			end = e
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	const width, barH = 860.0, 22.0
+	height := barH + 20
+	scale := width / end
+	fills := [2]string{"#3b82f6", "#93c5fd"}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="stage timeline">`,
+		f(width), f(height), f(width), f(height))
+	for i, s := range spans {
+		x, w := s.Start*scale, s.Dur*scale
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%s" y="0" width="%s" height="%s" fill="%s"><title>%s: %s&#8211;%s &#181;s (%.0f messages)</title></rect>`,
+			f(x), f(w), f(barH), fills[i%2], template.HTMLEscapeString(s.Name), f(s.Start), f(s.Start+s.Dur), s.Messages)
+		if w >= 34 {
+			fmt.Fprintf(&b, `<text x="%s" y="%s" class="bar">%s</text>`,
+				f(x+3), f(barH-6), template.HTMLEscapeString(strings.TrimPrefix(s.Name, "stage ")))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="0" y="%s" class="lbl">0 &#181;s</text>`, f(barH+14))
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">%s &#181;s</text>`, f(width), f(barH+14), f(end))
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// sparkSpec reduces one probe series to one or more plotted lines.
+type sparkSpec struct {
+	series string
+	name   string
+	lines  []sparkLine
+}
+
+type sparkLine struct {
+	label  string
+	reduce func(values []float64) float64
+}
+
+var sparkSpecs = []sparkSpec{
+	{series: "credit_stalls", name: "credit stalls (cumulative)", lines: []sparkLine{
+		{label: "host", reduce: func(v []float64) float64 { return at(v, 0) }},
+		{label: "switch", reduce: func(v []float64) float64 { return at(v, 1) }},
+	}},
+	{series: "event_queue", name: "event queue depth", lines: []sparkLine{
+		{label: "pending", reduce: func(v []float64) float64 { return at(v, 0) }},
+	}},
+	{series: "buffer_pkts", name: "buffered packets (total)", lines: []sparkLine{
+		{label: "total", reduce: sum},
+	}},
+	{series: "link_util", name: "max link utilization", lines: []sparkLine{
+		{label: "max", reduce: maxOf},
+	}},
+}
+
+func at(v []float64, i int) float64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func maxOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+var sparkColors = [2]string{"#1e40af", "#b45309"}
+
+// buildSparks renders one sparkline per known series present in the
+// stream.
+func buildSparks(probes *ProbeData) []sparkView {
+	var out []sparkView
+	for _, spec := range sparkSpecs {
+		s := probes.Get(spec.series)
+		if s == nil || len(s.Samples) == 0 {
+			continue
+		}
+		const width, height = 420.0, 64.0
+		t0, t1 := s.Samples[0].T, s.Samples[len(s.Samples)-1].T
+		span := float64(t1 - t0)
+		if span <= 0 {
+			span = 1
+		}
+		// Shared y scale across the spec's lines.
+		maxY := 0.0
+		vals := make([][]float64, len(spec.lines))
+		for li, ln := range spec.lines {
+			vals[li] = make([]float64, len(s.Samples))
+			for i, sm := range s.Samples {
+				y := ln.reduce(sm.Values)
+				vals[li][i] = y
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+		if maxY == 0 {
+			maxY = 1
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="%s">`,
+			f(width), f(height), f(width), f(height), template.HTMLEscapeString(spec.name))
+		var legend []string
+		for li, ln := range spec.lines {
+			color := sparkColors[li%2]
+			var pts []string
+			for i, sm := range s.Samples {
+				x := float64(sm.T-t0) / span * (width - 2)
+				y := (height - 14) * (1 - vals[li][i]/maxY)
+				pts = append(pts, f(x+1)+","+f(y+1))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+				color, strings.Join(pts, " "))
+			legend = append(legend, fmt.Sprintf("%s (last %s)", ln.label, f(vals[li][len(s.Samples)-1])))
+		}
+		fmt.Fprintf(&b, `<text x="1" y="%s" class="lbl">peak %s</text>`, f(height-2), f(maxY))
+		b.WriteString(`</svg>`)
+		out = append(out, sparkView{
+			Name:   spec.name,
+			Legend: strings.Join(legend, " &middot; "),
+			SVG:    template.HTML(b.String()),
+		})
+	}
+	return out
+}
+
+// buildSnapshotTables folds the final registry snapshot into the
+// histogram-quantile, counter and gauge tables.
+func buildSnapshotTables(probes *ProbeData) (hists []histView, counters, gauges []kvView) {
+	snap := probes.Snapshot
+	if snap == nil {
+		return nil, nil, nil
+	}
+	var names []string
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		hists = append(hists, histView{
+			Name:  n,
+			Count: fmt.Sprintf("%d", h.Count),
+			Mean:  f(mean),
+			P50:   f(h.P50),
+			P95:   f(h.P95),
+			P99:   f(h.P99),
+		})
+	}
+	names = names[:0]
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		counters = append(counters, kvView{Name: n, Value: fmt.Sprintf("%d", snap.Counters[n])})
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		gauges = append(gauges, kvView{Name: n, Value: fmt.Sprintf("%d", snap.Gauges[n])})
+	}
+	return hists, counters, gauges
+}
+
+var pageTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:920px;color:#1f2937;padding:0 1rem}
+h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem;border-bottom:1px solid #e5e7eb;padding-bottom:.2rem}
+table{border-collapse:collapse;margin:.5rem 0}
+td,th{border:1px solid #e5e7eb;padding:.2rem .6rem;text-align:right}
+th{background:#f9fafb}td:first-child,th:first-child{text-align:left;font-family:ui-monospace,monospace}
+.meta{color:#6b7280;font-size:.85rem}
+.note{color:#92400e;background:#fffbeb;border:1px solid #fde68a;padding:.3rem .6rem;border-radius:4px;margin:.2rem 0;font-size:.85rem}
+svg{display:block;margin:.5rem 0}
+svg .lbl{font:9px ui-monospace,monospace;fill:#6b7280}
+svg .bar{font:10px ui-monospace,monospace;fill:#fff}
+.legend{color:#6b7280;font-size:.85rem}
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Generated}}<p class="meta">generated {{.Generated}}</p>{{end}}
+{{range .Inputs}}<p class="meta">{{.}}</p>
+{{end}}{{if .Schemas}}<p class="meta">schemas: {{range $i, $s := .Schemas}}{{if $i}}, {{end}}{{$s}}{{end}}</p>{{end}}
+{{range .Notes}}<p class="note">{{.}}</p>
+{{end}}
+{{if .Heatmap}}<h2>Link utilization</h2>
+{{.Heatmap}}{{end}}
+{{if .Timeline}}<h2>Stage timeline</h2>
+{{.Timeline}}{{end}}
+{{if .Sparks}}<h2>Time series</h2>
+{{range .Sparks}}<h3>{{.Name}}</h3>
+<p class="legend">{{.Legend}}</p>
+{{.SVG}}
+{{end}}{{end}}
+{{if .Hists}}<h2>Latency and distribution quantiles</h2>
+<table>
+<tr><th>histogram</th><th>count</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>
+{{range .Hists}}<tr><td>{{.Name}}</td><td>{{.Count}}</td><td>{{.Mean}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Counters}}<h2>Counters</h2>
+<table>
+<tr><th>counter</th><th>value</th></tr>
+{{range .Counters}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Gauges}}<h2>Gauges</h2>
+<table>
+<tr><th>gauge</th><th>value</th></tr>
+{{range .Gauges}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>
+{{end}}</table>{{end}}
+</body>
+</html>
+`))
