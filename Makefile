@@ -4,7 +4,7 @@ GO ?= go
 # Benchmark iteration budget; CI smoke runs use BENCHTIME=1x.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test race bench bench-json bench-track bench-gate report experiments experiments-quick fuzz clean
+.PHONY: all build vet test race bench bench-json bench-track bench-gate report daemon-smoke experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/...
+	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/... ./internal/fmgr/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
@@ -43,6 +43,13 @@ report:
 	$(GO) run ./cmd/ftsim -topo 128 -cps recursive-doubling -order random \
 		-mode barrier -metrics probes.jsonl -trace trace.json
 	$(GO) run ./cmd/ftreport html -metrics probes.jsonl -trace trace.json -o report.html
+
+# End-to-end fabric-daemon smoke: boot ftfabricd on a loopback port,
+# poll /healthz, exercise a route query and a fault injection, then
+# SIGTERM for a graceful drain. Fails if any request or the shutdown
+# misbehaves.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # Regenerate every table and figure at paper scale (minutes).
 experiments:

@@ -7,12 +7,16 @@ package fattree_test
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"fattree/internal/cps"
 	"fattree/internal/des"
 	"fattree/internal/exp"
 	"fattree/internal/fabric"
+	"fattree/internal/fmgr"
 	"fattree/internal/hsd"
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
@@ -550,6 +554,41 @@ func BenchmarkNetsimObsOverhead(b *testing.B) {
 		cfg.Probes = obs.NewSampler(io.Discard, 10*des.Microsecond)
 		cfg.Trace = obs.NewTracer(io.Discard)
 		run(b, cfg)
+	})
+}
+
+// BenchmarkServeRoute measures the fabric daemon's read path end to end
+// — HTTP mux, inflight gate, snapshot load, compiled-path lookup, JSON
+// encode — with concurrent clients hammering /v1/route on the paper's
+// 324-node cluster, the deployment the daemon fronts. RCU snapshot
+// reads should keep per-request cost flat as parallelism rises.
+func BenchmarkServeRoute(b *testing.B) {
+	m, err := fmgr.New(fmgr.Config{
+		Topo:        topo.MustBuild(topo.Cluster324),
+		Metrics:     obs.NewRegistry(),
+		MaxInflight: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Start()
+	defer m.Close()
+	h := m.Handler()
+	n := m.Current().Topo.NumHosts()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			src := i % n
+			dst := (i + 7) % n
+			i++
+			req := httptest.NewRequest("GET", "/v1/route?src="+strconv.Itoa(src)+"&dst="+strconv.Itoa(dst), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
 	})
 }
 

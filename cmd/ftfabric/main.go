@@ -7,9 +7,15 @@
 //	ftfabric -topo 324 -discover
 //	ftfabric -topo 324 -dump-lfts > lfts.txt
 //	ftfabric -topo 324 -fail 4 -seed 2 -report
+//	ftfabric -topo 324 -discover -fail 4 -report -json
+//
+// With -json the discover/fault/report results are emitted as one
+// schema-stamped fattree-fabric/v1 document instead of text, following
+// the fthsd -json convention.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,12 +37,13 @@ func main() {
 		fail     = flag.Int("fail", 0, "kill this many random fabric links, reroute and report")
 		seed     = flag.Int64("seed", 1, "fault-draw seed")
 		report   = flag.Bool("report", false, "analyze Shift HSD on the (re)routed fabric")
+		jsonOut  = flag.Bool("json", false, "emit a fattree-fabric/v1 JSON document instead of text")
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	err := pf.Start()
 	if err == nil {
-		err = run(*spec, *discover, *dumpLFTs, *fail, *seed, *report)
+		err = run(*spec, *discover, *dumpLFTs, *fail, *seed, *report, *jsonOut)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -47,7 +54,7 @@ func main() {
 	}
 }
 
-func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool) error {
+func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report, jsonOut bool) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -57,6 +64,7 @@ func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool
 		return err
 	}
 	sn := fabric.NewSubnet(t)
+	doc := fabric.NewDoc(t)
 
 	did := false
 	if discover {
@@ -65,9 +73,12 @@ func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fabric %s: %d hosts, %d switches, %d links\n", g, inv.Hosts, inv.Switches, inv.Links)
-		for _, guid := range inv.SortedSwitchGUIDs() {
-			fmt.Printf("  switch 0x%016x: %d connected ports\n", uint64(guid), inv.PortsBySwitch[guid])
+		doc.SetInventory(inv)
+		if !jsonOut {
+			fmt.Printf("fabric %s: %d hosts, %d switches, %d links\n", g, inv.Hosts, inv.Switches, inv.Links)
+			for _, guid := range inv.SortedSwitchGUIDs() {
+				fmt.Printf("  switch 0x%016x: %d connected ports\n", uint64(guid), inv.PortsBySwitch[guid])
+			}
 		}
 	}
 
@@ -83,14 +94,21 @@ func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool
 			return err
 		}
 		lft = rerouted
-		fmt.Printf("rerouted around %d dead links: %d unroutable hosts, %d broken pairs\n",
-			fs.Failed(), len(res.UnroutableHosts), res.BrokenPairs)
+		doc.SetFaults(fs, res)
+		if !jsonOut {
+			fmt.Printf("rerouted around %d dead links: %d unroutable hosts, %d broken pairs\n",
+				fs.Failed(), len(res.UnroutableHosts), res.BrokenPairs)
+		}
 	} else {
 		lft = route.DModK(t)
 	}
+	doc.Routing = lft.Name
 
 	if dumpLFTs {
 		did = true
+		if jsonOut {
+			return fmt.Errorf("-dump-lfts has its own text format; drop -json")
+		}
 		st := sn.Program(lft)
 		if err := st.WriteLFTs(os.Stdout); err != nil {
 			return err
@@ -98,15 +116,65 @@ func run(spec string, discover, dumpLFTs bool, fail int, seed int64, report bool
 	}
 	if report {
 		did = true
-		rep, err := hsd.Analyze(lft, order.Topology(t.NumHosts(), nil), cps.Shift(t.NumHosts()))
+		rep, err := shiftReport(t, lft)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("shift under %s + topology order: max HSD %d, avg max HSD %.3f, contention-free %v\n",
-			lft.Name, rep.MaxHSD(), rep.AvgMaxHSD(), rep.ContentionFree())
+		doc.HSD = &fabric.HSDDoc{
+			Sequence:       rep.Sequence,
+			Ordering:       rep.Ordering,
+			Stages:         len(rep.Stages),
+			MaxHSD:         rep.MaxHSD(),
+			AvgMaxHSD:      rep.AvgMaxHSD(),
+			ContentionFree: rep.ContentionFree(),
+		}
+		if !jsonOut {
+			fmt.Printf("shift under %s + topology order: max HSD %d, avg max HSD %.3f, contention-free %v\n",
+				lft.Name, rep.MaxHSD(), rep.AvgMaxHSD(), rep.ContentionFree())
+		}
 	}
-	if !did {
+	// Bare -json is itself an action: emit the base fabric document
+	// (topology + routing identity) with no optional sections.
+	if !did && !jsonOut {
 		flag.Usage()
+		return nil
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 	return nil
+}
+
+// shiftReport analyzes the Shift sequence under the topology order,
+// skipping pairs a faulted fabric cannot deliver (the analyzer errors on
+// dead-end tables otherwise).
+func shiftReport(t *topo.Topology, lft *route.LFT) (*hsd.Report, error) {
+	paths, err := route.CompileLenient(lft)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumHosts()
+	seq := cps.Shift(n)
+	o := order.Topology(n, nil)
+	a := hsd.NewAnalyzer(paths)
+	rep := &hsd.Report{Sequence: seq.Name(), Ordering: o.Label, Routing: lft.Name}
+	var pairs [][2]int
+	for s := 0; s < seq.NumStages(); s++ {
+		pairs = pairs[:0]
+		for _, p := range seq.Stage(s) {
+			src, dst := o.HostOf[p.Src], o.HostOf[p.Dst]
+			if src == dst || paths.Broken(src, dst) {
+				continue
+			}
+			pairs = append(pairs, [2]int{src, dst})
+		}
+		sr, err := a.Stage(pairs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, sr)
+	}
+	return rep, nil
 }

@@ -1,0 +1,114 @@
+// Command ftfabricd runs the fabric-manager daemon: the long-running
+// subnet-manager role (OpenSM in the paper's deployment) serving
+// routes, the topology-aware MPI node order, job placements and the
+// standing Shift-HSD contention summary over HTTP, while rerouting
+// around injected link faults in the background. Readers always see one
+// consistent snapshot; fault handling is debounced and validated before
+// the snapshot swap.
+//
+// Usage:
+//
+//	ftfabricd -topo 324 -addr 127.0.0.1:7474
+//	curl localhost:7474/v1/route?src=0\&dst=17
+//	curl -X POST localhost:7474/v1/faults -d '{"fail_random":3}'
+//	curl localhost:7474/v1/hsd
+//
+// SIGINT/SIGTERM drain in-flight requests and stop the event loop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fattree/internal/fmgr"
+	"fattree/internal/obs"
+	"fattree/internal/obs/prof"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec        = flag.String("topo", "324", "topology spec")
+		addr        = flag.String("addr", "127.0.0.1:7474", "listen address")
+		maxInflight = flag.Int("max-inflight", 64, "concurrent /v1 requests before 429")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request handling timeout")
+		debounce    = flag.Duration("debounce", 25*time.Millisecond, "fault-event coalescing window before a reroute")
+		seed        = flag.Int64("seed", 1, "seed for fail_random fault draws")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	)
+	pf := prof.Register(flag.CommandLine)
+	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftfabricd:", err)
+		os.Exit(1)
+	}
+	err := run(*spec, *addr, *maxInflight, *timeout, *debounce, *seed, *drain)
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftfabricd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, seed int64, drain time.Duration) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	m, err := fmgr.New(fmgr.Config{
+		Topo:           t,
+		Debounce:       debounce,
+		Rand:           rand.New(rand.NewSource(seed)),
+		Metrics:        obs.NewRegistry(),
+		MaxInflight:    maxInflight,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	m.Start()
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           m.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d) on %s\n",
+		g, t.NumHosts(), m.Current().Epoch, addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("ftfabricd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -45,6 +45,14 @@ func (f *FaultSet) Failed() int {
 // uplinks are spared so every end-port stays routable), deterministic
 // per seed.
 func (f *FaultSet) FailRandomFabricLinks(n int, seed int64) error {
+	return f.FailRandomFabricLinksRand(n, rand.New(rand.NewSource(seed)))
+}
+
+// FailRandomFabricLinksRand is FailRandomFabricLinks with an injected
+// RNG, so long-lived callers (the fabric-manager daemon, deterministic
+// tests) thread one *rand.Rand through every draw instead of reseeding
+// per call.
+func (f *FaultSet) FailRandomFabricLinksRand(n int, r *rand.Rand) error {
 	var fabricLinks []topo.LinkID
 	for i := range f.t.Links {
 		lk := &f.t.Links[i]
@@ -55,7 +63,6 @@ func (f *FaultSet) FailRandomFabricLinks(n int, seed int64) error {
 	if n > len(fabricLinks) {
 		return fmt.Errorf("fabric: cannot fail %d of %d fabric links", n, len(fabricLinks))
 	}
-	r := rand.New(rand.NewSource(seed))
 	r.Shuffle(len(fabricLinks), func(i, j int) {
 		fabricLinks[i], fabricLinks[j] = fabricLinks[j], fabricLinks[i]
 	})
@@ -63,6 +70,17 @@ func (f *FaultSet) FailRandomFabricLinks(n int, seed int64) error {
 		f.dead[l] = true
 	}
 	return nil
+}
+
+// FailedLinks returns the dead link IDs in ascending order.
+func (f *FaultSet) FailedLinks() []topo.LinkID {
+	var out []topo.LinkID
+	for i, d := range f.dead {
+		if d {
+			out = append(out, topo.LinkID(i))
+		}
+	}
+	return out
 }
 
 // RerouteResult reports the collateral damage of a reroute.

@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fattree/internal/topo"
+)
+
+func TestDocJSONShape(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	doc := NewDoc(tp)
+	if doc.Schema != Schema || doc.Hosts != 128 || doc.Topology != tp.Spec.String() {
+		t.Fatalf("base doc: %+v", doc)
+	}
+
+	sn := NewSubnet(tp)
+	inv, err := sn.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetInventory(inv)
+	if len(doc.Inv) != inv.Switches {
+		t.Fatalf("%d inventory entries, want %d", len(doc.Inv), inv.Switches)
+	}
+	for i, sw := range doc.Inv {
+		if !strings.HasPrefix(sw.GUID, "0x") || len(sw.GUID) != 18 {
+			t.Fatalf("GUID %q not 0x + 16 hex digits", sw.GUID)
+		}
+		if i > 0 && doc.Inv[i-1].GUID >= sw.GUID {
+			t.Fatalf("inventory not sorted: %q before %q", doc.Inv[i-1].GUID, sw.GUID)
+		}
+	}
+
+	fs := NewFaultSet(tp)
+	if err := fs.FailRandomFabricLinks(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := fs.RouteAround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetFaults(fs, res)
+	if len(doc.Faults.FailedLinks) != 3 {
+		t.Fatalf("failed links: %v", doc.Faults.FailedLinks)
+	}
+	for i := 1; i < len(doc.Faults.FailedLinks); i++ {
+		if doc.Faults.FailedLinks[i-1] >= doc.Faults.FailedLinks[i] {
+			t.Fatalf("failed links not ascending: %v", doc.Faults.FailedLinks)
+		}
+	}
+
+	// Round-trip: the optional sections survive, the empty ones vanish.
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Doc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Faults == nil || back.Faults.BrokenPairs != res.BrokenPairs {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.HSD != nil {
+		t.Fatal("HSD section materialized from nothing")
+	}
+	bare, err := json.Marshal(NewDoc(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"faults", "hsd", "switches_by_guid", "routing"} {
+		if strings.Contains(string(bare), `"`+key+`"`) {
+			t.Fatalf("bare doc leaks empty %q section: %s", key, bare)
+		}
+	}
+}
+
+func TestFailedLinksTracksReviveOrder(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	fs := NewFaultSet(tp)
+	// Fail out of order; FailedLinks must come back ascending.
+	var fabricLinks []topo.LinkID
+	for i, l := range tp.Links {
+		if l.Level >= 2 {
+			fabricLinks = append(fabricLinks, topo.LinkID(i))
+		}
+	}
+	fs.Fail(fabricLinks[5])
+	fs.Fail(fabricLinks[1])
+	fs.Fail(fabricLinks[3])
+	got := fs.FailedLinks()
+	if len(got) != 3 || got[0] != fabricLinks[1] || got[1] != fabricLinks[3] || got[2] != fabricLinks[5] {
+		t.Fatalf("FailedLinks = %v", got)
+	}
+	fs.Revive(fabricLinks[3])
+	if got := fs.FailedLinks(); len(got) != 2 || got[0] != fabricLinks[1] || got[1] != fabricLinks[5] {
+		t.Fatalf("after revive: %v", got)
+	}
+}

@@ -1,0 +1,567 @@
+// Package fmgr is the fabric-manager daemon core: the long-running
+// subnet-manager role the paper's D-Mod-K engine shipped inside
+// (OpenSM), rebuilt as a concurrent Go service. A Manager owns an
+// immutable FabricState snapshot — topology, rerouted forwarding
+// tables, compiled path arena, node ordering, job placements and the
+// cached Shift-HSD summary — behind an atomic pointer: readers load the
+// pointer and work lock-free on a consistent snapshot (RCU style),
+// while a single event loop consumes fault/revive and job events,
+// debounces them, reroutes via fabric.RouteAround, validates the result
+// and swaps the whole snapshot. A query served mid-reroute therefore
+// always answers from exactly one epoch — the previous valid tables
+// until the new ones are proven good, never a mix.
+package fmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fattree/internal/cps"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/obs"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+// FabricState is one immutable snapshot of the managed fabric. Every
+// field is frozen at build time; readers must not mutate anything
+// reachable from it. Epoch increases by one per swap.
+type FabricState struct {
+	Epoch  uint64
+	Topo   *topo.Topology
+	Subnet *fabric.Subnet
+	// LFT is the current (re)routed forwarding tables; Paths the
+	// lenient-compiled arena over them (broken pairs recorded, not
+	// fatal).
+	LFT   *route.LFT
+	Paths *route.Compiled
+	// Ordering is the topology-aware MPI node order served by /v1/order.
+	Ordering *order.Ordering
+	// HSD is the cached Shift summary over the routable pairs.
+	HSD *hsd.Report
+	// FailedLinks, Unroutable and BrokenPairs describe the fault state
+	// the tables were computed under.
+	FailedLinks []topo.LinkID
+	Unroutable  []int
+	BrokenPairs int
+	// Jobs is a deep copy of the live allocations at swap time.
+	Jobs []*sched.Allocation
+
+	unroutable []bool // per-host, for O(1) request checks
+}
+
+// HostUnroutable reports whether host j lost its only uplink in this
+// snapshot.
+func (st *FabricState) HostUnroutable(j int) bool {
+	return j >= 0 && j < len(st.unroutable) && st.unroutable[j]
+}
+
+// Config configures a Manager. Topo is required; everything else has
+// serviceable defaults.
+type Config struct {
+	Topo *topo.Topology
+	// Debounce is how long the event loop waits after the last fault or
+	// job event before rerouting, so a burst of link flaps costs one
+	// reroute instead of one per event. Default 25ms.
+	Debounce time.Duration
+	// RetryBase and RetryMax bound the exponential backoff applied when
+	// a rebuild fails validation (the previous snapshot keeps serving
+	// meanwhile). Defaults 50ms and 2s.
+	RetryBase, RetryMax time.Duration
+	// Rand drives the fail_random fault draws. Default: seeded with 1,
+	// so a daemon restart replays the same draw sequence.
+	Rand *rand.Rand
+	// Metrics receives the fmgr_* counters, gauges and histograms. Nil
+	// disables instrumentation at nil-handle cost.
+	Metrics *obs.Registry
+	// MaxInflight gates concurrent HTTP requests on /v1 (excess gets
+	// 429). Default 64.
+	MaxInflight int
+	// RequestTimeout bounds /v1 request handling. Default 2s.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Debounce <= 0 {
+		c.Debounce = 25 * time.Millisecond
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+}
+
+type evKind int
+
+const (
+	evFail evKind = iota
+	evRevive
+	evFailRandom
+	evAlloc
+	evFree
+)
+
+type jobReply struct {
+	alloc *sched.Allocation
+	err   error
+}
+
+type event struct {
+	kind    evKind
+	link    topo.LinkID
+	n       int
+	size    int
+	aligned bool
+	job     sched.JobID
+	reply   chan jobReply // non-nil for job events only
+}
+
+// Manager owns the fabric state and the event loop. Create with New,
+// then Start; readers call Current or go through Handler.
+type Manager struct {
+	cfg    Config
+	t      *topo.Topology
+	subnet *fabric.Subnet
+	faults *fabric.FaultSet
+	alloc  *sched.Allocator // nil when the topology is not an RLFT
+	orderv *order.Ordering
+
+	cur     atomic.Pointer[FabricState]
+	events  chan event
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+	mu      sync.Mutex // guards started/closed transitions
+
+	// OnSwap, when set before Start, is called with every snapshot just
+	// before it becomes current (including the initial one from New via
+	// Start). Tests use it to record the exact set of states ever
+	// served.
+	OnSwap func(*FabricState)
+
+	// validate is swappable so tests can force rebuild failures and
+	// observe the retry/backoff path. Defaults to validateState.
+	validate func(*FabricState) error
+
+	gate chan struct{} // max-inflight semaphore for the HTTP layer
+
+	// metrics handles (nil-safe when cfg.Metrics is nil)
+	mEpoch       *obs.Gauge
+	mReroutes    *obs.Counter
+	mRerouteFail *obs.Counter
+	mEvents      *obs.Counter
+	mJobsActive  *obs.Gauge
+	mRerouteUS   *obs.Histogram
+}
+
+// New builds a manager and its initial epoch-1 snapshot (synchronously,
+// so Current never returns nil). The event loop is not running until
+// Start.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("fmgr: Config.Topo is required")
+	}
+	cfg.fill()
+	m := &Manager{
+		cfg:    cfg,
+		t:      cfg.Topo,
+		subnet: fabric.NewSubnet(cfg.Topo),
+		faults: fabric.NewFaultSet(cfg.Topo),
+		orderv: order.Topology(cfg.Topo.NumHosts(), nil),
+		events: make(chan event, 256),
+		done:   make(chan struct{}),
+		gate:   make(chan struct{}, cfg.MaxInflight),
+	}
+	m.validate = m.validateState
+	if reg := cfg.Metrics; reg != nil {
+		m.mEpoch = reg.Gauge("fmgr_epoch")
+		m.mReroutes = reg.Counter("fmgr_reroutes_total")
+		m.mRerouteFail = reg.Counter("fmgr_reroute_failures_total")
+		m.mEvents = reg.Counter("fmgr_events_total")
+		m.mJobsActive = reg.Gauge("fmgr_jobs_active")
+		m.mRerouteUS = reg.MustHistogram("fmgr_reroute_latency_us",
+			[]float64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1e6})
+	}
+	if a, err := sched.New(cfg.Topo); err == nil {
+		m.alloc = a
+	}
+	st, err := m.buildState(1)
+	if err != nil {
+		return nil, fmt.Errorf("fmgr: initial snapshot: %w", err)
+	}
+	if err := m.validate(st); err != nil {
+		return nil, fmt.Errorf("fmgr: initial snapshot invalid: %w", err)
+	}
+	m.cur.Store(st)
+	m.mEpoch.Set(int64(st.Epoch))
+	return m, nil
+}
+
+// Start launches the event loop. Safe to call once.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || m.closed {
+		return
+	}
+	m.started = true
+	if m.OnSwap != nil {
+		// Announce the initial snapshot through the same channel as
+		// later swaps, so observers hold a complete epoch history.
+		m.OnSwap(m.cur.Load())
+	}
+	m.wg.Add(1)
+	go m.loop()
+}
+
+// Close stops the event loop and waits for it to exit. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.done)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Current returns the live snapshot. The result is immutable and safe
+// to use for any length of time; it just stops being current after the
+// next swap.
+func (m *Manager) Current() *FabricState { return m.cur.Load() }
+
+// InjectFaults enqueues fail/revive events for the given links plus a
+// failRandom draw of that many extra fabric links. Link IDs are
+// validated here; the reroute itself happens asynchronously after the
+// debounce window. Returns the number of events enqueued.
+func (m *Manager) InjectFaults(fail, revive []topo.LinkID, failRandom int) (int, error) {
+	for _, l := range append(append([]topo.LinkID(nil), fail...), revive...) {
+		if l < 0 || int(l) >= len(m.t.Links) {
+			return 0, fmt.Errorf("fmgr: link %d out of range [0,%d)", l, len(m.t.Links))
+		}
+	}
+	if failRandom < 0 {
+		return 0, fmt.Errorf("fmgr: fail_random %d is negative", failRandom)
+	}
+	sent := 0
+	for _, l := range fail {
+		if err := m.send(event{kind: evFail, link: l}); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	for _, l := range revive {
+		if err := m.send(event{kind: evRevive, link: l}); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	if failRandom > 0 {
+		if err := m.send(event{kind: evFailRandom, n: failRandom}); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// AllocJob places a job through the event loop (the allocator is owned
+// by the loop, so placements serialize with fault handling) and waits
+// for the result. aligned selects the strict AllocAligned admission.
+func (m *Manager) AllocJob(size int, aligned bool) (*sched.Allocation, error) {
+	if m.alloc == nil {
+		return nil, fmt.Errorf("fmgr: topology %v is not an RLFT; no allocator", m.t.Spec)
+	}
+	reply := make(chan jobReply, 1)
+	if err := m.send(event{kind: evAlloc, size: size, aligned: aligned, reply: reply}); err != nil {
+		return nil, err
+	}
+	r := <-reply
+	return r.alloc, r.err
+}
+
+// FreeJob releases a job through the event loop.
+func (m *Manager) FreeJob(id sched.JobID) error {
+	if m.alloc == nil {
+		return fmt.Errorf("fmgr: topology %v is not an RLFT; no allocator", m.t.Spec)
+	}
+	reply := make(chan jobReply, 1)
+	if err := m.send(event{kind: evFree, job: id, reply: reply}); err != nil {
+		return err
+	}
+	return (<-reply).err
+}
+
+func (m *Manager) send(ev event) error {
+	// Check done first: a select with both an open buffer slot and a
+	// closed done channel picks randomly, which would let events slip
+	// into a closed manager.
+	select {
+	case <-m.done:
+		return fmt.Errorf("fmgr: manager closed")
+	default:
+	}
+	select {
+	case m.events <- ev:
+		m.mEvents.Inc()
+		return nil
+	case <-m.done:
+		return fmt.Errorf("fmgr: manager closed")
+	}
+}
+
+// loop is the single writer: it owns the fault set and the allocator,
+// coalesces events over the debounce window, and swaps validated
+// snapshots. A failed rebuild keeps the previous snapshot current and
+// retries with exponential backoff.
+func (m *Manager) loop() {
+	defer m.wg.Done()
+	var (
+		debounceC <-chan time.Time
+		retryC    <-chan time.Time
+		backoff   = m.cfg.RetryBase
+		dirty     bool
+	)
+	rebuild := func() {
+		st, err := m.tryRebuild()
+		if err != nil {
+			m.mRerouteFail.Inc()
+			retryC = time.After(backoff)
+			if backoff *= 2; backoff > m.cfg.RetryMax {
+				backoff = m.cfg.RetryMax
+			}
+			return
+		}
+		if m.OnSwap != nil {
+			m.OnSwap(st)
+		}
+		m.cur.Store(st)
+		m.mEpoch.Set(int64(st.Epoch))
+		backoff = m.cfg.RetryBase
+		retryC = nil
+		dirty = false
+	}
+	for {
+		select {
+		case ev := <-m.events:
+			m.apply(ev)
+			dirty = true
+			debounceC = time.After(m.cfg.Debounce)
+		case <-debounceC:
+			debounceC = nil
+			if dirty {
+				rebuild()
+			}
+		case <-retryC:
+			retryC = nil
+			if dirty {
+				rebuild()
+			}
+		case <-m.done:
+			// Unblock any callers waiting on a job reply.
+			for {
+				select {
+				case ev := <-m.events:
+					if ev.reply != nil {
+						ev.reply <- jobReply{err: fmt.Errorf("fmgr: manager closed")}
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply mutates the loop-owned fault set / allocator for one event.
+func (m *Manager) apply(ev event) {
+	switch ev.kind {
+	case evFail:
+		m.faults.Fail(ev.link)
+	case evRevive:
+		m.faults.Revive(ev.link)
+	case evFailRandom:
+		if err := m.faults.FailRandomFabricLinksRand(ev.n, m.cfg.Rand); err != nil {
+			// Draw failed (more faults requested than links); the fault
+			// set is unchanged, nothing to roll back.
+			m.mRerouteFail.Inc()
+		}
+	case evAlloc:
+		var a *sched.Allocation
+		var err error
+		if ev.aligned {
+			a, err = m.alloc.AllocAligned(ev.size)
+		} else {
+			a, err = m.alloc.Alloc(ev.size)
+		}
+		if err == nil {
+			m.mJobsActive.Add(1)
+		}
+		ev.reply <- jobReply{alloc: a, err: err}
+	case evFree:
+		err := m.alloc.Free(ev.job)
+		if err == nil {
+			m.mJobsActive.Add(-1)
+		}
+		ev.reply <- jobReply{err: err}
+	}
+}
+
+// tryRebuild computes and validates the next snapshot; on any error the
+// caller keeps the previous one current.
+func (m *Manager) tryRebuild() (*FabricState, error) {
+	start := time.Now()
+	st, err := m.buildState(m.cur.Load().Epoch + 1)
+	if err == nil {
+		err = m.validate(st)
+	}
+	m.mRerouteUS.Observe(float64(time.Since(start).Microseconds()))
+	if err != nil {
+		return nil, err
+	}
+	m.mReroutes.Inc()
+	return st, nil
+}
+
+// buildState reroutes around the current fault set and assembles a full
+// snapshot: tables, lenient path arena, job view and Shift-HSD summary.
+func (m *Manager) buildState(epoch uint64) (*FabricState, error) {
+	lft, res, err := m.faults.RouteAround()
+	if err != nil {
+		return nil, err
+	}
+	paths, err := route.CompileLenient(lft)
+	if err != nil {
+		return nil, err
+	}
+	st := &FabricState{
+		Epoch:       epoch,
+		Topo:        m.t,
+		Subnet:      m.subnet,
+		LFT:         lft,
+		Paths:       paths,
+		Ordering:    m.orderv,
+		FailedLinks: m.faults.FailedLinks(),
+		Unroutable:  res.UnroutableHosts,
+		BrokenPairs: res.BrokenPairs,
+		unroutable:  make([]bool, m.t.NumHosts()),
+	}
+	for _, j := range st.Unroutable {
+		st.unroutable[j] = true
+	}
+	if m.alloc != nil {
+		for _, j := range m.alloc.Jobs() {
+			jc := *j
+			jc.Hosts = append([]int(nil), j.Hosts...)
+			st.Jobs = append(st.Jobs, &jc)
+		}
+	}
+	st.HSD, err = shiftSummary(st)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// shiftSummary analyzes the Shift sequence under the topology order over
+// the snapshot's routable pairs — the daemon's standing answer to "is
+// this fabric still contention free". Pairs broken by faults are
+// skipped (they carry no traffic), so the summary reflects the flows the
+// fabric can actually deliver.
+func shiftSummary(st *FabricState) (*hsd.Report, error) {
+	n := st.Topo.NumHosts()
+	seq := cps.Shift(n)
+	a := hsd.NewAnalyzer(st.Paths)
+	rep := &hsd.Report{Sequence: seq.Name(), Ordering: st.Ordering.Label, Routing: st.LFT.Name}
+	var pairs [][2]int
+	for s := 0; s < seq.NumStages(); s++ {
+		pairs = pairs[:0]
+		for _, p := range seq.Stage(s) {
+			src, dst := st.Ordering.HostOf[p.Src], st.Ordering.HostOf[p.Dst]
+			if src == dst || st.HostUnroutable(src) || st.HostUnroutable(dst) || st.Paths.Broken(src, dst) {
+				continue
+			}
+			pairs = append(pairs, [2]int{src, dst})
+		}
+		sr, err := a.Stage(pairs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, sr)
+	}
+	return rep, nil
+}
+
+// validateState proves a candidate snapshot safe to serve: every
+// non-broken pair's compiled path must start at the source host, follow
+// connected links, keep the up*/down* shape (the property that makes
+// fat-tree routing deadlock free — credit cycles need a down-then-up
+// turn), and end at the destination host. Pairs involving unroutable
+// hosts must be marked broken, so reachability is total over what the
+// snapshot claims to serve.
+func (m *Manager) validateState(st *FabricState) error {
+	t := st.Topo
+	n := t.NumHosts()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if st.Paths.Broken(src, dst) {
+				continue
+			}
+			if st.HostUnroutable(src) || st.HostUnroutable(dst) {
+				return fmt.Errorf("fmgr: epoch %d: pair %d->%d touches an unroutable host but is not marked broken", st.Epoch, src, dst)
+			}
+			path, err := st.Paths.PackedPath(src, dst)
+			if err != nil {
+				return err
+			}
+			cur := t.HostID(src)
+			descending := false
+			for i, e := range path {
+				lk := &t.Links[route.EntryLink(e)]
+				lower, upper := t.Ports[lk.Lower].Node, t.Ports[lk.Upper].Node
+				if route.EntryUp(e) {
+					if descending {
+						return fmt.Errorf("fmgr: epoch %d: %d->%d climbs after descending at hop %d", st.Epoch, src, dst, i)
+					}
+					if lower != cur {
+						return fmt.Errorf("fmgr: epoch %d: %d->%d hop %d does not start at the current node", st.Epoch, src, dst, i)
+					}
+					cur = upper
+				} else {
+					descending = true
+					if upper != cur {
+						return fmt.Errorf("fmgr: epoch %d: %d->%d hop %d does not start at the current node", st.Epoch, src, dst, i)
+					}
+					cur = lower
+				}
+			}
+			if cur != t.HostID(dst) {
+				return fmt.Errorf("fmgr: epoch %d: %d->%d ends at node %d, want host %d", st.Epoch, src, dst, cur, dst)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package fmgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"fattree/internal/fabric"
+	"fattree/internal/route"
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+)
+
+// RouteSchema stamps GET /v1/route responses.
+const RouteSchema = "fattree-route/v1"
+
+// HopDoc is one hop of a served path.
+type HopDoc struct {
+	Link int    `json:"link"`
+	Up   bool   `json:"up"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// RouteDoc is the GET /v1/route response body.
+type RouteDoc struct {
+	Schema  string   `json:"schema"`
+	Epoch   uint64   `json:"epoch"`
+	Routing string   `json:"routing"`
+	Src     int      `json:"src"`
+	Dst     int      `json:"dst"`
+	Hops    []HopDoc `json:"hops"`
+}
+
+// OrderDoc is the GET /v1/order response body.
+type OrderDoc struct {
+	Schema string `json:"schema"`
+	Epoch  uint64 `json:"epoch"`
+	Label  string `json:"label"`
+	HostOf []int  `json:"host_of"`
+}
+
+// OrderSchema stamps GET /v1/order responses.
+const OrderSchema = "fattree-order/v1"
+
+// HSDDoc is the GET /v1/hsd response body: the cached Shift summary of
+// the current snapshot.
+type HSDDoc struct {
+	Epoch          uint64  `json:"epoch"`
+	Sequence       string  `json:"sequence"`
+	Ordering       string  `json:"ordering"`
+	Routing        string  `json:"routing"`
+	Stages         int     `json:"stages"`
+	MaxHSD         int     `json:"max_hsd"`
+	AvgMaxHSD      float64 `json:"avg_max_hsd"`
+	ContentionFree bool    `json:"contention_free"`
+	SyncBandwidth  float64 `json:"sync_bandwidth"`
+	FailedLinks    int     `json:"failed_links"`
+	Unroutable     int     `json:"unroutable_hosts"`
+	BrokenPairs    int     `json:"broken_pairs"`
+}
+
+// JobDoc is one allocation in job responses.
+type JobDoc struct {
+	ID             int   `json:"id"`
+	Size           int   `json:"size"`
+	Hosts          []int `json:"hosts"`
+	ContentionFree bool  `json:"contention_free"`
+	Isolated       bool  `json:"isolated"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /v1/route?src=S&dst=D  traced path under the current snapshot
+//	GET  /v1/order              topology-aware MPI node order
+//	GET  /v1/hsd                cached Shift-HSD summary
+//	GET  /v1/fabric             fattree-fabric/v1 fabric document
+//	GET  /v1/jobs               placements frozen in the snapshot
+//	POST /v1/faults             enqueue fail/revive/fail_random events
+//	POST /v1/jobs               allocate a job (synchronous)
+//	DELETE /v1/jobs?id=N        release a job (synchronous)
+//	GET  /healthz               liveness + current epoch
+//	GET  /metrics               obs registry snapshot (JSON)
+//	     /debug/pprof/          the usual pprof handlers
+//
+// Every /v1 route runs behind the max-inflight gate (429 when full) and
+// the request timeout; /healthz, /metrics and pprof bypass both so the
+// daemon stays observable under load.
+func (m *Manager) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("GET /v1/route", m.handleRoute)
+	api.HandleFunc("GET /v1/order", m.handleOrder)
+	api.HandleFunc("GET /v1/hsd", m.handleHSD)
+	api.HandleFunc("GET /v1/fabric", m.handleFabric)
+	api.HandleFunc("GET /v1/jobs", m.handleJobsList)
+	api.HandleFunc("POST /v1/faults", m.handleFaults)
+	api.HandleFunc("POST /v1/jobs", m.handleJobAlloc)
+	api.HandleFunc("DELETE /v1/jobs", m.handleJobFree)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", m.instrument(m.gated(http.TimeoutHandler(api, m.cfg.RequestTimeout, `{"error":"request timed out"}`))))
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// gated applies the max-inflight semaphore: requests beyond the cap get
+// an immediate 429 instead of queueing.
+func (m *Manager) gated(next http.Handler) http.Handler {
+	throttled := m.cfg.Metrics.Counter("fmgr_http_throttled_total")
+	inflight := m.cfg.Metrics.Gauge("fmgr_http_inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case m.gate <- struct{}{}:
+			inflight.Add(1)
+			defer func() {
+				<-m.gate
+				inflight.Add(-1)
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			throttled.Inc()
+			writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: "too many in-flight requests"})
+		}
+	})
+}
+
+// instrument counts requests and observes handling latency.
+func (m *Manager) instrument(next http.Handler) http.Handler {
+	total := m.cfg.Metrics.Counter("fmgr_http_requests_total")
+	latHist := m.cfg.Metrics.MustHistogram("fmgr_http_latency_us",
+		[]float64{10, 50, 100, 500, 1000, 5000, 10000, 100000, 1e6})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		total.Inc()
+		next.ServeHTTP(w, r)
+		latHist.Observe(float64(time.Since(start).Microseconds()))
+	})
+}
+
+func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	dst, err := intParam(r, "dst")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	st := m.Current()
+	n := st.Topo.NumHosts()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("pair %d->%d out of range [0,%d)", src, dst, n)})
+		return
+	}
+	doc := RouteDoc{Schema: RouteSchema, Epoch: st.Epoch, Routing: st.LFT.Name, Src: src, Dst: dst, Hops: []HopDoc{}}
+	if src == dst {
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
+	if st.HostUnroutable(src) || st.HostUnroutable(dst) || st.Paths.Broken(src, dst) {
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{
+			Error: fmt.Sprintf("no path %d->%d under epoch %d (%d dead links)", src, dst, st.Epoch, len(st.FailedLinks)),
+		})
+		return
+	}
+	path, err := st.Paths.PackedPath(src, dst)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	t := st.Topo
+	cur := t.HostID(src)
+	for _, e := range path {
+		lk := &t.Links[route.EntryLink(e)]
+		from := t.Node(cur)
+		var to = cur
+		if route.EntryUp(e) {
+			to = t.Ports[lk.Upper].Node
+		} else {
+			to = t.Ports[lk.Lower].Node
+		}
+		doc.Hops = append(doc.Hops, HopDoc{
+			Link: int(route.EntryLink(e)),
+			Up:   route.EntryUp(e),
+			From: from.String(),
+			To:   t.Node(to).String(),
+		})
+		cur = to
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (m *Manager) handleOrder(w http.ResponseWriter, r *http.Request) {
+	st := m.Current()
+	writeJSON(w, http.StatusOK, OrderDoc{
+		Schema: OrderSchema,
+		Epoch:  st.Epoch,
+		Label:  st.Ordering.Label,
+		HostOf: st.Ordering.HostOf,
+	})
+}
+
+func (m *Manager) handleHSD(w http.ResponseWriter, r *http.Request) {
+	st := m.Current()
+	rep := st.HSD
+	writeJSON(w, http.StatusOK, HSDDoc{
+		Epoch:          st.Epoch,
+		Sequence:       rep.Sequence,
+		Ordering:       rep.Ordering,
+		Routing:        rep.Routing,
+		Stages:         len(rep.Stages),
+		MaxHSD:         rep.MaxHSD(),
+		AvgMaxHSD:      rep.AvgMaxHSD(),
+		ContentionFree: rep.ContentionFree(),
+		SyncBandwidth:  rep.SyncEffectiveBandwidth(),
+		FailedLinks:    len(st.FailedLinks),
+		Unroutable:     len(st.Unroutable),
+		BrokenPairs:    st.Paths.NumBroken(),
+	})
+}
+
+func (m *Manager) handleFabric(w http.ResponseWriter, r *http.Request) {
+	st := m.Current()
+	doc := fabric.NewDoc(st.Topo)
+	doc.Routing = st.LFT.Name
+	fd := &fabric.FaultDoc{FailedLinks: []int{}, UnroutableHosts: []int{}, BrokenPairs: st.BrokenPairs}
+	for _, l := range st.FailedLinks {
+		fd.FailedLinks = append(fd.FailedLinks, int(l))
+	}
+	fd.UnroutableHosts = append(fd.UnroutableHosts, st.Unroutable...)
+	doc.Faults = fd
+	doc.HSD = &fabric.HSDDoc{
+		Sequence:       st.HSD.Sequence,
+		Ordering:       st.HSD.Ordering,
+		Stages:         len(st.HSD.Stages),
+		MaxHSD:         st.HSD.MaxHSD(),
+		AvgMaxHSD:      st.HSD.AvgMaxHSD(),
+		ContentionFree: st.HSD.ContentionFree(),
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Epoch uint64 `json:"epoch"`
+		*fabric.Doc
+	}{st.Epoch, doc})
+}
+
+// faultsRequest is the POST /v1/faults body.
+type faultsRequest struct {
+	Fail       []int `json:"fail"`
+	Revive     []int `json:"revive"`
+	FailRandom int   `json:"fail_random"`
+}
+
+func (m *Manager) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req faultsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	sent, err := m.InjectFaults(linkIDs(req.Fail), linkIDs(req.Revive), req.FailRandom)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Accepted int    `json:"accepted"`
+		Epoch    uint64 `json:"epoch"`
+	}{sent, m.Current().Epoch})
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	Size    int  `json:"size"`
+	Aligned bool `json:"aligned"`
+}
+
+func (m *Manager) handleJobAlloc(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	a, err := m.AllocJob(req.Size, req.Aligned)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDoc(a))
+}
+
+func (m *Manager) handleJobFree(w http.ResponseWriter, r *http.Request) {
+	id, err := intParam(r, "id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	if err := m.FreeJob(sched.JobID(id)); err != nil {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Released int `json:"released"`
+	}{id})
+}
+
+func (m *Manager) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	st := m.Current()
+	jobs := make([]JobDoc, 0, len(st.Jobs))
+	for _, j := range st.Jobs {
+		jobs = append(jobs, jobDoc(j))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Epoch uint64   `json:"epoch"`
+		Jobs  []JobDoc `json:"jobs"`
+	}{st.Epoch, jobs})
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := m.Current()
+	writeJSON(w, http.StatusOK, struct {
+		OK          bool   `json:"ok"`
+		Epoch       uint64 `json:"epoch"`
+		FailedLinks int    `json:"failed_links"`
+	}{true, st.Epoch, len(st.FailedLinks)})
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := m.cfg.Metrics.Snapshot().WriteJSON(w); err != nil {
+		// Too late for a status code; the connection will surface it.
+		return
+	}
+}
+
+func jobDoc(a *sched.Allocation) JobDoc {
+	return JobDoc{
+		ID:             int(a.ID),
+		Size:           len(a.Hosts),
+		Hosts:          a.Hosts,
+		ContentionFree: a.ContentionFree,
+		Isolated:       a.Isolated,
+	}
+}
+
+func linkIDs(in []int) []topo.LinkID {
+	out := make([]topo.LinkID, len(in))
+	for i, l := range in {
+		out[i] = topo.LinkID(l)
+	}
+	return out
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,6 +9,11 @@ import (
 
 	"fattree/internal/topo"
 )
+
+// ErrNoPath marks a pair with no usable path in a leniently compiled
+// cache (see CompileLenient). Callers distinguish it from structural
+// errors with errors.Is.
+var ErrNoPath = errors.New("no path")
 
 // PathEntry is one hop of a compiled path, packed into an int32: the link
 // id shifted left once with the direction in bit 0 (1 = up). Packing keeps
@@ -56,6 +62,11 @@ type Compiled struct {
 	n       int
 	offs    []int32 // len n*n+1; path (s,d) is entries[offs[s*n+d]:offs[s*n+d+1]]
 	entries []PathEntry
+	// broken, when non-nil, is an n*n bitset of pairs the inner router
+	// could not walk (lenient compiles over faulted fabrics). PackedPath
+	// and Walk return ErrNoPath for them.
+	broken    []uint64
+	numBroken int
 }
 
 // Compile materializes every path of r in parallel across sources. It
@@ -67,6 +78,20 @@ func Compile(r Router) (*Compiled, error) { return CompileParallel(r, 0) }
 // private row buffer; the rows are then stitched into the shared arena,
 // so no locking is needed during the build either.
 func CompileParallel(r Router, workers int) (*Compiled, error) {
+	return compileParallel(r, workers, false)
+}
+
+// CompileLenient is Compile for routers with unreachable pairs — the
+// rerouted tables of a faulted fabric above all. Pairs the inner router
+// fails to walk (dead ends after a fault has cut every minimal path) are
+// recorded instead of aborting the build; PackedPath and Walk report
+// them as ErrNoPath and NumBroken counts them. A fully routable router
+// compiles to the exact same arena as Compile.
+func CompileLenient(r Router) (*Compiled, error) {
+	return compileParallel(r, 0, true)
+}
+
+func compileParallel(r Router, workers int, lenient bool) (*Compiled, error) {
 	if c, ok := r.(*Compiled); ok {
 		return c, nil
 	}
@@ -80,6 +105,7 @@ func CompileParallel(r Router, workers int) (*Compiled, error) {
 	}
 	rows := make([][]PathEntry, n)
 	rowOffs := make([][]int32, n)
+	brokenDst := make([][]int32, n) // per-source unreachable destinations
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -99,14 +125,19 @@ func CompileParallel(r Router, workers int) (*Compiled, error) {
 				buf := make([]PathEntry, 0, n*t.Spec.H)
 				for dst := 0; dst < n; dst++ {
 					if dst != src {
+						start := len(buf)
 						err := r.Walk(src, dst, func(l topo.LinkID, up bool) {
 							buf = append(buf, PackEntry(l, up))
 						})
 						if err != nil {
-							errOnce.Do(func() {
-								firstErr = fmt.Errorf("route: compile %s: %w", r.Label(), err)
-							})
-							return
+							if !lenient {
+								errOnce.Do(func() {
+									firstErr = fmt.Errorf("route: compile %s: %w", r.Label(), err)
+								})
+								return
+							}
+							buf = buf[:start] // drop the partial walk
+							brokenDst[src] = append(brokenDst[src], int32(dst))
 						}
 					}
 					offs[dst+1] = int32(len(buf))
@@ -144,8 +175,32 @@ func CompileParallel(r Router, workers int) (*Compiled, error) {
 		base += int32(len(rows[src]))
 	}
 	c.offs[n*n] = base
+	for src, dsts := range brokenDst {
+		for _, dst := range dsts {
+			if c.broken == nil {
+				c.broken = make([]uint64, (n*n+63)/64)
+			}
+			i := src*n + int(dst)
+			c.broken[i/64] |= 1 << (i % 64)
+			c.numBroken++
+		}
+	}
 	return c, nil
 }
+
+// Broken reports whether a leniently compiled pair had no path.
+// Out-of-range pairs report false; PackedPath still rejects them.
+func (c *Compiled) Broken(src, dst int) bool {
+	if c.broken == nil || src < 0 || src >= c.n || dst < 0 || dst >= c.n {
+		return false
+	}
+	i := src*c.n + dst
+	return c.broken[i/64]&(1<<(i%64)) != 0
+}
+
+// NumBroken returns the number of unreachable pairs recorded by a
+// lenient compile (0 for strict compiles).
+func (c *Compiled) NumBroken() int { return c.numBroken }
 
 // Topology implements Router.
 func (c *Compiled) Topology() *topo.Topology { return c.inner.Topology() }
@@ -161,10 +216,14 @@ func (c *Compiled) Inner() Router { return c.inner }
 // NumEntries returns the total packed hop count across all pairs.
 func (c *Compiled) NumEntries() int { return len(c.entries) }
 
-// PackedPath implements PackedPather.
+// PackedPath implements PackedPather. For pairs a lenient compile found
+// unreachable it returns an error wrapping ErrNoPath.
 func (c *Compiled) PackedPath(src, dst int) ([]PathEntry, error) {
 	if src < 0 || src >= c.n || dst < 0 || dst >= c.n {
 		return nil, fmt.Errorf("route: compiled %s: pair %d->%d out of range [0,%d)", c.Label(), src, dst, c.n)
+	}
+	if c.Broken(src, dst) {
+		return nil, fmt.Errorf("route: compiled %s: pair %d->%d: %w", c.Label(), src, dst, ErrNoPath)
 	}
 	i := src*c.n + dst
 	return c.entries[c.offs[i]:c.offs[i+1]], nil

@@ -1,0 +1,145 @@
+package route_test
+
+// Lenient compilation is exercised against the fabric package's
+// rerouted tables — the real producer of partially routable LFTs — so
+// the test lives in an external test package to use it without an
+// import cycle.
+
+import (
+	"errors"
+	"testing"
+
+	"fattree/internal/fabric"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func buildRLFT(t *testing.T, spec string) *topo.Topology {
+	t.Helper()
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topo.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestCompileLenientCleanFabricMatchesStrict(t *testing.T) {
+	tp := buildRLFT(t, "rlft2:4,8")
+	lft := route.DModK(tp)
+	strict, err := route.Compile(lft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, err := route.CompileLenient(lft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lenient.NumBroken() != 0 {
+		t.Fatalf("clean fabric compiled with %d broken pairs", lenient.NumBroken())
+	}
+	n := tp.NumHosts()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			a, err := strict.PackedPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := lenient.PackedPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%d->%d: %d vs %d entries", src, dst, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%d->%d entry %d differs", src, dst, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileLenientRecordsBrokenPairs(t *testing.T) {
+	tp := buildRLFT(t, "rlft2:4,8")
+	fs := fabric.NewFaultSet(tp)
+	// Cut host 0's only uplink: every pair touching host 0 loses its
+	// path, everything else keeps one.
+	fs.Fail(tp.Ports[tp.Host(0).Up[0]].Link)
+	lft, res, err := fs.RouteAround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnroutableHosts) != 1 || res.UnroutableHosts[0] != 0 {
+		t.Fatalf("unroutable = %v, want [0]", res.UnroutableHosts)
+	}
+
+	if _, err := route.Compile(lft); err == nil {
+		t.Fatal("strict compile accepted a partially routable LFT")
+	}
+	c, err := route.CompileLenient(lft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.NumHosts()
+	wantBroken := 2 * (n - 1) // host 0 as source and as destination
+	if c.NumBroken() != wantBroken {
+		t.Fatalf("NumBroken = %d, want %d", c.NumBroken(), wantBroken)
+	}
+	for other := 1; other < n; other++ {
+		if !c.Broken(0, other) || !c.Broken(other, 0) {
+			t.Fatalf("pair with host 0 not marked broken (other=%d)", other)
+		}
+	}
+	if _, err := c.PackedPath(0, 5); !errors.Is(err, route.ErrNoPath) {
+		t.Fatalf("PackedPath on broken pair: %v, want ErrNoPath", err)
+	}
+	if err := c.Walk(0, 5, func(topo.LinkID, bool) {}); !errors.Is(err, route.ErrNoPath) {
+		t.Fatalf("Walk on broken pair: %v, want ErrNoPath", err)
+	}
+
+	// Unaffected pairs replay the rerouted tables exactly.
+	for src := 1; src < n; src += 3 {
+		for dst := 1; dst < n; dst += 5 {
+			if src == dst {
+				continue
+			}
+			var want []route.PathEntry
+			if err := lft.Walk(src, dst, func(l topo.LinkID, up bool) {
+				want = append(want, route.PackEntry(l, up))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.PackedPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d->%d: %d vs %d entries", src, dst, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%d->%d entry %d differs", src, dst, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileLenientOutOfRangeStillErrors(t *testing.T) {
+	tp := buildRLFT(t, "rlft2:4,8")
+	c, err := route.CompileLenient(route.DModK(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PackedPath(-1, 0); err == nil || errors.Is(err, route.ErrNoPath) {
+		t.Fatalf("out-of-range pair: %v, want a range error distinct from ErrNoPath", err)
+	}
+	if c.Broken(-1, 0) || c.Broken(0, 10_000) {
+		t.Fatal("Broken reported true for out-of-range pair")
+	}
+}
