@@ -3,8 +3,10 @@
 GO ?= go
 # Benchmark iteration budget; CI smoke runs use BENCHTIME=1x.
 BENCHTIME ?= 1s
+# Per-target fuzzing budget for fuzz and fuzz-smoke.
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json bench-track bench-gate report daemon-smoke experiments experiments-quick fuzz clean
+.PHONY: all build vet test race bench bench-json bench-track bench-gate report check daemon-smoke experiments experiments-quick fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -44,6 +46,14 @@ report:
 		-mode barrier -metrics probes.jsonl -trace trace.json
 	$(GO) run ./cmd/ftreport html -metrics probes.jsonl -trace trace.json -o report.html
 
+# Theorem verification: run the full invariant catalog (see
+# docs/TESTING.md) on the paper cluster, a k-ary-n-tree, an XGFT, and
+# seeded random RLFTs. Non-zero exit on any failed check.
+check:
+	$(GO) run ./cmd/ftcheck -topo 324 -rand 3 -seed 1
+	$(GO) run ./cmd/ftcheck -topo kary:4,3
+	$(GO) run ./cmd/ftcheck -topo "pgft:3;2,2,2;1,2,2;1,1,1"
+
 # End-to-end fabric-daemon smoke: boot ftfabricd on a loopback port,
 # poll /healthz, exercise a route query and a fault injection, then
 # SIGTERM for a graceful drain. Fails if any request or the shutdown
@@ -59,9 +69,16 @@ experiments-quick:
 	$(GO) run ./cmd/ftbench -exp all -quick
 
 fuzz:
-	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/topo/
-	$(GO) test -fuzz=FuzzParseTopologyFile -fuzztime=30s ./internal/topo/
-	$(GO) test -fuzz=FuzzParseLFTs -fuzztime=30s ./internal/fabric/
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/topo/
+	$(GO) test -fuzz=FuzzParseTopologyFile -fuzztime=$(FUZZTIME) ./internal/topo/
+	$(GO) test -fuzz=FuzzParseLFTs -fuzztime=$(FUZZTIME) ./internal/fabric/
+
+# The invariant-harness fuzzers (docs/TESTING.md): topology file parser,
+# fabric JSON document, fault-injection -> lenient-compile pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseTopologyFile -fuzztime=$(FUZZTIME) ./internal/topo/
+	$(GO) test -fuzz=FuzzDoc -fuzztime=$(FUZZTIME) ./internal/fabric/
+	$(GO) test -fuzz=FuzzFaultCompileLenient -fuzztime=$(FUZZTIME) ./internal/invariant/
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"fattree/internal/fabric"
 	"fattree/internal/fmgr"
 	"fattree/internal/hsd"
+	"fattree/internal/invariant"
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/obs"
@@ -630,4 +631,23 @@ func BenchmarkSweepOrderingsParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkInvariantSuite324 runs the full invariant catalog — all 15
+// executable theorem and representation checks — against the paper's
+// 324-node cluster under compiled D-Mod-K, the exact workload of `make
+// check` and the CI theorem-verification job.
+func BenchmarkInvariantSuite324(b *testing.B) {
+	t := topo.MustBuild(topo.Cluster324)
+	c, err := route.Compile(route.DModK(t))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := invariant.Run(invariant.NewInstance(t, c, nil), nil)
+		if !rep.Pass {
+			b.Fatalf("catalog failed: %v", rep.FailedNames())
+		}
+	}
 }

@@ -1,0 +1,293 @@
+// Command ftcheck verifies the paper's theorems and construction rules
+// against a concrete topology + routing + ordering instance and emits a
+// schema-stamped fattree-check/v1 verdict. It is the CLI face of the
+// internal/invariant catalog: topology wiring (Section IV.B), RLFT
+// restrictions (IV.C), D-Mod-K shape and Theorem-2 down-path uniqueness
+// (Section V), CPS structure (Section III) and the contention-freedom
+// headline result (Theorem 1 / Section VII).
+//
+// Usage:
+//
+//	ftcheck -topo 324                                  # full catalog on the paper cluster
+//	ftcheck -topo kary:4,3 -checks topo,route          # subset by kind prefix
+//	ftcheck -topo 324 -routing minhop-random -json     # broken routing -> failing verdict
+//	ftcheck -topo 324 -order random -seed 3            # shuffled ordering -> HSD > 1
+//	ftcheck -topo 324 -fault-random 2 -reroute         # fault + reroute still passes
+//	ftcheck -rand 20 -seed 1                           # sweep 20 seeded random RLFTs
+//	ftcheck -list                                      # catalog names and paper refs
+//
+// Exit status is 0 only when every selected check passes on the main
+// instance and on every random-sweep draw.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fattree/internal/fabric"
+	"fattree/internal/invariant"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// document is the JSON verdict: the invariant report plus the fault and
+// random-sweep context needed to reproduce it.
+type document struct {
+	*invariant.Report
+	Faults []int                   `json:"faults,omitempty"`
+	Rand   []invariant.RandVerdict `json:"rand,omitempty"`
+}
+
+func main() {
+	var (
+		spec      = flag.String("topo", "324", "topology spec")
+		routing   = flag.String("routing", "dmodk", "routing: dmodk | dmodk-naive | minhop-random | smodk")
+		ordering  = flag.String("order", "topology", "ordering: topology | random | adversarial | cyclic")
+		seed      = flag.Int64("seed", 1, "seed for -order random, -routing minhop-random, -fault-random and the -rand sweep base")
+		checksArg = flag.String("checks", "all", "comma-separated check names or kind prefixes (see -list)")
+		randN     = flag.Int("rand", 0, "also sweep this many seeded random RLFTs under compiled D-Mod-K")
+		faultsArg = flag.String("fault", "", "comma-separated link IDs to fail before checking")
+		faultRand = flag.Int("fault-random", 0, "fail this many random fabric links")
+		reroute   = flag.Bool("reroute", false, "route around the faults (RouteAround + lenient compile) instead of checking the stale tables")
+		jsonOut   = flag.Bool("json", false, "emit the fattree-check/v1 verdict as JSON")
+		list      = flag.Bool("list", false, "list the check catalog and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, c := range invariant.Catalog() {
+			fmt.Printf("%-24s %s\n", c.Name, c.Ref)
+		}
+		return
+	}
+	ok, err := run(*spec, *routing, *ordering, *seed, *checksArg, *randN, *faultsArg, *faultRand, *reroute, *jsonOut, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftcheck:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// run checks one instance (plus an optional random sweep) and reports
+// whether everything passed. Errors are usage/build problems, not check
+// failures.
+func run(spec, routing, ordering string, seed int64, checksArg string, randN int, faultsArg string, faultRand int, reroute, jsonOut bool, w io.Writer) (bool, error) {
+	checks, err := invariant.Select(checksArg)
+	if err != nil {
+		return false, err
+	}
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return false, err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return false, err
+	}
+
+	in, faults, err := buildInstance(t, routing, ordering, seed, faultsArg, faultRand, reroute)
+	if err != nil {
+		return false, err
+	}
+	rep := invariant.Run(in, checks)
+	doc := &document{Report: rep, Faults: faults}
+
+	if randN > 0 {
+		doc.Rand = invariant.SweepRandom(seed, randN, checks, func(rg topo.PGFT) (*invariant.Instance, error) {
+			rt, err := topo.Build(rg)
+			if err != nil {
+				return nil, err
+			}
+			c, err := route.Compile(route.DModK(rt))
+			if err != nil {
+				return nil, err
+			}
+			return invariant.NewInstance(rt, c, nil), nil
+		})
+	}
+
+	pass := rep.Pass
+	for _, v := range doc.Rand {
+		if !v.Pass || v.Error != "" {
+			pass = false
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return pass, enc.Encode(doc)
+	}
+	printText(w, doc, pass)
+	return pass, nil
+}
+
+// buildInstance assembles the system under check: topology, routing
+// (optionally over a faulted fabric, stale or rerouted), and ordering.
+func buildInstance(t *topo.Topology, routing, ordering string, seed int64, faultsArg string, faultRand int, reroute bool) (*invariant.Instance, []int, error) {
+	n := t.NumHosts()
+
+	fs := fabric.NewFaultSet(t)
+	if faultsArg != "" {
+		for _, f := range strings.Split(faultsArg, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -fault entry %q: %v", f, err)
+			}
+			if id < 0 || id >= len(t.Links) {
+				return nil, nil, fmt.Errorf("-fault link %d out of range [0,%d)", id, len(t.Links))
+			}
+			fs.Fail(topo.LinkID(id))
+		}
+	}
+	if faultRand > 0 {
+		if err := fs.FailRandomFabricLinks(faultRand, seed); err != nil {
+			return nil, nil, err
+		}
+	}
+	var faults []int
+	for _, l := range fs.FailedLinks() {
+		faults = append(faults, int(l))
+	}
+
+	var in *invariant.Instance
+	if len(faults) > 0 && reroute {
+		if routing != "dmodk" {
+			return nil, nil, fmt.Errorf("-reroute implies D-Mod-K tables; drop -routing %s", routing)
+		}
+		lft, res, err := fs.RouteAround()
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := route.CompileLenient(lft)
+		if err != nil {
+			return nil, nil, err
+		}
+		unroutable := make(map[int]bool, len(res.UnroutableHosts))
+		for _, j := range res.UnroutableHosts {
+			unroutable[j] = true
+		}
+		in = invariant.NewInstance(t, c, nil)
+		in.Unroutable = func(j int) bool { return unroutable[j] }
+	} else {
+		var r route.Router
+		switch routing {
+		case "dmodk":
+			r = route.DModK(t)
+		case "dmodk-naive":
+			r = route.DModKNaive(t)
+		case "minhop-random":
+			r = route.MinHopRandom(t, seed)
+		case "smodk":
+			r = route.NewSModK(t)
+		default:
+			return nil, nil, fmt.Errorf("unknown routing %q", routing)
+		}
+		c, err := route.Compile(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		in = invariant.NewInstance(t, c, nil)
+	}
+	if len(faults) > 0 {
+		// Checked even without -reroute: stale tables crossing a dead
+		// link are exactly what route.alive is for.
+		in.Alive = fs.Alive
+	}
+
+	switch ordering {
+	case "topology":
+		// NewInstance default.
+	case "random":
+		in.Ordering = order.Random(n, nil, seed)
+	case "adversarial":
+		o, err := order.Adversarial(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Ordering = o
+	case "cyclic":
+		o, err := order.Cyclic(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Ordering = o
+	default:
+		return nil, nil, fmt.Errorf("unknown ordering %q", ordering)
+	}
+	return in, faults, nil
+}
+
+func printText(w io.Writer, doc *document, pass bool) {
+	rep := doc.Report
+	fmt.Fprintf(w, "%s  hosts %d  routing %s  ordering %s\n", rep.Topology, rep.Hosts, rep.Routing, rep.Ordering)
+	if len(doc.Faults) > 0 {
+		fmt.Fprintf(w, "faulted links: %v\n", doc.Faults)
+	}
+	for _, c := range rep.Checks {
+		switch c.Status {
+		case invariant.Pass:
+			fmt.Fprintf(w, "  PASS %-24s %s\n", c.Name, c.Ref)
+		case invariant.Skip:
+			fmt.Fprintf(w, "  SKIP %-24s %s\n", c.Name, c.SkipReason)
+		case invariant.Fail:
+			fmt.Fprintf(w, "  FAIL %-24s %s\n", c.Name, c.Error)
+			if cx := c.Counterexample; cx != nil {
+				fmt.Fprintf(w, "       counterexample: %s\n", cxString(cx))
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d passed, %d failed, %d skipped\n", rep.Passed, rep.Failed, rep.Skipped)
+	for _, v := range doc.Rand {
+		switch {
+		case v.Error != "":
+			fmt.Fprintf(w, "rand seed %d %s: build error: %s\n", v.Seed, v.Spec, v.Error)
+		case v.Pass:
+			fmt.Fprintf(w, "rand seed %d %s (%d hosts): pass\n", v.Seed, v.Spec, v.Hosts)
+		default:
+			fmt.Fprintf(w, "rand seed %d %s (%d hosts): FAIL %s, shrunk to %s\n",
+				v.Seed, v.Spec, v.Hosts, strings.Join(v.Failed, ","), v.ShrunkSpec)
+			if v.Counterexample != nil {
+				fmt.Fprintf(w, "       counterexample: %s\n", cxString(v.Counterexample))
+			}
+		}
+	}
+	if pass {
+		fmt.Fprintln(w, "ok")
+	} else {
+		fmt.Fprintln(w, "FAILED")
+	}
+}
+
+// cxString renders a counterexample on one line.
+func cxString(cx *invariant.Counterexample) string {
+	var parts []string
+	if cx.Spec != "" {
+		parts = append(parts, "spec "+cx.Spec)
+	}
+	if len(cx.Pair) == 2 {
+		parts = append(parts, fmt.Sprintf("pair %d->%d", cx.Pair[0], cx.Pair[1]))
+	}
+	if cx.Sequence != "" {
+		parts = append(parts, "sequence "+cx.Sequence)
+	}
+	if cx.Stage != nil {
+		parts = append(parts, fmt.Sprintf("stage %d", *cx.Stage))
+	}
+	if cx.Link != nil {
+		parts = append(parts, fmt.Sprintf("link %d load %d", *cx.Link, cx.Load))
+	}
+	if len(cx.Flows) > 0 {
+		parts = append(parts, fmt.Sprintf("flows %v", cx.Flows))
+	}
+	if cx.Detail != "" {
+		parts = append(parts, cx.Detail)
+	}
+	return strings.Join(parts, "; ")
+}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -29,6 +30,41 @@ func FuzzParseLFTs(f *testing.F) {
 		// Self-diff of anything parsed must be empty.
 		if d := DiffLFTs(parsed, parsed); len(d) != 0 {
 			t.Fatalf("self-diff non-empty: %v", d)
+		}
+	})
+}
+
+// FuzzDoc throws arbitrary bytes at the fattree-fabric/v1 parser. Any
+// document it accepts must re-marshal into a document it accepts again
+// (validation is stable under the JSON round trip), and anything it
+// rejects must not crash.
+func FuzzDoc(f *testing.F) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 2}, []int{1, 1}))
+	doc := NewDoc(tp)
+	sn := NewSubnet(tp)
+	if inv, err := sn.Discover(); err == nil {
+		doc.SetInventory(inv)
+	}
+	seed, err := json.Marshal(doc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"schema":"fattree-fabric/v1","topology":"kary:2,2","hosts":4,"switches":4,"links":12}`)
+	f.Add(`{"schema":"fattree-fabric/v1","topology":"324","hosts":324,"switches":27,"links":648,"faults":{"failed_links":[1,2],"unroutable_hosts":[],"broken_pairs":0}}`)
+	f.Add(`{"schema":"wrong"}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ParseDoc(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted doc does not marshal: %v", err)
+		}
+		if _, err := ParseDoc(bytes.NewReader(raw)); err != nil {
+			t.Fatalf("accepted doc rejected after round trip: %v\n%s", err, raw)
 		}
 	})
 }

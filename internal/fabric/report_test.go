@@ -99,3 +99,72 @@ func TestFailedLinksTracksReviveOrder(t *testing.T) {
 		t.Fatalf("after revive: %v", got)
 	}
 }
+
+// TestParseDocAcceptsEmitted: every document this package emits —
+// bare, inventory, faults, HSD — parses back and validates.
+func TestParseDocAcceptsEmitted(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster128)
+	doc := NewDoc(tp)
+	sn := NewSubnet(tp)
+	inv, err := sn.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetInventory(inv)
+	fs := NewFaultSet(tp)
+	if err := fs.FailRandomFabricLinks(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := fs.RouteAround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetFaults(fs, res)
+	doc.HSD = &HSDDoc{Sequence: "shift", Ordering: "topology", Stages: 127, MaxHSD: 1, AvgMaxHSD: 1, ContentionFree: true}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDoc(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hosts != doc.Hosts || back.Faults.BrokenPairs != res.BrokenPairs {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestParseDocRejectsInconsistent: each schema rule catches its own
+// class of corruption.
+func TestParseDocRejectsInconsistent(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{2, 2}, []int{1, 2}, []int{1, 1}))
+	base := func() *Doc { return NewDoc(tp) }
+	for name, corrupt := range map[string]func(*Doc){
+		"schema":          func(d *Doc) { d.Schema = "fattree-fabric/v0" },
+		"topology":        func(d *Doc) { d.Topology = "nope" },
+		"hosts":           func(d *Doc) { d.Hosts = 1 << 20 },
+		"links":           func(d *Doc) { d.Links = -1 },
+		"guid":            func(d *Doc) { d.Inv = []SwitchDoc{{GUID: "12ab", Ports: 4}} },
+		"guid-order":      func(d *Doc) { d.Inv = []SwitchDoc{{GUID: "0x2", Ports: 4}, {GUID: "0x1", Ports: 4}} },
+		"ports":           func(d *Doc) { d.Inv = []SwitchDoc{{GUID: "0x1", Ports: 0}} },
+		"fault-range":     func(d *Doc) { d.Faults = &FaultDoc{FailedLinks: []int{d.Links}} },
+		"fault-order":     func(d *Doc) { d.Faults = &FaultDoc{FailedLinks: []int{3, 2}} },
+		"unroutable":      func(d *Doc) { d.Faults = &FaultDoc{UnroutableHosts: []int{d.Hosts}} },
+		"broken-pairs":    func(d *Doc) { d.Faults = &FaultDoc{BrokenPairs: -1} },
+		"hsd-avg":         func(d *Doc) { d.HSD = &HSDDoc{MaxHSD: 1, AvgMaxHSD: 2, ContentionFree: true} },
+		"hsd-contradicts": func(d *Doc) { d.HSD = &HSDDoc{MaxHSD: 3, AvgMaxHSD: 2, ContentionFree: true} },
+	} {
+		d := base()
+		corrupt(d)
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseDoc(strings.NewReader(string(raw))); err == nil {
+			t.Errorf("%s: corrupted doc accepted", name)
+		}
+	}
+	if _, err := ParseDoc(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

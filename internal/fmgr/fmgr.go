@@ -22,6 +22,7 @@ import (
 	"fattree/internal/cps"
 	"fattree/internal/fabric"
 	"fattree/internal/hsd"
+	"fattree/internal/invariant"
 	"fattree/internal/obs"
 	"fattree/internal/order"
 	"fattree/internal/route"
@@ -170,6 +171,7 @@ type Manager struct {
 	mEvents      *obs.Counter
 	mJobsActive  *obs.Gauge
 	mRerouteUS   *obs.Histogram
+	mCheckFail   *obs.Counter
 }
 
 // New builds a manager and its initial epoch-1 snapshot (synchronously,
@@ -199,6 +201,7 @@ func New(cfg Config) (*Manager, error) {
 		m.mJobsActive = reg.Gauge("fmgr_jobs_active")
 		m.mRerouteUS = reg.MustHistogram("fmgr_reroute_latency_us",
 			[]float64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1e6})
+		m.mCheckFail = reg.Counter("fmgr_check_failures_total")
 	}
 	if a, err := sched.New(cfg.Topo); err == nil {
 		m.alloc = a
@@ -433,7 +436,9 @@ func (m *Manager) tryRebuild() (*FabricState, error) {
 	start := time.Now()
 	st, err := m.buildState(m.cur.Load().Epoch + 1)
 	if err == nil {
-		err = m.validate(st)
+		if err = m.validate(st); err != nil {
+			m.mCheckFail.Inc()
+		}
 	}
 	m.mRerouteUS.Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
@@ -512,56 +517,15 @@ func shiftSummary(st *FabricState) (*hsd.Report, error) {
 	return rep, nil
 }
 
-// validateState proves a candidate snapshot safe to serve: every
-// non-broken pair's compiled path must start at the source host, follow
-// connected links, keep the up*/down* shape (the property that makes
-// fat-tree routing deadlock free — credit cycles need a down-then-up
-// turn), and end at the destination host. Pairs involving unroutable
-// hosts must be marked broken, so reachability is total over what the
-// snapshot claims to serve.
+// validateState proves a candidate snapshot safe to serve via the shared
+// invariant engine: every non-broken pair's compiled path must be
+// connected, up*/down*-shaped and delivered, and pairs involving
+// unroutable hosts must be marked broken — the same assertions ftcheck
+// and the property sweeps run, so the daemon cannot drift from the
+// tested contract.
 func (m *Manager) validateState(st *FabricState) error {
-	t := st.Topo
-	n := t.NumHosts()
-	for src := 0; src < n; src++ {
-		for dst := 0; dst < n; dst++ {
-			if src == dst {
-				continue
-			}
-			if st.Paths.Broken(src, dst) {
-				continue
-			}
-			if st.HostUnroutable(src) || st.HostUnroutable(dst) {
-				return fmt.Errorf("fmgr: epoch %d: pair %d->%d touches an unroutable host but is not marked broken", st.Epoch, src, dst)
-			}
-			path, err := st.Paths.PackedPath(src, dst)
-			if err != nil {
-				return err
-			}
-			cur := t.HostID(src)
-			descending := false
-			for i, e := range path {
-				lk := &t.Links[route.EntryLink(e)]
-				lower, upper := t.Ports[lk.Lower].Node, t.Ports[lk.Upper].Node
-				if route.EntryUp(e) {
-					if descending {
-						return fmt.Errorf("fmgr: epoch %d: %d->%d climbs after descending at hop %d", st.Epoch, src, dst, i)
-					}
-					if lower != cur {
-						return fmt.Errorf("fmgr: epoch %d: %d->%d hop %d does not start at the current node", st.Epoch, src, dst, i)
-					}
-					cur = upper
-				} else {
-					descending = true
-					if upper != cur {
-						return fmt.Errorf("fmgr: epoch %d: %d->%d hop %d does not start at the current node", st.Epoch, src, dst, i)
-					}
-					cur = lower
-				}
-			}
-			if cur != t.HostID(dst) {
-				return fmt.Errorf("fmgr: epoch %d: %d->%d ends at node %d, want host %d", st.Epoch, src, dst, cur, dst)
-			}
-		}
+	if err := invariant.LenientArena(st.Topo, st.Paths, st.HostUnroutable); err != nil {
+		return fmt.Errorf("fmgr: epoch %d: %w", st.Epoch, err)
 	}
 	return nil
 }

@@ -215,6 +215,9 @@ func TestRetryBackoffOnValidationFailure(t *testing.T) {
 	if got := m.cfg.Metrics.Counter("fmgr_reroute_failures_total").Value(); got != 2 {
 		t.Fatalf("fmgr_reroute_failures_total = %d, want 2", got)
 	}
+	if got := m.cfg.Metrics.Counter("fmgr_check_failures_total").Value(); got != 2 {
+		t.Fatalf("fmgr_check_failures_total = %d, want 2", got)
+	}
 }
 
 func TestJobsThroughEventLoop(t *testing.T) {

@@ -1,0 +1,67 @@
+package invariant
+
+import (
+	"fmt"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// LenientArena validates a (possibly leniently) compiled path arena as a
+// servable routing state: every non-broken pair's packed path must start
+// at the source host, follow connected links, keep the up*/down* shape
+// (the property that makes fat-tree routing deadlock free — credit
+// cycles need a down-then-up turn), and end at the destination host; and
+// pairs touching a host the caller knows to be unroutable must be marked
+// broken, so reachability is total over what the arena claims to serve.
+//
+// It returns the first violation in ascending (src, dst) order, or nil.
+// This is the check the fabric manager runs on every candidate snapshot
+// before swapping it in; ftcheck reaches the same assertions through the
+// route.* catalog checks.
+func LenientArena(t *topo.Topology, c *route.Compiled, unroutable func(int) bool) error {
+	n := t.NumHosts()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst || c.Broken(src, dst) {
+				continue
+			}
+			if unroutable != nil && (unroutable(src) || unroutable(dst)) {
+				return fmt.Errorf("invariant: pair %d->%d touches an unroutable host but is not marked broken", src, dst)
+			}
+			path, err := c.PackedPath(src, dst)
+			if err != nil {
+				return err
+			}
+			cur := t.HostID(src)
+			descending := false
+			for i, e := range path {
+				l := route.EntryLink(e)
+				if l < 0 || int(l) >= len(t.Links) {
+					return fmt.Errorf("invariant: pair %d->%d hop %d names link %d, out of range [0,%d)", src, dst, i, l, len(t.Links))
+				}
+				lk := &t.Links[l]
+				lower, upper := t.Ports[lk.Lower].Node, t.Ports[lk.Upper].Node
+				if route.EntryUp(e) {
+					if descending {
+						return fmt.Errorf("invariant: pair %d->%d climbs after descending at hop %d", src, dst, i)
+					}
+					if lower != cur {
+						return fmt.Errorf("invariant: pair %d->%d hop %d does not start at the current node", src, dst, i)
+					}
+					cur = upper
+				} else {
+					descending = true
+					if upper != cur {
+						return fmt.Errorf("invariant: pair %d->%d hop %d does not start at the current node", src, dst, i)
+					}
+					cur = lower
+				}
+			}
+			if cur != t.HostID(dst) {
+				return fmt.Errorf("invariant: pair %d->%d ends at node %d, want host %d", src, dst, cur, dst)
+			}
+		}
+	}
+	return nil
+}

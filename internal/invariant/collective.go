@@ -1,0 +1,109 @@
+package invariant
+
+import (
+	"fmt"
+
+	"fattree/internal/cps"
+	"fattree/internal/hsd"
+	"fattree/internal/report"
+)
+
+// checkCPSPermutation verifies the Section III structural property of
+// every sequence in the instance's family: each stage is a (partial)
+// permutation — ranks in range, no self flows, no rank sending or
+// receiving twice.
+func checkCPSPermutation(in *Instance) Result {
+	for _, seq := range in.Sequences {
+		if err := cps.Validate(seq); err != nil {
+			return failf(&Counterexample{Sequence: seq.Name(), Detail: err.Error()},
+				"sequence %q has a non-permutation stage", seq.Name())
+		}
+	}
+	return pass()
+}
+
+// PermutationPairs checks that explicit end-port pairs form a partial
+// permutation on [0, n): every endpoint in range, no self flows, no
+// endpoint sending or receiving twice. It is the host-index analogue of
+// cps.Validate, for traffic produced outside the CPS layer (workload
+// generators, schedulers).
+func PermutationPairs(pairs [][2]int, n int) error {
+	srcSeen := make(map[int]int, len(pairs))
+	dstSeen := make(map[int]int, len(pairs))
+	for i, p := range pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return fmt.Errorf("flow %d: %d->%d out of range [0,%d)", i, p[0], p[1], n)
+		}
+		if p[0] == p[1] {
+			return fmt.Errorf("flow %d: self flow at %d", i, p[0])
+		}
+		if j, dup := srcSeen[p[0]]; dup {
+			return fmt.Errorf("flows %d and %d: %d sends twice", j, i, p[0])
+		}
+		if j, dup := dstSeen[p[1]]; dup {
+			return fmt.Errorf("flows %d and %d: %d receives twice", j, i, p[1])
+		}
+		srcSeen[p[0]] = i
+		dstSeen[p[1]] = i
+	}
+	return nil
+}
+
+// maxBlameFlows caps the flows attached to a contention counterexample;
+// the full set is always in the blame report, the verdict only needs
+// enough to identify the collision.
+const maxBlameFlows = 8
+
+// checkContentionFree verifies the headline result: under the instance's
+// routing and ordering, every stage of the Shift CPS — the canonical
+// superset of all unidirectional collectives (Section III) — has
+// HSD = 1. The guarantee needs constant CBB, single host uplink and an
+// intact fabric; the check skips otherwise. On failure the counterexample
+// names the first hot stage, its worst link, and the colliding flows via
+// the blame pipeline.
+func checkContentionFree(in *Instance) Result {
+	if in.Router == nil {
+		return skipNoRouter()
+	}
+	g := in.Topo.Spec
+	if !g.ConstantCBB() || !g.SingleHostUplink() {
+		return skipf("contention freedom requires constant CBB and single host uplink; not guaranteed for %v", g)
+	}
+	if in.hasFaults() {
+		return skipf("contention freedom claims nothing on degraded fabrics")
+	}
+	seq := cps.Shift(in.Ordering.Size())
+	rep, err := hsd.Analyze(in.Router, in.Ordering, seq)
+	if err != nil {
+		return failf(nil, "HSD analysis failed: %v", err)
+	}
+	if rep.ContentionFree() {
+		return pass()
+	}
+	blame, err := report.BuildBlame(in.Router, in.Ordering, seq)
+	if err != nil {
+		return failf(nil, "max HSD %d > 1, and blame attribution failed: %v", rep.MaxHSD(), err)
+	}
+	for _, st := range blame.Stages {
+		if len(st.HotLinks) == 0 {
+			continue
+		}
+		hl := st.HotLinks[0]
+		cx := &Counterexample{
+			Sequence: seq.Name(),
+			Stage:    intp(st.Stage),
+			Link:     intp(hl.Link),
+			Load:     hl.Load,
+			Detail:   fmt.Sprintf("%s %s -> %s", hl.Dir, hl.From, hl.To),
+		}
+		for _, f := range hl.Flows {
+			if len(cx.Flows) == maxBlameFlows {
+				break
+			}
+			cx.Flows = append(cx.Flows, [2]int{f.Src, f.Dst})
+		}
+		return failf(cx, "stage %d of %s drives %d flows over link %d (max HSD %d)",
+			st.Stage, seq.Name(), hl.Load, hl.Link, blame.MaxHSD)
+	}
+	return failf(nil, "max HSD %d > 1 but no hot link attributed (analyzer/blame disagree)", rep.MaxHSD())
+}

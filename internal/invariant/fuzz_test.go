@@ -1,0 +1,70 @@
+package invariant
+
+import (
+	"math/rand"
+	"testing"
+
+	"fattree/internal/fabric"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// FuzzFaultCompileLenient drives the fault-injection → reroute →
+// lenient-compile pipeline with fuzzed fault patterns and asserts the
+// full routing invariant group on the result: broken-bitset consistency,
+// arena/table equivalence, up*/down* shape, minimality and no dead-link
+// crossings. Any violation is a real routing or compile bug.
+func FuzzFaultCompileLenient(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(1))
+	f.Add(int64(3), uint8(3), uint8(2))
+	f.Add(int64(-9), uint8(7), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, faults, topoSel uint8) {
+		var g topo.PGFT
+		switch topoSel % 3 {
+		case 0:
+			g = topo.MustPGFT(2, []int{4, 8}, []int{1, 4}, []int{1, 1}) // RLFT2(4,8)
+		case 1:
+			g, _ = topo.KAryNTree(2, 3)
+		default:
+			g = topo.MustPGFT(3, []int{2, 2, 2}, []int{1, 2, 2}, []int{1, 1, 1}) // XGFT
+		}
+		tp := topo.MustBuild(g)
+		fs := fabric.NewFaultSet(tp)
+		if err := fs.FailRandomFabricLinksRand(int(faults)%4, rand.New(rand.NewSource(seed))); err != nil {
+			t.Skip()
+		}
+		if seed%2 == 0 {
+			// Also cut one host uplink, so the unroutable-host contract
+			// is exercised.
+			j := int((uint64(seed) >> 1) % uint64(tp.NumHosts()))
+			fs.Fail(tp.Ports[tp.Host(j).Up[0]].Link)
+		}
+		lft, res, err := fs.RouteAround()
+		if err != nil {
+			t.Fatalf("RouteAround: %v", err)
+		}
+		c, err := route.CompileLenient(lft)
+		if err != nil {
+			t.Fatalf("CompileLenient: %v", err)
+		}
+		unroutable := make(map[int]bool, len(res.UnroutableHosts))
+		for _, j := range res.UnroutableHosts {
+			unroutable[j] = true
+		}
+		isUnroutable := func(j int) bool { return unroutable[j] }
+		if err := LenientArena(tp, c, isUnroutable); err != nil {
+			t.Fatalf("LenientArena rejects the rerouted arena: %v", err)
+		}
+		in := NewInstance(tp, c, nil)
+		in.Alive = fs.Alive
+		in.Unroutable = isUnroutable
+		checks, err := Select("route")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := Run(in, checks); !rep.Pass {
+			t.Fatalf("%v with %d faults: %v", g, fs.Failed(), rep.FailedNames())
+		}
+	})
+}

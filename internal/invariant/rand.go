@@ -1,0 +1,197 @@
+package invariant
+
+import (
+	"math/rand"
+
+	"fattree/internal/topo"
+)
+
+// RandPGFT returns a random valid PGFT tuple, deterministic for a seed:
+// 1-3 levels with small m/w/p parameters (at most a few hundred hosts),
+// including non-CBB and multi-uplink shapes the RLFT restrictions forbid.
+// Property sweeps use it to exercise the topology and structural routing
+// invariants on fabrics nobody hand-picked.
+func RandPGFT(seed int64) topo.PGFT {
+	r := rand.New(rand.NewSource(seed))
+	h := 1 + r.Intn(3)
+	m := make([]int, h)
+	w := make([]int, h)
+	p := make([]int, h)
+	for i := 0; i < h; i++ {
+		m[i] = 1 + r.Intn(4)
+		w[i] = 1 + r.Intn(3)
+		p[i] = 1 + r.Intn(2)
+	}
+	return topo.MustPGFT(h, m, w, p)
+}
+
+// randRLFTMenu enumerates the valid (constructor, K, size) parameter
+// space RandRLFT draws from: every RLFT2/RLFT3 combination with at most
+// ~512 hosts. The menu is deterministic, so a seed always maps to the
+// same spec.
+func randRLFTMenu() []topo.PGFT {
+	var menu []topo.PGFT
+	for _, k := range []int{2, 3, 4, 6, 8, 9, 12} {
+		for leaves := 2; leaves <= 2*k; leaves++ {
+			if g, err := topo.RLFT2(k, leaves); err == nil && g.NumHosts() <= 512 {
+				menu = append(menu, g)
+			}
+		}
+	}
+	for _, k := range []int{2, 3, 4} {
+		for groups := 1; groups <= 2*k; groups++ {
+			if g, err := topo.RLFT3(k, groups); err == nil && g.NumHosts() <= 512 {
+				menu = append(menu, g)
+			}
+		}
+	}
+	return menu
+}
+
+// RandRLFT returns a random Real Life Fat-Tree, deterministic for a
+// seed: a 2- or 3-level RLFT2/RLFT3 construction with at most ~512
+// hosts. These satisfy all three Section IV.C restrictions, so the full
+// catalog — Theorem 2 and contention freedom included — must pass on
+// them under D-Mod-K.
+func RandRLFT(seed int64) topo.PGFT {
+	menu := randRLFTMenu()
+	r := rand.New(rand.NewSource(seed))
+	return menu[r.Intn(len(menu))]
+}
+
+// Shrink greedily minimizes a failing topology: starting from a tuple
+// for which fails returns true, it repeatedly tries to drop the top
+// level or decrement one m/w/p parameter, keeping any candidate that
+// still validates and still fails, until no single-step reduction
+// reproduces the failure. The result is the minimal counterexample a
+// human debugs instead of the random draw that found it.
+func Shrink(g topo.PGFT, fails func(topo.PGFT) bool) topo.PGFT {
+	if !fails(g) {
+		return g
+	}
+	// Each adopted candidate strictly reduces H + sum(m+w+p), so the
+	// loop terminates; the cap is a backstop against a non-deterministic
+	// fails predicate.
+	for iter := 0; iter < 1024; iter++ {
+		improved := false
+		for _, cand := range shrinkCandidates(g) {
+			if cand.Validate() != nil {
+				continue
+			}
+			if fails(cand) {
+				g = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return g
+}
+
+// shrinkCandidates returns every single-step reduction of the tuple:
+// truncate the top level, or decrement one parameter (floored at 1).
+func shrinkCandidates(g topo.PGFT) []topo.PGFT {
+	var out []topo.PGFT
+	if g.H > 1 {
+		out = append(out, topo.PGFT{
+			H: g.H - 1,
+			M: append([]int(nil), g.M[:g.H-1]...),
+			W: append([]int(nil), g.W[:g.H-1]...),
+			P: append([]int(nil), g.P[:g.H-1]...),
+		})
+	}
+	dec := func(v []int, i int) []int {
+		c := append([]int(nil), v...)
+		c[i]--
+		return c
+	}
+	for i := 0; i < g.H; i++ {
+		if g.M[i] > 1 {
+			out = append(out, topo.PGFT{H: g.H, M: dec(g.M, i), W: append([]int(nil), g.W...), P: append([]int(nil), g.P...)})
+		}
+		if g.W[i] > 1 {
+			out = append(out, topo.PGFT{H: g.H, M: append([]int(nil), g.M...), W: dec(g.W, i), P: append([]int(nil), g.P...)})
+		}
+		if g.P[i] > 1 {
+			out = append(out, topo.PGFT{H: g.H, M: append([]int(nil), g.M...), W: append([]int(nil), g.W...), P: dec(g.P, i)})
+		}
+	}
+	return out
+}
+
+// RandVerdict is one seed's outcome in a randomized sweep.
+type RandVerdict struct {
+	Seed  int64  `json:"seed"`
+	Spec  string `json:"spec"`
+	Hosts int    `json:"hosts"`
+	Pass  bool   `json:"pass"`
+	// Failed lists the failing check names; Error records a build
+	// failure (topology or routing construction, not a check verdict).
+	Failed []string `json:"failed,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	// ShrunkSpec is the minimal failing tuple found by Shrink, and
+	// Counterexample the first failing check's evidence on it.
+	ShrunkSpec     string          `json:"shrunk_spec,omitempty"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// SweepRandom runs the checks over n seeded random RLFTs (seeds base,
+// base+1, …). build constructs the instance under test for a tuple —
+// typically topology + D-Mod-K + compiled arena — so the same sweep can
+// exercise any routing or ordering. Failing draws are shrunk to a
+// minimal counterexample; reproducing one later only needs the seed and
+// the same build function.
+func SweepRandom(base int64, n int, checks []Check, build func(topo.PGFT) (*Instance, error)) []RandVerdict {
+	out := make([]RandVerdict, 0, n)
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		g := RandRLFT(seed)
+		v := RandVerdict{Seed: seed, Spec: g.String(), Hosts: g.NumHosts()}
+		in, err := build(g)
+		if err != nil {
+			v.Error = err.Error()
+			out = append(out, v)
+			continue
+		}
+		rep := Run(in, checks)
+		v.Pass = rep.Pass
+		if !rep.Pass {
+			v.Failed = rep.FailedNames()
+			fails := func(cand topo.PGFT) bool {
+				cin, err := build(cand)
+				return err == nil && !Run(cin, checks).Pass
+			}
+			shrunk := Shrink(g, fails)
+			v.ShrunkSpec = shrunk.String()
+			if sin, err := build(shrunk); err == nil {
+				for _, c := range Run(sin, checks).Checks {
+					if c.Status == Fail {
+						cx := c.Counterexample
+						if cx == nil {
+							cx = &Counterexample{}
+						}
+						cx.Spec = shrunk.String()
+						cx.Detail = joinDetail(c.Name, c.Error, cx.Detail)
+						v.Counterexample = cx
+						break
+					}
+				}
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// joinDetail folds a check's name and error into the counterexample
+// detail so a sweep verdict is self-describing.
+func joinDetail(name, errMsg, detail string) string {
+	s := name + ": " + errMsg
+	if detail != "" {
+		s += " (" + detail + ")"
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+
+	"fattree/internal/order"
+	"fattree/internal/topo"
+)
+
+// checkAddressing verifies the Section IV.B tuple-addressing bijection on
+// the built graph: every node's digit vector is in range (w_i below or at
+// its level, m_i above) and re-encodes to the node's linear Index, and
+// host digits agree with the spec's closed-form HostDigit.
+func checkAddressing(in *Instance) Result {
+	t := in.Topo
+	g := t.Spec
+	for l := 0; l <= g.H; l++ {
+		for _, id := range t.ByLevel[l] {
+			n := t.Node(id)
+			idx, mul := 0, 1
+			for i := 1; i <= g.H; i++ {
+				r := g.Mi(i)
+				if i <= l {
+					r = g.Wi(i)
+				}
+				d := n.Digits[i-1]
+				if d < 0 || d >= r {
+					return failf(&Counterexample{
+						Detail: fmt.Sprintf("%v digit %d is %d, range [0,%d)", n, i, d, r),
+					}, "digit out of range at %v", n)
+				}
+				idx += d * mul
+				mul *= r
+			}
+			if idx != n.Index {
+				return failf(&Counterexample{
+					Detail: fmt.Sprintf("%v digits encode index %d, node says %d", n, idx, n.Index),
+				}, "digit/index mismatch at %v", n)
+			}
+			if l == 0 {
+				for i := 1; i <= g.H; i++ {
+					if got := g.HostDigit(n.Index, i); got != n.Digits[i-1] {
+						return failf(&Counterexample{
+							Pair:   []int{n.Index, n.Index},
+							Detail: fmt.Sprintf("HostDigit(%d,%d)=%d, built digit %d", n.Index, i, got, n.Digits[i-1]),
+						}, "host digit formula mismatch at host %d", n.Index)
+					}
+				}
+			}
+		}
+	}
+	return pass()
+}
+
+// checkConnectionRule verifies every link against the Section IV.B PGFT
+// connection rule: endpoints on adjacent levels whose digit vectors agree
+// everywhere except position l+1, joined by the k-th parallel cable at
+// up port q = b_{l+1} + k*w_{l+1} and down port r = a_{l+1} + k*m_{l+1};
+// and that no port was left unconnected.
+func checkConnectionRule(in *Instance) Result {
+	t := in.Topo
+	g := t.Spec
+	for i := range t.Ports {
+		if t.Ports[i].Link == topo.None {
+			n := t.Node(t.Ports[i].Node)
+			return failf(&Counterexample{
+				Detail: fmt.Sprintf("%s port %d of %v unconnected", t.Ports[i].Dir, t.Ports[i].Num, n),
+			}, "unconnected port on %v", n)
+		}
+	}
+	for i := range t.Links {
+		lk := &t.Links[i]
+		lo, up := &t.Ports[lk.Lower], &t.Ports[lk.Upper]
+		a, b := t.Node(lo.Node), t.Node(up.Node)
+		l := a.Level
+		cx := &Counterexample{Link: intp(i)}
+		if lo.Dir != topo.Up || up.Dir != topo.Down || b.Level != l+1 || lk.Level != l+1 {
+			cx.Detail = fmt.Sprintf("link %d joins %v port %d (%s) to %v port %d (%s)", i, a, lo.Num, lo.Dir, b, up.Num, up.Dir)
+			return failf(cx, "link %d endpoints malformed", i)
+		}
+		for d := 1; d <= g.H; d++ {
+			if d != l+1 && a.Digits[d-1] != b.Digits[d-1] {
+				cx.Detail = fmt.Sprintf("link %d: %v and %v disagree at digit %d (may only differ at %d)", i, a, b, d, l+1)
+				return failf(cx, "link %d violates the digit-agreement rule", i)
+			}
+		}
+		w, m := g.Wi(l+1), g.Mi(l+1)
+		k := lo.Num / w
+		if lo.Num%w != b.Digits[l] {
+			cx.Detail = fmt.Sprintf("link %d: up port %d of %v should carry parent digit %d, reaches digit %d", i, lo.Num, a, lo.Num%w, b.Digits[l])
+			return failf(cx, "link %d violates the up-port rule q = b+k*w", i)
+		}
+		if up.Num != a.Digits[l]+k*m {
+			cx.Detail = fmt.Sprintf("link %d: down port should be r = %d + %d*%d = %d, got %d", i, a.Digits[l], k, m, a.Digits[l]+k*m, up.Num)
+			return failf(cx, "link %d violates the down-port rule r = a+k*m", i)
+		}
+	}
+	return pass()
+}
+
+// checkCBB verifies that the spec-level constant-CBB predicate (first
+// RLFT restriction) agrees with the built graph: at every internal level
+// each switch's up-going port count equals its down-going port count
+// exactly when the predicate claims so.
+func checkCBB(in *Instance) Result {
+	t := in.Topo
+	g := t.Spec
+	graphCBB := true
+	detail := ""
+	for l := 1; l < g.H && graphCBB; l++ {
+		for _, id := range t.ByLevel[l] {
+			n := t.Node(id)
+			if len(n.Up) != len(n.Down) {
+				graphCBB = false
+				detail = fmt.Sprintf("%v has %d up / %d down ports", n, len(n.Up), len(n.Down))
+				break
+			}
+		}
+	}
+	if graphCBB != g.ConstantCBB() {
+		return failf(&Counterexample{Detail: detail},
+			"spec predicate ConstantCBB=%v but built graph says %v", g.ConstantCBB(), graphCBB)
+	}
+	return pass()
+}
+
+// checkHostUplink verifies the single-host-uplink predicate (second RLFT
+// restriction) against the built graph: every end-port has exactly one
+// up-going cable exactly when the spec claims w_1 == p_1 == 1.
+func checkHostUplink(in *Instance) Result {
+	t := in.Topo
+	g := t.Spec
+	graphSingle := true
+	detail := ""
+	for _, id := range t.ByLevel[0] {
+		n := t.Node(id)
+		if len(n.Up) != 1 {
+			graphSingle = false
+			detail = fmt.Sprintf("host %d has %d uplinks", n.Index, len(n.Up))
+			break
+		}
+	}
+	if graphSingle != g.SingleHostUplink() {
+		return failf(&Counterexample{Detail: detail},
+			"spec predicate SingleHostUplink=%v but built graph says %v", g.SingleHostUplink(), graphSingle)
+	}
+	return pass()
+}
+
+// checkRoundTrip verifies the topology-file writer and parser agree:
+// serializing the topology, parsing it back and serializing again must
+// reproduce the bytes exactly, and the parsed spec must equal the
+// original tuple.
+func checkRoundTrip(in *Instance) Result {
+	t := in.Topo
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		return failf(nil, "serialize: %v", err)
+	}
+	first := buf.String()
+	t2, err := topo.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return failf(&Counterexample{Detail: firstLine(first)}, "parse own output: %v", err)
+	}
+	if t2.Spec.String() != t.Spec.String() {
+		return failf(&Counterexample{Spec: t2.Spec.String()},
+			"parsed spec %v, wrote %v", t2.Spec, t.Spec)
+	}
+	var buf2 bytes.Buffer
+	if _, err := t2.WriteTo(&buf2); err != nil {
+		return failf(nil, "re-serialize: %v", err)
+	}
+	if buf2.String() != first {
+		return failf(&Counterexample{Detail: firstDiff(first, buf2.String())},
+			"write->parse->write is not byte identical")
+	}
+	return pass()
+}
+
+// checkOrderingBijection verifies the instance's ordering through
+// OrderingBijection.
+func checkOrderingBijection(in *Instance) Result {
+	if err := OrderingBijection(in.Ordering); err != nil {
+		return failf(&Counterexample{Detail: err.Error()}, "ordering %q is not a bijection", in.Ordering.Label)
+	}
+	return pass()
+}
+
+// OrderingBijection checks that an ordering is a bijection between ranks
+// and a subset of end-ports: every rank's host is in range, no host
+// carries two ranks, and the host->rank inverse agrees with the forward
+// table. It is the property every placement the fabric manager or a
+// scheduler hands out must satisfy.
+func OrderingBijection(o *order.Ordering) error {
+	n := o.NumHosts()
+	seen := make(map[int]int, o.Size())
+	for r, h := range o.HostOf {
+		if h < 0 || h >= n {
+			return fmt.Errorf("rank %d on host %d, out of range [0,%d)", r, h, n)
+		}
+		if prev, dup := seen[h]; dup {
+			return fmt.Errorf("host %d carries ranks %d and %d", h, prev, r)
+		}
+		seen[h] = r
+		if got := o.RankOf(h); got != r {
+			return fmt.Errorf("RankOf(%d) = %d, want %d", h, got, r)
+		}
+	}
+	for h := 0; h < n; h++ {
+		if _, active := seen[h]; !active && o.RankOf(h) != -1 {
+			return fmt.Errorf("inactive host %d reports rank %d", h, o.RankOf(h))
+		}
+	}
+	return nil
+}
+
+// firstLine returns the first line of s, for counterexample details.
+func firstLine(s string) string {
+	if i := bytes.IndexByte([]byte(s), '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// firstDiff locates the first differing line of two serializations.
+func firstDiff(a, b string) string {
+	la := bytes.Split([]byte(a), []byte("\n"))
+	lb := bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(la), len(lb))
+}

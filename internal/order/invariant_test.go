@@ -1,0 +1,62 @@
+package order_test
+
+import (
+	"testing"
+
+	"fattree/internal/invariant"
+	"fattree/internal/order"
+	"fattree/internal/topo"
+)
+
+// TestBijectionOnGeneratedRLFTs: every ordering constructor yields a
+// rank<->host bijection over the active set on randomized real-life
+// fat-trees, with inactive hosts consistently reporting rank -1.
+func TestBijectionOnGeneratedRLFTs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := invariant.RandRLFT(seed)
+		tp := topo.MustBuild(g)
+		n := g.NumHosts()
+
+		check := func(name string, o *order.Ordering) {
+			t.Helper()
+			if err := invariant.OrderingBijection(o); err != nil {
+				t.Errorf("seed %d (%v) %s: %v", seed, g, name, err)
+			}
+		}
+		check("topology", order.Topology(n, nil))
+		check("random", order.Random(n, nil, seed))
+		if o, err := order.Cyclic(tp); err == nil {
+			check("cyclic", o)
+		} else {
+			t.Errorf("seed %d (%v) cyclic: %v", seed, g, err)
+		}
+		// Adversarial needs K to divide the leaf count; not every draw
+		// qualifies.
+		if o, err := order.Adversarial(tp); err == nil {
+			check("adversarial", o)
+		}
+
+		// Partial jobs: every third end-port active.
+		var active []int
+		for h := 0; h < n; h += 3 {
+			active = append(active, h)
+		}
+		check("topology-partial", order.Topology(n, active))
+		check("random-partial", order.Random(n, active, seed))
+	}
+}
+
+// TestBijectionRejectsCorruptOrdering: the helper actually bites when a
+// rank table is tampered with.
+func TestBijectionRejectsCorruptOrdering(t *testing.T) {
+	o := order.Topology(8, nil)
+	o.HostOf[0] = o.HostOf[1]
+	if err := invariant.OrderingBijection(o); err == nil {
+		t.Fatal("duplicated host accepted as a bijection")
+	}
+	o = order.Topology(8, nil)
+	o.HostOf[3] = 99
+	if err := invariant.OrderingBijection(o); err == nil {
+		t.Fatal("out-of-range host accepted as a bijection")
+	}
+}

@@ -63,8 +63,9 @@ type Compiled struct {
 	offs    []int32 // len n*n+1; path (s,d) is entries[offs[s*n+d]:offs[s*n+d+1]]
 	entries []PathEntry
 	// broken, when non-nil, is an n*n bitset of pairs the inner router
-	// could not walk (lenient compiles over faulted fabrics). PackedPath
-	// and Walk return ErrNoPath for them.
+	// could not walk — or walked non-minimally — during a lenient
+	// compile over a faulted fabric. PackedPath and Walk return
+	// ErrNoPath for them.
 	broken    []uint64
 	numBroken int
 }
@@ -81,12 +82,15 @@ func CompileParallel(r Router, workers int) (*Compiled, error) {
 	return compileParallel(r, workers, false)
 }
 
-// CompileLenient is Compile for routers with unreachable pairs — the
+// CompileLenient is Compile for routers with degraded pairs — the
 // rerouted tables of a faulted fabric above all. Pairs the inner router
-// fails to walk (dead ends after a fault has cut every minimal path) are
-// recorded instead of aborting the build; PackedPath and Walk report
-// them as ErrNoPath and NumBroken counts them. A fully routable router
-// compiles to the exact same arena as Compile.
+// fails to walk (dead ends after a fault has cut every minimal path) and
+// pairs it walks over a non-minimal path (longer than 2*LCALevel — a
+// detour a correct fat-tree reroute never takes, so any occurrence is a
+// routing bug the arena must refuse to serve) are recorded instead of
+// aborting the build; PackedPath and Walk report them as ErrNoPath and
+// NumBroken counts them. A fully routable minimal router compiles to the
+// exact same arena as Compile.
 func CompileLenient(r Router) (*Compiled, error) {
 	return compileParallel(r, 0, true)
 }
@@ -138,6 +142,12 @@ func compileParallel(r Router, workers int, lenient bool) (*Compiled, error) {
 							}
 							buf = buf[:start] // drop the partial walk
 							brokenDst[src] = append(brokenDst[src], int32(dst))
+						} else if lenient && len(buf)-start != 2*t.Spec.LCALevel(src, dst) {
+							// A delivered but non-minimal path: mark the
+							// pair broken rather than serve a detour that
+							// silently breaks the minimality guarantee.
+							buf = buf[:start]
+							brokenDst[src] = append(brokenDst[src], int32(dst))
 						}
 					}
 					offs[dst+1] = int32(len(buf))
@@ -188,7 +198,8 @@ func compileParallel(r Router, workers int, lenient bool) (*Compiled, error) {
 	return c, nil
 }
 
-// Broken reports whether a leniently compiled pair had no path.
+// Broken reports whether a leniently compiled pair had no usable
+// (delivered and minimal) path.
 // Out-of-range pairs report false; PackedPath still rejects them.
 func (c *Compiled) Broken(src, dst int) bool {
 	if c.broken == nil || src < 0 || src >= c.n || dst < 0 || dst >= c.n {
@@ -198,8 +209,9 @@ func (c *Compiled) Broken(src, dst int) bool {
 	return c.broken[i/64]&(1<<(i%64)) != 0
 }
 
-// NumBroken returns the number of unreachable pairs recorded by a
-// lenient compile (0 for strict compiles).
+// NumBroken returns the number of pairs a lenient compile recorded as
+// broken — unreachable or served only by a non-minimal path (0 for
+// strict compiles).
 func (c *Compiled) NumBroken() int { return c.numBroken }
 
 // Topology implements Router.

@@ -1,0 +1,120 @@
+package route_test
+
+import (
+	"errors"
+	"testing"
+
+	"fattree/internal/fabric"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// detour wraps a router and replaces one pair's walk with a delivered,
+// up*/down*-shaped but non-minimal path over the source leaf's first
+// spine — emulating a reroute engine that forgot the minimality rule.
+type detour struct {
+	route.Router
+	src, dst int
+}
+
+func (d *detour) Walk(src, dst int, visit func(topo.LinkID, bool)) error {
+	if src != d.src || dst != d.dst {
+		return d.Router.Walk(src, dst, visit)
+	}
+	t := d.Topology()
+	leaf := t.LeafOf(src)
+	srcUp := t.Ports[t.Host(src).Up[0]].Link
+	leafUp := t.Ports[leaf.Up[0]].Link
+	dstUp := t.Ports[t.Host(dst).Up[0]].Link
+	visit(srcUp, true)
+	visit(leafUp, true)
+	visit(leafUp, false)
+	visit(dstUp, false)
+	return nil
+}
+
+// TestCompileLenientRecordsNonMinimal is the regression test for the
+// broken-bitset contract: a pair served by a delivered but non-minimal
+// path must be recorded broken, exactly like an unreachable one, so the
+// arena never silently serves a detour. The scenario starts from a real
+// single mid-tier link fault (where the reroute legitimately changes
+// paths) and then injects the minimality bug on top.
+func TestCompileLenientRecordsNonMinimal(t *testing.T) {
+	g, err := topo.RLFT3(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := topo.MustBuild(g)
+	fs := fabric.NewFaultSet(tp)
+	// Fail one mid-tier link (between switch levels, not a host uplink).
+	var fault topo.LinkID = topo.None
+	for i := range tp.Links {
+		if tp.Links[i].Level == 2 {
+			fault = topo.LinkID(i)
+			break
+		}
+	}
+	if fault == topo.None {
+		t.Fatal("no mid-tier link found")
+	}
+	fs.Fail(fault)
+	lft, res, err := fs.RouteAround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnroutableHosts) != 0 || res.BrokenPairs != 0 {
+		t.Fatalf("single mid-tier fault should leave every pair routable, got unroutable=%v broken=%d",
+			res.UnroutableHosts, res.BrokenPairs)
+	}
+
+	// The genuine reroute stays minimal everywhere: nothing is broken.
+	clean, err := route.CompileLenient(lft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.NumBroken() != 0 {
+		t.Fatalf("rerouted tables compile with %d broken pairs, want 0", clean.NumBroken())
+	}
+	n := tp.NumHosts()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			p, err := clean.PackedPath(src, dst)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+			if want := 2 * g.LCALevel(src, dst); len(p) != want {
+				t.Fatalf("%d->%d rerouted to %d hops, want minimal %d", src, dst, len(p), want)
+			}
+		}
+	}
+
+	// Now the buggy engine: pair (0,1) comes back delivered but twice as
+	// long as minimal. The lenient compile must refuse to serve it.
+	c, err := route.CompileLenient(&detour{Router: lft, src: 0, dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Broken(0, 1) {
+		t.Fatal("non-minimal pair 0->1 not recorded in the broken bitset")
+	}
+	if c.NumBroken() != 1 {
+		t.Fatalf("NumBroken = %d, want 1", c.NumBroken())
+	}
+	if _, err := c.PackedPath(0, 1); !errors.Is(err, route.ErrNoPath) {
+		t.Fatalf("PackedPath(0,1) = %v, want ErrNoPath", err)
+	}
+	// Every other pair is untouched by the bug and still served.
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst || (src == 0 && dst == 1) {
+				continue
+			}
+			if c.Broken(src, dst) {
+				t.Fatalf("pair %d->%d wrongly marked broken", src, dst)
+			}
+		}
+	}
+}

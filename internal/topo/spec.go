@@ -15,6 +15,8 @@ import (
 //	rlft3:K,groups                   — three-level RLFT builder
 //	max:h,K                          — maximal h-level RLFT of 2K-port switches
 //	kary:k,n                         — k-ary-n-tree
+//	PGFT(h;m1,..,mh;w1,..,wh;p1,..,ph) — the canonical String() form, so
+//	every tuple a report or verdict prints parses back unchanged
 func ParseSpec(s string) (PGFT, error) {
 	switch s {
 	case "128":
@@ -25,6 +27,13 @@ func ParseSpec(s string) (PGFT, error) {
 		return Cluster1728, nil
 	case "1944":
 		return Cluster1944, nil
+	}
+	if inner, ok := strings.CutPrefix(s, "PGFT("); ok {
+		inner, ok = strings.CutSuffix(inner, ")")
+		if !ok {
+			return PGFT{}, fmt.Errorf("topo: unterminated spec %q", s)
+		}
+		return ParseSpec("pgft:" + inner)
 	}
 	kind, rest, ok := strings.Cut(s, ":")
 	if !ok {
