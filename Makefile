@@ -6,7 +6,7 @@ BENCHTIME ?= 1s
 # Per-target fuzzing budget for fuzz and fuzz-smoke.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json bench-track bench-gate report check daemon-smoke experiments experiments-quick fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-json bench-netsim bench-track bench-gate report check daemon-smoke experiments experiments-quick fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -19,11 +19,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# ./internal/netsim includes the sharded event-loop suite, so the
+# parallel DES (mailbox exchange, window pump, cross-shard credits)
+# runs under the race detector here.
 race:
 	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/... ./internal/fmgr/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
+
+# Just the simulator's perf-sensitive benchmarks — the event core and
+# the paper-scale netsim reproductions — for quick iteration on the
+# hot path.
+bench-netsim:
+	$(GO) test -run '^$$' -bench 'Netsim|Figure2|CollectiveLatency|ContentionFree|SchedAllocFree' -benchmem -benchtime=$(BENCHTIME) .
 
 # Machine-readable benchmark snapshot of the top-level suite, for
 # tracking perf over time (one dated JSON stream per run).

@@ -31,6 +31,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit JSON (fattree-table/v1) instead of aligned text")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
+		shards   = flag.Int("shards", 1, "event-loop shards for every simulation: 1 = sequential, N > 1 = parallel sub-tree partitions, -1 = one per CPU")
 		sinks    obs.FileSinks
 	)
 	sinks.RegisterFlags(flag.CommandLine)
@@ -38,13 +39,15 @@ func main() {
 	flag.Parse()
 	exp.UseCompiledPaths = *compiled
 	err := sinks.Open()
-	if err == nil && sinks.Enabled() {
-		// Attach the sinks to every simulation the experiments run; the
-		// trace concatenates all runs on a shared timeline.
+	if err == nil && (sinks.Enabled() || *shards != 1) {
+		// Attach the sinks and the shard count to every simulation the
+		// experiments run; the trace concatenates all runs on a shared
+		// timeline.
 		exp.Instrument = func(cfg *netsim.Config) {
 			cfg.Metrics = sinks.Registry
 			cfg.Probes = sinks.Sampler
 			cfg.Trace = sinks.Tracer
+			cfg.Shards = *shards
 		}
 	}
 	if err == nil {

@@ -342,7 +342,7 @@ func cmdBench(args []string) error {
 	if err := c.WriteTable(os.Stdout); err != nil {
 		return err
 	}
-	if *gate && c.Regressions > 0 {
+	if *gate && c.Bad() {
 		return errGate
 	}
 	return nil

@@ -8,6 +8,7 @@
 //	ftsim -topo 324 -cps ring -order adversarial -bytes 65536
 //	ftsim -topo 1944 -cps shift -order random -bytes 131072 -sample 8
 //	ftsim -topo 324 -cps ring -trace run.json -metrics run.jsonl
+//	ftsim -topo 1944 -cps shift -sample 8 -shards -1
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		linkBW   = flag.Float64("link-bw", 4000e6, "link bandwidth bytes/s")
 		hostBW   = flag.Float64("host-bw", 3250e6, "host injection bandwidth bytes/s")
 		bufPkts  = flag.Int("buffers", 8, "input-buffer packets per switch port")
+		shards   = flag.Int("shards", 1, "event-loop shards: 1 = sequential, N > 1 = parallel sub-tree partitions, -1 = one per CPU")
 		sinks    obs.FileSinks
 	)
 	sinks.RegisterFlags(flag.CommandLine)
@@ -45,7 +47,7 @@ func main() {
 	flag.Parse()
 	err := pf.Start()
 	if err == nil {
-		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, &sinks)
+		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, *shards, &sinks)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -56,7 +58,7 @@ func main() {
 	}
 }
 
-func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts int, sinks *obs.FileSinks) error {
+func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts, shards int, sinks *obs.FileSinks) error {
 	var mode mpi.Mode
 	switch modeName {
 	case "async":
@@ -119,6 +121,7 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 	cfg.LinkBandwidth = linkBW
 	cfg.HostBandwidth = hostBW
 	cfg.BufferPackets = bufPkts
+	cfg.Shards = shards
 	if err := sinks.Open(); err != nil {
 		return err
 	}

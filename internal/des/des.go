@@ -1,9 +1,31 @@
 // Package des is a minimal discrete-event simulation kernel: a time-ordered
 // event queue with deterministic FIFO tie-breaking. It underpins the
 // packet-level network simulator the paper builds in OMNeT++ (Section II).
+//
+// The kernel offers two event forms. Closure events (At/After) are
+// convenient but allocate; they suit coarse events like probe ticks.
+// Dispatch events (AtEvent/AfterEvent) carry a plain-old-data payload —
+// a kind tag plus three integer operands — stored inline in the queue and
+// routed to the scheduler's Handler, so the hot path of a large
+// simulation schedules millions of events without a single allocation.
+// Both forms share one queue and one deterministic ordering.
+//
+// The queue is a calendar queue (timing wheel): events within the wheel's
+// horizon land in fixed-width time slots, each a small append-only array
+// with a consumed-prefix cursor that is sorted lazily — by stable
+// insertion sort on time alone — the first time the clock reaches the
+// slot; events beyond the horizon wait in an overflow list that is
+// redistributed when the wheel drains to it. Simulators schedule almost
+// exclusively a few link-latencies ahead, so slots hold a handful of
+// events: a push is a bounds check and an append, and a pop is a copy
+// off the sorted prefix — instead of sifting through one deep global
+// heap, which is otherwise most of the simulator's runtime. Appends
+// keep equal-time events in scheduling order, so the stable time-only
+// sort yields exact (time, sequence) pop order, bit-identical to a
+// single ordered queue.
 package des
 
-import "container/heap"
+import "math/bits"
 
 // Time is simulation time in picoseconds. The int64 range covers ~106
 // days of simulated time, far beyond any experiment here.
@@ -18,31 +40,42 @@ const (
 	Second           = 1000 * Millisecond
 )
 
+// Calendar geometry: 2^13 ps ≈ 8.2 ns slots, 4096 slots ≈ 33.6 µs
+// horizon. Default link/switch latencies are 100 ns and MTU wire times
+// ~0.5 µs, so in practice every event lands inside the wheel, and the
+// slots stay small enough that sorting one on first pop touches a
+// handful of cache lines. Events past the horizon (probe ticks, jitter
+// timers) take the overflow path.
+const (
+	slotShift = 13
+	slotWidth = Time(1) << slotShift
+	numSlots  = 4096
+)
+
+// Handler consumes dispatch events scheduled with AtEvent/AfterEvent.
+// The kind tag and the three operands are whatever the caller packed.
+type Handler func(kind uint16, a, b int32, c int64)
+
+// event is one 32-byte queue entry. key packs the dispatch kind, the
+// daemon and closure flags, and the scheduling sequence number; for a
+// closure event a indexes the scheduler's fns registry (keeping the
+// function pointer out of the hot array). Events are stored by value in
+// the slot arrays, so scheduling never allocates for dispatch events.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	daemon bool
+	at   Time
+	key  uint64
+	c    int64
+	a, b int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// key layout: [63:48] kind, [47] daemon, [46] closure, [45:0] seq.
+// 2^46 sequence numbers bound one run at ~7e13 events.
+const (
+	keyKindShift        = 48
+	keyDaemon    uint64 = 1 << 47
+	keyClosure   uint64 = 1 << 46
+	keySeqMask   uint64 = keyClosure - 1
+)
 
 // Scheduler runs events in time order; ties run in scheduling order.
 // Daemon events (AtDaemon/AfterDaemon) run only while regular work
@@ -52,23 +85,159 @@ func (h *eventHeap) Pop() interface{} {
 type Scheduler struct {
 	now        Time
 	seq        uint64
-	events     eventHeap
+	handler    Handler
 	ran        uint64
 	work       int // queued non-daemon events
+	pending    int // queued events of either kind
 	maxPending int // high-water mark of work
+
+	base     Time // wheel window start, multiple of slotWidth
+	cursor   int  // slots before cursor are empty
+	occ      [numSlots / 64]uint64
+	slots    [numSlots]slot
+	overflow []event // events at base+horizon or later, unordered
+
+	// bufs recycles slot backing arrays: a slot hands its array back the
+	// moment it drains and grabs one on its next first insert. Without
+	// this, every slot index a burst ever lands on would retain a
+	// burst-sized array, and memory would scale with simulated time
+	// instead of with peak concurrent events.
+	bufs [][]event
+
+	// fns is the closure registry: events stay plain data, and a closure
+	// event's a operand indexes here. Slots are recycled through fnFree
+	// as their events fire.
+	fns    []func()
+	fnFree []int32
+}
+
+// slot holds one wheel slot's events; ev[:head] is the already-popped
+// prefix. Inserts append; an append that breaks ascending time order
+// marks the slot dirty, and the unpopped suffix is insertion-sorted by
+// (at, seq) lazily, when the cursor reaches the slot — so the insert
+// hot path costs one comparison against maxAt, and the common case of
+// in-order appends never sorts at all. ev is nil while the slot is
+// empty — its storage lives in the scheduler's buffer pool.
+type slot struct {
+	ev    []event
+	maxAt Time
+	head  int32
+	dirty bool
+}
+
+// sort orders the unpopped suffix ascending by (at, seq). Appends happen
+// in push order, so the array is already seq-ascending: a stable
+// insertion sort on at alone (strict less) yields (at, seq) order with
+// one comparison per step. Events land mostly in arrival order, so the
+// handful of entries a slot holds beats anything with setup cost.
+func (sl *slot) sort() {
+	sl.dirty = false
+	ev := sl.ev
+	for i := int(sl.head) + 1; i < len(ev); i++ {
+		e := ev[i]
+		j := i
+		for j > int(sl.head) && e.at < ev[j-1].at {
+			ev[j] = ev[j-1]
+			j--
+		}
+		ev[j] = e
+	}
+}
+
+// grab takes a pooled (empty, zeroed) backing array.
+func (s *Scheduler) grab() []event {
+	if n := len(s.bufs); n > 0 {
+		b := s.bufs[n-1]
+		s.bufs = s.bufs[:n-1]
+		return b
+	}
+	return make([]event, 0, 8)
+}
+
+// release returns a drained slot's array to the pool.
+func (s *Scheduler) release(sl *slot) {
+	s.bufs = append(s.bufs, sl.ev[:0])
+	sl.ev = nil
+	sl.maxAt = 0
+	sl.head = 0
+	sl.dirty = false
+}
+
+// slotInsert appends e to slot i, deferring ordering to the lazy sort
+// at pop time. Inserting into the slot the cursor is draining is fine:
+// e.at >= now, so sorting the unpopped suffix keeps global order.
+func (s *Scheduler) slotInsert(i int, e event) {
+	sl := &s.slots[i]
+	if sl.ev == nil {
+		sl.ev = s.grab()
+	}
+	sl.ev = append(sl.ev, e)
+	if e.at < sl.maxAt {
+		sl.dirty = true
+	} else {
+		sl.maxAt = e.at
+	}
+	s.occ[i>>6] |= 1 << uint(i&63)
 }
 
 // NewScheduler returns an empty scheduler at time zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
 
+// SetHandler installs the dispatch-event consumer. Must be set before
+// the first AtEvent/AfterEvent is executed.
+func (s *Scheduler) SetHandler(h Handler) { s.handler = h }
+
+// Reset returns the scheduler to time zero with an empty queue, keeping
+// the queue's capacity (and the handler) for reuse across runs.
+func (s *Scheduler) Reset() {
+	s.clear()
+	s.now = 0
+	s.seq = 0
+	s.ran = 0
+	s.maxPending = 0
+	s.base = 0
+}
+
+// clear drops every queued event and empties the closure registry so
+// retained closures don't leak.
+func (s *Scheduler) clear() {
+	if s.pending > 0 {
+		for i := range s.slots {
+			if s.slots[i].ev != nil {
+				s.release(&s.slots[i])
+			}
+		}
+		s.overflow = s.overflow[:0]
+		s.occ = [numSlots / 64]uint64{}
+	}
+	for i := range s.fns {
+		s.fns[i] = nil
+	}
+	s.fns = s.fns[:0]
+	s.fnFree = s.fnFree[:0]
+	s.cursor = 0
+	s.pending = 0
+	s.work = 0
+}
+
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// AdvanceTo moves the clock forward to t without running anything;
+// moving backwards panics. Used by barrier-stage drivers to align the
+// clock across stage boundaries.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t < s.now {
+		panic("des: clock moved backwards")
+	}
+	s.now = t
+}
 
 // Pending returns the number of queued regular (non-daemon) events.
 func (s *Scheduler) Pending() int { return s.work }
 
 // MaxPending returns the high-water mark of the queue depth — how deep
-// the regular event heap ever got. Observability probes sample Pending
+// the regular event queue ever got. Observability probes sample Pending
 // over time; this captures the peak between samples. Daemon events are
 // excluded so enabling probes does not alter the reading.
 func (s *Scheduler) MaxPending() int { return s.maxPending }
@@ -76,10 +245,45 @@ func (s *Scheduler) MaxPending() int { return s.maxPending }
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.ran }
 
+// NextAt returns the timestamp of the earliest queued event, or ok ==
+// false when the queue is empty. Daemon events count: they hold a place
+// in the queue even though they may be discarded.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if s.pending == 0 {
+		return 0, false
+	}
+	if i := s.firstOccupied(s.cursor); i >= 0 {
+		sl := &s.slots[i]
+		if sl.dirty {
+			sl.sort()
+		}
+		return sl.ev[sl.head].at, true
+	}
+	min := s.overflow[0].at
+	for i := 1; i < len(s.overflow); i++ {
+		if s.overflow[i].at < min {
+			min = s.overflow[i].at
+		}
+	}
+	return min, true
+}
+
+// regFn parks a closure in the registry and returns its index.
+func (s *Scheduler) regFn(fn func()) int32 {
+	if n := len(s.fnFree); n > 0 {
+		idx := s.fnFree[n-1]
+		s.fnFree = s.fnFree[:n-1]
+		s.fns[idx] = fn
+		return idx
+	}
+	s.fns = append(s.fns, fn)
+	return int32(len(s.fns) - 1)
+}
+
 // At schedules fn at absolute time t; scheduling in the past panics
 // (it would silently corrupt causality).
 func (s *Scheduler) At(t Time, fn func()) {
-	s.schedule(t, fn, false)
+	s.push(event{at: t, key: keyClosure, a: s.regFn(fn)})
 }
 
 // After schedules fn d after the current time.
@@ -89,19 +293,40 @@ func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
 // only if regular work is still queued when its turn comes, and is
 // otherwise discarded without advancing the clock.
 func (s *Scheduler) AtDaemon(t Time, fn func()) {
-	s.schedule(t, fn, true)
+	s.push(event{at: t, key: keyClosure | keyDaemon, a: s.regFn(fn)})
 }
 
 // AfterDaemon schedules a daemon event d after the current time.
 func (s *Scheduler) AfterDaemon(d Time, fn func()) { s.AtDaemon(s.now+d, fn) }
 
-func (s *Scheduler) schedule(t Time, fn func(), daemon bool) {
-	if t < s.now {
+// AtEvent schedules a dispatch event at absolute time t. The payload is
+// stored inline in the queue — no allocation — and delivered to the
+// Handler when the event fires.
+func (s *Scheduler) AtEvent(t Time, kind uint16, a, b int32, c int64) {
+	s.push(event{at: t, key: uint64(kind) << keyKindShift, a: a, b: b, c: c})
+}
+
+// AfterEvent schedules a dispatch event d after the current time.
+func (s *Scheduler) AfterEvent(d Time, kind uint16, a, b int32, c int64) {
+	s.AtEvent(s.now+d, kind, a, b, c)
+}
+
+// push files an event into its wheel slot or the overflow list. Events
+// never land before the cursor: e.at >= now, and the cursor trails the
+// slot of the last popped event.
+func (s *Scheduler) push(e event) {
+	if e.at < s.now {
 		panic("des: event scheduled in the past")
 	}
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn, daemon: daemon})
+	e.key |= s.seq
 	s.seq++
-	if !daemon {
+	if d := (e.at - s.base) >> slotShift; d < numSlots {
+		s.slotInsert(int(d), e)
+	} else {
+		s.overflow = append(s.overflow, e)
+	}
+	s.pending++
+	if e.key&keyDaemon == 0 {
 		s.work++
 		if s.work > s.maxPending {
 			s.maxPending = s.work
@@ -109,20 +334,90 @@ func (s *Scheduler) schedule(t Time, fn func(), daemon bool) {
 	}
 }
 
+// firstOccupied returns the first non-empty slot at or after from, or
+// -1 if the wheel is empty from there on.
+func (s *Scheduler) firstOccupied(from int) int {
+	w := from >> 6
+	b := s.occ[w] &^ (1<<uint(from&63) - 1)
+	for {
+		if b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+		w++
+		if w >= len(s.occ) {
+			return -1
+		}
+		b = s.occ[w]
+	}
+}
+
+// rebase re-anchors the wheel at the earliest overflow event and
+// redistributes what now fits. Caller guarantees the wheel is empty and
+// the overflow is not.
+func (s *Scheduler) rebase() {
+	min := s.overflow[0].at
+	for i := 1; i < len(s.overflow); i++ {
+		if s.overflow[i].at < min {
+			min = s.overflow[i].at
+		}
+	}
+	s.base = min &^ (slotWidth - 1)
+	s.cursor = 0
+	keep := s.overflow[:0]
+	for _, e := range s.overflow {
+		d := (e.at - s.base) >> slotShift
+		if d >= numSlots {
+			keep = append(keep, e)
+			continue
+		}
+		s.slotInsert(int(d), e)
+	}
+	s.overflow = keep
+}
+
 // Step runs the next event; it reports false when no regular events
 // remain (any leftover daemon events are dropped, clock untouched).
 func (s *Scheduler) Step() bool {
 	if s.work == 0 {
-		s.events = s.events[:0]
+		s.clear()
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
-	if !e.daemon {
+	// Pop inline: the cursor slot usually still has events, so the
+	// common case is one bit test, one copy and a head bump.
+	i := s.cursor
+	if s.occ[i>>6]&(1<<uint(i&63)) == 0 {
+		i = s.firstOccupied(i)
+		if i < 0 {
+			s.rebase()
+			i = s.firstOccupied(0)
+		}
+		s.cursor = i
+	}
+	sl := &s.slots[i]
+	if sl.dirty {
+		sl.sort()
+	}
+	h := sl.head
+	e := sl.ev[h]
+	sl.head = h + 1
+	if int(h+1) == len(sl.ev) {
+		s.release(sl)
+		s.occ[i>>6] &^= 1 << uint(i&63)
+	}
+	s.pending--
+	if e.key&keyDaemon == 0 {
 		s.work--
 	}
 	s.now = e.at
 	s.ran++
-	e.fn()
+	if e.key&keyClosure != 0 {
+		fn := s.fns[e.a]
+		s.fns[e.a] = nil
+		s.fnFree = append(s.fnFree, e.a)
+		fn()
+	} else {
+		s.handler(uint16(e.key>>keyKindShift), e.a, e.b, e.c)
+	}
 	return true
 }
 
@@ -130,19 +425,90 @@ func (s *Scheduler) Step() bool {
 // bound); it returns false if the bound was hit with events pending.
 func (s *Scheduler) Run(maxEvents uint64) bool {
 	for n := uint64(0); s.Step(); n++ {
-		if maxEvents > 0 && n+1 >= maxEvents && len(s.events) > 0 {
+		if maxEvents > 0 && n+1 >= maxEvents && s.pending > 0 {
 			return false
 		}
 	}
 	return true
 }
 
+// NextEvent pops queued events until it reaches a dispatch event, whose
+// payload it returns; closure events execute inside the call. ok ==
+// false means no regular events remain (leftover daemon events are
+// dropped, clock untouched). A simulator's hot loop can switch on the
+// returned kind directly instead of going through the Handler
+// indirection — same pop order, one indirect call less per event.
+// Mirrors Step's body: keep the two in sync.
+func (s *Scheduler) NextEvent() (kind uint16, a, b int32, c int64, ok bool) {
+	for {
+		if s.work == 0 {
+			s.clear()
+			return 0, 0, 0, 0, false
+		}
+		i := s.cursor
+		if s.occ[i>>6]&(1<<uint(i&63)) == 0 {
+			i = s.firstOccupied(i)
+			if i < 0 {
+				s.rebase()
+				i = s.firstOccupied(0)
+			}
+			s.cursor = i
+		}
+		sl := &s.slots[i]
+		if sl.dirty {
+			sl.sort()
+		}
+		h := sl.head
+		e := sl.ev[h]
+		sl.head = h + 1
+		if int(h+1) == len(sl.ev) {
+			s.release(sl)
+			s.occ[i>>6] &^= 1 << uint(i&63)
+		}
+		s.pending--
+		if e.key&keyDaemon == 0 {
+			s.work--
+		}
+		s.now = e.at
+		s.ran++
+		if e.key&keyClosure != 0 {
+			fn := s.fns[e.a]
+			s.fns[e.a] = nil
+			s.fnFree = append(s.fnFree, e.a)
+			fn()
+			continue
+		}
+		return uint16(e.key >> keyKindShift), e.a, e.b, e.c, true
+	}
+}
+
 // RunUntil runs events with time <= t, then sets the clock to t.
 func (s *Scheduler) RunUntil(t Time) {
-	for len(s.events) > 0 && s.events[0].at <= t {
+	for {
+		at, ok := s.NextAt()
+		if !ok || at > t {
+			break
+		}
 		s.Step()
 	}
 	if s.now < t {
 		s.now = t
 	}
+}
+
+// RunBefore runs regular events with time strictly less than t and
+// reports how many ran. The clock is left at the last executed event
+// (not advanced to t), so a caller coordinating several schedulers can
+// align clocks itself. Daemon events before t run under the usual rule.
+func (s *Scheduler) RunBefore(t Time) uint64 {
+	var n uint64
+	for s.work > 0 {
+		at, ok := s.NextAt()
+		if !ok || at >= t {
+			break
+		}
+		s.Step()
+		n++
+	}
+	return n
 }

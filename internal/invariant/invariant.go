@@ -174,6 +174,7 @@ func Catalog() []Check {
 		{Name: "route.compiled-equiv", Ref: "path cache contract", Run: checkCompiledEquiv},
 		{Name: "route.lenient-broken", Ref: "path cache contract", Run: checkLenientBroken},
 		{Name: "hsd.contention-free", Ref: "Theorem 1 / Section VII", Run: checkContentionFree},
+		{Name: "sim.zero-stalls", Ref: "Theorem 1 vs Section II", Run: checkSimZeroStalls},
 	}
 }
 

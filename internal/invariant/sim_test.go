@@ -1,0 +1,44 @@
+package invariant
+
+import (
+	"testing"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func TestSimZeroStallsContentionFree(t *testing.T) {
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+	in := NewInstance(tp, route.DModK(tp), nil)
+	res := checkSimZeroStalls(in)
+	if res.Status != Pass {
+		t.Fatalf("contention-free instance: %s (%s)", res.Status, res.Error)
+	}
+}
+
+func TestSimZeroStallsSkipsContended(t *testing.T) {
+	// Random minimal-hop routing breaks Theorem 1, so the HSD model
+	// reports contention and the cross-check must skip, not fail.
+	tp := topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+	in := NewInstance(tp, route.MinHopRandom(tp, 3), nil)
+	res := checkSimZeroStalls(in)
+	if res.Status != Skip {
+		t.Fatalf("contended instance: %s (%s), want skip", res.Status, res.Error)
+	}
+}
+
+func TestSpreadStages(t *testing.T) {
+	got := spreadStages(10, 4)
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("spreadStages(10,4) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spreadStages(10,4) = %v, want %v", got, want)
+		}
+	}
+	if got := spreadStages(3, 4); len(got) != 3 {
+		t.Fatalf("spreadStages(3,4) = %v, want all 3 stages", got)
+	}
+}

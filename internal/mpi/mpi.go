@@ -8,6 +8,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 
 	"fattree/internal/cps"
 	"fattree/internal/hsd"
@@ -23,6 +24,15 @@ type Job struct {
 	Topo  *topo.Topology
 	Route route.Router
 	Order *order.Ordering
+
+	// Simulator cache: repeated SimulateMode calls with the same plain
+	// config (no writers or observers attached) check the same Network
+	// out and back in, so sweeps reuse its arenas instead of rebuilding
+	// channel and path state per call. Guarded by mu; concurrent
+	// simulations simply build a fresh instance.
+	mu     sync.Mutex
+	simNW  *netsim.Network
+	simCfg netsim.Config
 }
 
 // NewJob validates the cross-references between the pieces.
@@ -131,9 +141,12 @@ func (j *Job) SimulateMode(seq cps.Sequence, bytes int64, mode Mode, cfg netsim.
 		// a Perfetto view says which CPS the stage markers belong to.
 		cfg.TraceLabel = seq.Name()
 	}
-	nw, err := netsim.New(j.Route, cfg)
+	nw, cacheable, err := j.checkoutNetwork(cfg)
 	if err != nil {
 		return netsim.Stats{}, err
+	}
+	if cacheable {
+		defer j.checkinNetwork(nw, cfg)
 	}
 	stages := j.AllMessages(seq, bytes)
 	switch mode {
@@ -148,6 +161,41 @@ func (j *Job) SimulateMode(seq cps.Sequence, bytes int64, mode Mode, cfg netsim.
 		}
 		return nw.Run(flat)
 	}
+}
+
+// plainConfig reports whether cfg carries no writer or observer
+// attachments — the precondition for Network reuse (and for comparing
+// configs with ==, which would panic on exotic io.Writer types).
+func plainConfig(cfg netsim.Config) bool {
+	return cfg.FlowLog == nil && cfg.Metrics == nil && cfg.Probes == nil && cfg.Trace == nil
+}
+
+// checkoutNetwork returns a simulator for cfg, reusing the cached one
+// when its config matches. cacheable reports whether the caller should
+// hand it back via checkinNetwork.
+func (j *Job) checkoutNetwork(cfg netsim.Config) (nw *netsim.Network, cacheable bool, err error) {
+	if !plainConfig(cfg) {
+		nw, err = netsim.New(j.Route, cfg)
+		return nw, false, err
+	}
+	j.mu.Lock()
+	if j.simNW != nil && j.simCfg == cfg {
+		nw = j.simNW
+		j.simNW = nil
+	}
+	j.mu.Unlock()
+	if nw != nil {
+		return nw, true, nil
+	}
+	nw, err = netsim.New(j.Route, cfg)
+	return nw, err == nil, err
+}
+
+// checkinNetwork returns a checked-out simulator to the cache.
+func (j *Job) checkinNetwork(nw *netsim.Network, cfg netsim.Config) {
+	j.mu.Lock()
+	j.simNW, j.simCfg = nw, cfg
+	j.mu.Unlock()
 }
 
 // NormalizedBandwidth scales an aggregate bandwidth to the job's ideal

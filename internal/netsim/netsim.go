@@ -10,14 +10,24 @@
 // route package, so contention (or its absence) is exactly the phenomenon
 // the HSD model predicts — but here it plays out in time, producing
 // effective bandwidth and latency numbers.
+//
+// The hot core is allocation-free in steady state: packets, messages and
+// per-port bookkeeping live in flat arenas indexed by integer ids, and
+// every scheduler event is a plain-old-data dispatch record (see
+// internal/des), so repeated runs on one Network reuse all state. Set
+// Config.Shards > 1 for conservative parallel execution partitioned by
+// fat-tree sub-tree (see shard.go and docs/SIMULATOR.md).
 package netsim
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strconv"
 
 	"fattree/internal/des"
 	"fattree/internal/obs"
@@ -29,6 +39,10 @@ import (
 // comment line of every flow-completion CSV, so downstream tooling can
 // detect the format. Bump the /vN suffix on incompatible changes.
 const FlowLogSchema = "fattree-flowlog/v1"
+
+// AutoShards selects one shard per available CPU (GOMAXPROCS) when set
+// as Config.Shards.
+const AutoShards = -1
 
 // Config calibrates the simulator.
 type Config struct {
@@ -48,6 +62,14 @@ type Config struct {
 	BufferPackets int
 	// MaxEvents aborts runaway simulations (0 = unbounded).
 	MaxEvents uint64
+	// Shards selects the event-loop parallelism: 0 or 1 runs the
+	// sequential loop (bit-exact with the golden traces); N > 1 runs a
+	// conservative parallel simulation on N sub-tree partitions with
+	// lookahead equal to LinkLatency; AutoShards (-1) uses GOMAXPROCS.
+	// Sharding requires LinkLatency > 0 and deterministic routing (no
+	// PerPacketRouting). docs/SIMULATOR.md spells out when sharded
+	// results are bit-exact with the sequential loop.
+	Shards int
 	// PerPacketRouting re-asks the router for a path for every packet
 	// instead of once per message — how an adaptive fabric behaves.
 	// With a randomized router this lets packets overtake each other;
@@ -60,7 +82,9 @@ type Config struct {
 	// "# fattree-flowlog/v1" schema stamp and a header line (written
 	// once per Network) followed by one record per completed message —
 	// src,dst,bytes,start_ps,end_ps,latency_ps. docs/SIMULATOR.md
-	// documents the schema. Useful for post-processing runs with
+	// documents the schema. Writes are buffered and flushed when each
+	// Run/RunStages/RunDependent returns, so CSV logging no longer
+	// dominates large runs. Useful for post-processing runs with
 	// external tooling.
 	FlowLog io.Writer
 	// Metrics, when non-nil, receives the simulator's counters,
@@ -107,7 +131,30 @@ func (c Config) validate() error {
 	if c.LinkLatency < 0 || c.SwitchLatency < 0 {
 		return fmt.Errorf("netsim: negative latency")
 	}
+	if c.Shards < AutoShards {
+		return fmt.Errorf("netsim: Shards = %d (want >= %d)", c.Shards, AutoShards)
+	}
+	if c.shardCount() > 1 {
+		if c.LinkLatency <= 0 {
+			return fmt.Errorf("netsim: sharded execution needs LinkLatency > 0 (the conservative lookahead)")
+		}
+		if c.PerPacketRouting {
+			return fmt.Errorf("netsim: sharded execution requires deterministic routing (PerPacketRouting off)")
+		}
+	}
 	return nil
+}
+
+// shardCount resolves the Shards knob to a concrete shard count.
+func (c Config) shardCount() int {
+	switch {
+	case c.Shards == AutoShards:
+		return runtime.GOMAXPROCS(0)
+	case c.Shards <= 1:
+		return 1
+	default:
+		return c.Shards
+	}
 }
 
 // Message is one MPI-level send.
@@ -152,8 +199,15 @@ type Stats struct {
 var ErrLatenciesNotKept = errors.New(
 	"netsim: latencies were not retained; set Config.KeepLatencies before the run to use Stats.Percentile")
 
+// ErrNoLatencies is returned by Stats.Percentile when retention was on
+// but the run delivered no messages, so there is nothing to rank.
+var ErrNoLatencies = errors.New(
+	"netsim: no messages were delivered, so no latencies to rank")
+
 // Percentile returns the p-th (0..100) latency percentile; requires
-// Config.KeepLatencies.
+// Config.KeepLatencies. It reports ErrLatenciesNotKept when retention
+// was off and ErrNoLatencies when nothing was delivered — both sentinel
+// errors callers can test with errors.Is.
 func (s Stats) Percentile(p float64) (des.Time, error) {
 	if p < 0 || p > 100 {
 		return 0, fmt.Errorf("netsim: percentile %v out of range [0,100]", p)
@@ -162,7 +216,7 @@ func (s Stats) Percentile(p float64) (des.Time, error) {
 		if !s.KeptLatencies {
 			return 0, ErrLatenciesNotKept
 		}
-		return 0, fmt.Errorf("netsim: no messages were delivered, so no latencies to rank")
+		return 0, ErrNoLatencies
 	}
 	idx := int(p / 100 * float64(len(s.Latencies)-1))
 	return s.Latencies[idx], nil
@@ -215,96 +269,195 @@ func (s Stats) SaturatedLinks(threshold float64) int {
 	return n
 }
 
+// intQueue is a FIFO of int32 ids with an advancing head, compacted in
+// place so steady-state operation never reallocates.
+type intQueue struct {
+	items []int32
+	head  int
+}
+
+func (q *intQueue) push(v int32) {
+	if q.head > 32 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+}
+
+func (q *intQueue) pop() int32 {
+	v := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *intQueue) front() int32 { return q.items[q.head] }
+func (q *intQueue) len() int     { return len(q.items) - q.head }
+func (q *intQueue) reset()       { q.items = q.items[:0]; q.head = 0 }
+
 // channel is one direction of a cable: a transmitter plus the receiver's
-// input buffer.
+// input buffer. Channels live in one flat slice indexed by id; buffer
+// and arbitration FIFOs hold packet/channel ids, not pointers.
 type channel struct {
-	id       int
+	lastBit des.Time // busy until (tail departure of current packet)
+	busy    des.Time // cumulative transmit occupancy
+	rate    float64  // transmitter bytes/second
+	serMTU  des.Time // serTime(MTU, rate), precomputed — most packets are full
+
+	id       int32
 	from, to topo.NodeID
-	rate     float64  // transmitter bytes/second
-	lastBit  des.Time // busy until (tail departure of current packet)
-	busy     des.Time // cumulative transmit occupancy
+	fromHost int32 // host index of the from node, or -1 for a switch
+	toHost   int32 // host index of the to node, or -1 for a switch
+	shard    int32 // owning shard of the transmitter side (from node)
 
 	// Receiver input buffer (virtual cut-through credits).
-	credits int
-	buf     []*packet // FIFO; buf[0] is at the switch crossbar head
+	credits int32
+	buf     intQueue // packet ids; front is at the switch crossbar head
 
 	// Output arbitration at the transmitter (switch side): input
-	// channels whose head packet wants this channel, FIFO.
-	reqs []*channel
+	// channels whose buffer head wants this channel, FIFO.
+	reqs intQueue // channel ids
 	// requested marks that this channel's buffer head is already queued
 	// at its output channel (avoid duplicate requests).
 	requested bool
 }
 
-// packet is one MTU-or-less unit of a message in flight.
+// packet is one MTU-or-less unit of a message in flight. Packets are
+// pooled: deliver returns the id to a free list for the next injection.
 type packet struct {
-	msg  *message
-	size int64
-	seq  int     // 0-based position within the message
-	path []int32 // channel ids host->...->host
-	hop  int     // index of the channel the packet traverses next
-	// tailArrive is when the packet's last bit reaches the node it is
-	// currently buffered at (forwarding cannot complete earlier).
-	tailArrive des.Time
+	tailArrive des.Time // when the last bit reaches the current node
+	msg        int32    // message id
+	seq        int32    // 0-based position within the message
+	hop        int32    // index of the channel traversed next
+	next       int32    // channel id at path[hop], -1 past the last hop
+	size       int32    // payload bytes
+	// pathOff/pathLen mirror the message's route bounds in the shared
+	// path arena, so per-hop forwarding never reloads the message.
+	pathOff, pathLen int32
+	// ownPath holds the per-packet route under PerPacketRouting; its
+	// capacity is recycled with the packet. Empty means "use the
+	// message path".
+	ownPath []int32
+	perPkt  bool
 }
 
-// message tracks send/receive progress of one Message.
+// message tracks send/receive progress of one Message. The route is a
+// slice of the Network's shared path arena.
 type message struct {
 	Message
-	path      []int32
-	packets   int
-	sentPkts  int
-	recvPkts  int
-	startedAt des.Time
-	started   bool
-	host      *hostState // sender
-	// stage tags the collective stage in dependent mode (-1 otherwise).
-	stage int
+	pathOff, pathLen   int32
+	packets            int32
+	sentPkts, recvPkts int32
+	startedAt          des.Time
 	// notBefore delays injection (simulated OS jitter / skew); zero
 	// means immediately eligible.
 	notBefore des.Time
-	timerSet  bool
+	// stage tags the collective stage in dependent mode (-1 otherwise).
+	stage    int32
+	started  bool
+	timerSet bool
 }
 
 // hostState is the injection queue of one end-port.
 type hostState struct {
-	id     int
-	up     *channel // host -> leaf
-	queue  []*message
-	nextIn int // next message to inject
+	id    int32
+	up    int32    // channel id host -> leaf
+	queue intQueue // message ids; nextIn is the queue head
+	// nextIn indexes the next message to inject within queue.items —
+	// the queue is never popped (delivery bookkeeping revisits it), so
+	// it is a plain slice with a cursor.
+	nextIn int
 
 	// Dependent-mode bookkeeping: per stage, how many of this host's
 	// sends have not yet fully left the NIC and how many expected
 	// receives have not yet arrived. readyStage is the first stage the
 	// host may inject into (all earlier stages complete).
-	sendLeft, recvLeft []int
-	readyStage         int
+	sendLeft, recvLeft []int32
+	readyStage         int32
 	dependent          bool
+	shard              int32
 }
 
 // stageComplete reports whether the host finished stage s.
-func (h *hostState) stageComplete(s int) bool {
+func (h *hostState) stageComplete(s int32) bool {
 	return h.sendLeft[s] == 0 && h.recvLeft[s] == 0
 }
 
-// Network is a simulator instance bound to a topology and routing.
+// Dispatch-event kinds (see des.Handler). evCreditX and evKickAux exist
+// only in sharded runs and are excluded from Stats.Events so sequential
+// and sharded event counts agree.
+const (
+	evKick    uint16 = iota // a = host id
+	evArrive                // a = packet, b = channel, c = tailArrive
+	evDepart                // a = packet, b = channel, c = from-buffer channel id or -1
+	evDeliver               // a = packet, b = channel
+	evKickAux               // a = host id (sharded stage start)
+	evCreditX               // a = channel id (sharded cross-partition credit return)
+)
+
+// Network is a simulator instance bound to a topology and routing. All
+// run state lives in flat arenas reused across runs, so a Network can
+// drive many simulations without reallocating its hot structures.
 type Network struct {
 	t   *topo.Topology
 	rt  route.Router
 	cfg Config
 
 	sched    *des.Scheduler
-	channels []*channel // 2 per link: up = 2*link, down = 2*link+1
-	hosts    []*hostState
+	channels []channel
+	hosts    []hostState
+
+	msgs     []message
+	paths    []int32 // shared path arena, sliced per message
+	pkts     []packet
+	freePkts []int32
+
+	walkBuf []int32 // per-packet routing scratch
 
 	stats     Stats
 	remaining int // undelivered messages
 	err       error
 
+	// Eager final-hop delivery (perf): hosts never back-pressure, so
+	// once a packet starts its last hop its delivery instant is fully
+	// determined and the arrive/deliver events carry no decisions. When
+	// nothing observes them (no obs hooks, no flow log, no dependency
+	// bookkeeping) the simulator completes delivery inline at transmit
+	// time instead, stamped with the true arrival time. elided counts
+	// the skipped events so Stats.Events matches an instrumented run;
+	// endAt tracks the latest delivery so the clock can be advanced to
+	// where the last elided event would have run.
+	eager  bool
+	elided uint64
+	endAt  des.Time
+
+	// Buffered flow log (nil when Config.FlowLog is nil); flushed when
+	// each run returns.
+	flow        *bufio.Writer
+	flowScratch []byte
+
 	// Observability (nil when disabled; see obs.go).
 	ob            *simObs
 	traceMetaDone bool
 	flowHeader    bool
+
+	// Sharded runtime (nil until a sharded run; see shard.go). On the
+	// root Network sh coordinates; on per-shard worker views (which
+	// share the arenas above but own their scheduler, packet pool and
+	// stats) shardID identifies the shard and auxEvents counts events
+	// that exist only because of sharding, so merged event totals match
+	// the sequential loop.
+	sh        *shardRuntime
+	shardID   int32
+	auxEvents uint64
+	// flowRecs buffers flow completions on worker views (flowSink set);
+	// the coordinator merges and writes them deterministically.
+	flowRecs []flowRec
+	flowSink bool
 }
 
 // New creates a simulator for the topology/routing pair.
@@ -313,44 +466,143 @@ func New(rt route.Router, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{t: rt.Topology(), rt: rt, cfg: cfg}
+	if cfg.FlowLog != nil {
+		nw.flow = bufio.NewWriterSize(cfg.FlowLog, 1<<16)
+	}
 	return nw, nil
 }
 
-// reset rebuilds the dynamic state for a fresh run.
+// reset rebuilds the dynamic state for a fresh run, reusing every arena
+// the previous run left behind.
 func (nw *Network) reset() {
 	t := nw.t
-	nw.sched = des.NewScheduler()
+	if nw.sched == nil {
+		nw.sched = des.NewScheduler()
+		nw.sched.SetHandler(nw.handle)
+	} else {
+		nw.sched.Reset()
+	}
 	nw.stats = Stats{LatencyMin: 1 << 62}
 	nw.err = nil
 	nw.remaining = 0
-	nw.channels = make([]*channel, 2*len(t.Links))
+	nw.msgs = nw.msgs[:0]
+	nw.paths = nw.paths[:0]
+	nw.pkts = nw.pkts[:0]
+	nw.freePkts = nw.freePkts[:0]
+	if nw.channels == nil {
+		nw.channels = make([]channel, 2*len(t.Links))
+	}
 	for i := range t.Links {
 		lk := &t.Links[i]
 		lower := t.Ports[lk.Lower].Node
 		upper := t.Ports[lk.Upper].Node
-		up := &channel{id: 2 * i, from: lower, to: upper, rate: nw.cfg.LinkBandwidth, credits: nw.cfg.BufferPackets}
-		down := &channel{id: 2*i + 1, from: upper, to: lower, rate: nw.cfg.LinkBandwidth, credits: nw.cfg.BufferPackets}
-		if t.Node(lower).Kind == topo.Host {
+		up := &nw.channels[2*i]
+		down := &nw.channels[2*i+1]
+		*up = channel{
+			id: int32(2 * i), from: lower, to: upper,
+			fromHost: hostIndex(t, lower), toHost: hostIndex(t, upper),
+			rate: nw.cfg.LinkBandwidth, credits: int32(nw.cfg.BufferPackets),
+			buf: up.buf, reqs: up.reqs,
+		}
+		*down = channel{
+			id: int32(2*i + 1), from: upper, to: lower,
+			fromHost: hostIndex(t, upper), toHost: hostIndex(t, lower),
+			rate: nw.cfg.LinkBandwidth, credits: int32(nw.cfg.BufferPackets),
+			buf: down.buf, reqs: down.reqs,
+		}
+		up.buf.reset()
+		up.reqs.reset()
+		down.buf.reset()
+		down.reqs.reset()
+		if up.fromHost >= 0 {
 			// Host injection is PCIe capped; host reception is an
 			// effectively infinite sink.
 			up.rate = nw.cfg.HostBandwidth
 			down.credits = 1 << 30
 		}
-		nw.channels[up.id] = up
-		nw.channels[down.id] = down
+		up.serMTU = serTime(int64(nw.cfg.MTU), up.rate)
+		down.serMTU = serTime(int64(nw.cfg.MTU), down.rate)
 	}
-	nw.hosts = make([]*hostState, t.NumHosts())
+	if nw.hosts == nil {
+		nw.hosts = make([]hostState, t.NumHosts())
+	}
 	for j := 0; j < t.NumHosts(); j++ {
-		h := t.Host(j)
-		upPort := t.Ports[h.Up[0]]
-		upCh := nw.channels[2*int(upPort.Link)]
-		nw.hosts[j] = &hostState{id: j, up: upCh}
+		h := &nw.hosts[j]
+		upPort := t.Ports[t.Host(j).Up[0]]
+		q := h.queue
+		q.reset()
+		*h = hostState{id: int32(j), up: int32(2 * upPort.Link), queue: q}
 	}
 	nw.ob = nw.newSimObs()
-	if nw.cfg.FlowLog != nil && !nw.flowHeader {
+	nw.elided = 0
+	nw.endAt = 0
+	nw.eager = nw.ob == nil && nw.flow == nil && !nw.cfg.PerPacketRouting
+	if nw.flow != nil && !nw.flowHeader {
 		nw.flowHeader = true
-		fmt.Fprintln(nw.cfg.FlowLog, "# "+FlowLogSchema)
-		fmt.Fprintln(nw.cfg.FlowLog, "src,dst,bytes,start_ps,end_ps,latency_ps")
+		fmt.Fprintln(nw.flow, "# "+FlowLogSchema)
+		fmt.Fprintln(nw.flow, "src,dst,bytes,start_ps,end_ps,latency_ps")
+	}
+}
+
+// hostIndex returns the host index of a node, or -1 for a switch.
+func hostIndex(t *topo.Topology, id topo.NodeID) int32 {
+	n := t.Node(id)
+	if n.Kind != topo.Host {
+		return -1
+	}
+	return int32(n.Index)
+}
+
+// handle dispatches POD scheduler events — the simulator's event loop.
+func (nw *Network) handle(kind uint16, a, b int32, c int64) {
+	switch kind {
+	case evArrive:
+		nw.arriveHeader(a, b, des.Time(c))
+	case evDepart:
+		nw.departTail(a, b, int32(c))
+	case evDeliver:
+		nw.deliverAt(a, nw.sched.Now())
+	case evKick, evKickAux:
+		nw.kickHost(&nw.hosts[a])
+	case evCreditX:
+		nw.auxEvents++ // no sequential counterpart; see shard.go
+		ch := &nw.channels[a]
+		ch.credits++
+		nw.wakeTransmitter(ch)
+	}
+}
+
+// drain runs the sequential event loop to completion by pulling
+// dispatch events straight off the scheduler — the same pop order as
+// sched.Run, minus one indirect Handler call per event. Reports false
+// when cfg.MaxEvents was exceeded with events still pending.
+func (nw *Network) drain() bool {
+	sched := nw.sched
+	max := nw.cfg.MaxEvents
+	start := sched.Executed()
+	for {
+		kind, a, b, c, ok := sched.NextEvent()
+		if !ok {
+			return true
+		}
+		switch kind {
+		case evArrive:
+			nw.arriveHeader(a, b, des.Time(c))
+		case evDepart:
+			nw.departTail(a, b, int32(c))
+		case evDeliver:
+			nw.deliverAt(a, sched.Now())
+		case evKick, evKickAux:
+			nw.kickHost(&nw.hosts[a])
+		case evCreditX:
+			nw.auxEvents++ // no sequential counterpart; see shard.go
+			ch := &nw.channels[a]
+			ch.credits++
+			nw.wakeTransmitter(ch)
+		}
+		if max > 0 && sched.Executed()-start >= max && sched.Pending() > 0 {
+			return false
+		}
 	}
 }
 
@@ -362,13 +614,38 @@ func chanID(link topo.LinkID, up bool) int32 {
 	return int32(2*link + 1)
 }
 
-// pathOf computes the channel path for a src->dst flow.
-func (nw *Network) pathOf(src, dst int) ([]int32, error) {
-	var path []int32
-	err := nw.rt.Walk(src, dst, func(l topo.LinkID, up bool) {
-		path = append(path, chanID(l, up))
+// pathOf appends the channel path for a src->dst flow to the shared
+// arena and returns its bounds.
+func (nw *Network) pathOf(src, dst int) (off, n int32, err error) {
+	off = int32(len(nw.paths))
+	err = nw.rt.Walk(src, dst, func(l topo.LinkID, up bool) {
+		nw.paths = append(nw.paths, chanID(l, up))
 	})
-	return path, err
+	return off, int32(len(nw.paths)) - off, err
+}
+
+// msgPath returns the route of message m.
+func (nw *Network) msgPath(m *message) []int32 {
+	return nw.paths[m.pathOff : m.pathOff+m.pathLen]
+}
+
+// pktPath returns the route packet p follows.
+func (nw *Network) pktPath(p *packet) []int32 {
+	if p.perPkt {
+		return p.ownPath
+	}
+	return nw.paths[p.pathOff : p.pathOff+p.pathLen]
+}
+
+// allocPkt takes a packet id from the pool.
+func (nw *Network) allocPkt() int32 {
+	if n := len(nw.freePkts); n > 0 {
+		id := nw.freePkts[n-1]
+		nw.freePkts = nw.freePkts[:n-1]
+		return id
+	}
+	nw.pkts = append(nw.pkts, packet{})
+	return int32(len(nw.pkts) - 1)
 }
 
 // load enqueues messages on their source hosts (keeping input order per
@@ -384,17 +661,20 @@ func (nw *Network) load(msgs []Message) error {
 		if m.Bytes < 1 {
 			return fmt.Errorf("netsim: message %d->%d has %d bytes", m.Src, m.Dst, m.Bytes)
 		}
-		var path []int32
+		var off, n int32
 		if !nw.cfg.PerPacketRouting {
 			var err error
-			path, err = nw.pathOf(m.Src, m.Dst)
+			off, n, err = nw.pathOf(m.Src, m.Dst)
 			if err != nil {
 				return err
 			}
 		}
-		pkts := int((m.Bytes + int64(nw.cfg.MTU) - 1) / int64(nw.cfg.MTU))
-		ms := &message{Message: m, path: path, packets: pkts, host: nw.hosts[m.Src], stage: -1}
-		nw.hosts[m.Src].queue = append(nw.hosts[m.Src].queue, ms)
+		pkts := int32((m.Bytes + int64(nw.cfg.MTU) - 1) / int64(nw.cfg.MTU))
+		id := int32(len(nw.msgs))
+		nw.msgs = append(nw.msgs, message{
+			Message: m, pathOff: off, pathLen: n, packets: pkts, stage: -1,
+		})
+		nw.hosts[m.Src].queue.items = append(nw.hosts[m.Src].queue.items, id)
 		nw.remaining++
 	}
 	return nil
@@ -405,6 +685,9 @@ func (nw *Network) load(msgs []Message) error {
 // the previous one has fully left for the wire (the paper's Section II
 // semantics).
 func (nw *Network) Run(msgs []Message) (Stats, error) {
+	if nw.cfg.shardCount() > 1 {
+		return nw.runShardedAsync(msgs, nil)
+	}
 	nw.reset()
 	if err := nw.load(msgs); err != nil {
 		return Stats{}, err
@@ -430,44 +713,34 @@ func (nw *Network) RunStagesJitter(stages [][]Message, jitter des.Time, seed int
 }
 
 func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (Stats, error) {
+	if nw.cfg.shardCount() > 1 {
+		return nw.runShardedStages(stages, jitter, seed)
+	}
 	nw.reset()
 	rng := rand.New(rand.NewSource(seed))
 	var durs []des.Time
 	var last des.Time
 	for i, st := range stages {
 		if err := nw.load(st); err != nil {
-			return Stats{}, err
+			return Stats{}, nw.flushed(err)
 		}
 		if jitter > 0 {
-			// One skew draw per host per stage, applied to all its
-			// messages of this stage.
-			start := nw.sched.Now()
-			skew := make(map[int]des.Time)
-			for _, m := range st {
-				if _, ok := skew[m.Src]; !ok {
-					skew[m.Src] = des.Time(rng.Int63n(int64(jitter) + 1))
-				}
-			}
-			for src, d := range skew {
-				h := nw.hosts[src]
-				for _, ms := range h.queue[h.nextIn:] {
-					ms.notBefore = start + d
-				}
-			}
+			nw.applyJitter(st, jitter, rng)
 		}
 		for j := range nw.hosts {
-			nw.kickHost(nw.hosts[j])
+			nw.kickHost(&nw.hosts[j])
 		}
 		nw.startProbes()
-		if !nw.sched.Run(nw.cfg.MaxEvents) {
-			return Stats{}, fmt.Errorf("netsim: stage %d exceeded %d events", i, nw.cfg.MaxEvents)
+		if !nw.drain() {
+			return Stats{}, nw.flushed(fmt.Errorf("netsim: stage %d exceeded %d events", i, nw.cfg.MaxEvents))
 		}
 		if nw.err != nil {
-			return Stats{}, nw.err
+			return Stats{}, nw.flushed(nw.err)
 		}
 		if nw.remaining != 0 {
-			return Stats{}, fmt.Errorf("netsim: stage %d deadlocked with %d messages undelivered", i, nw.remaining)
+			return Stats{}, nw.flushed(fmt.Errorf("netsim: stage %d deadlocked with %d messages undelivered", i, nw.remaining))
 		}
+		nw.syncElidedClock()
 		nw.obsFinalSample()
 		durs = append(durs, nw.sched.Now()-last)
 		nw.obsStage(i, len(st), last, nw.sched.Now())
@@ -475,7 +748,25 @@ func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (S
 	}
 	st := nw.collect()
 	st.StageDurations = durs
-	return st, nil
+	return st, nw.flushed(nil)
+}
+
+// applyJitter draws one skew per source host of the stage and delays all
+// of its not-yet-injected messages by it.
+func (nw *Network) applyJitter(st []Message, jitter des.Time, rng *rand.Rand) {
+	start := nw.sched.Now()
+	skew := make(map[int]des.Time)
+	for _, m := range st {
+		if _, ok := skew[m.Src]; !ok {
+			skew[m.Src] = des.Time(rng.Int63n(int64(jitter) + 1))
+		}
+	}
+	for src, d := range skew {
+		h := &nw.hosts[src]
+		for _, id := range h.queue.items[h.nextIn:] {
+			nw.msgs[id].notBefore = start + d
+		}
+	}
 }
 
 // RunDependent simulates true collective dependency semantics: a host
@@ -485,62 +776,111 @@ func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (S
 // recursive-doubling or shift schedule — stricter than async per-host
 // progression, looser than a global barrier.
 func (nw *Network) RunDependent(stages [][]Message) (Stats, error) {
+	if nw.cfg.shardCount() > 1 {
+		return nw.runShardedAsync(nil, stages)
+	}
 	nw.reset()
+	if err := nw.loadDependent(stages); err != nil {
+		return Stats{}, err
+	}
+	return nw.finish()
+}
+
+// loadDependent loads a staged schedule with dependency bookkeeping.
+func (nw *Network) loadDependent(stages [][]Message) error {
+	// Dependency progress is checked at every delivery, so deliveries
+	// must run as real events in timestamp order.
+	nw.eager = false
 	nStages := len(stages)
 	for i := range nw.hosts {
-		h := nw.hosts[i]
+		h := &nw.hosts[i]
 		h.dependent = true
-		h.sendLeft = make([]int, nStages)
-		h.recvLeft = make([]int, nStages)
+		h.sendLeft = resizeInt32(h.sendLeft, nStages)
+		h.recvLeft = resizeInt32(h.recvLeft, nStages)
 	}
 	prevLen := make([]int, len(nw.hosts))
 	for sIdx, st := range stages {
-		for i, h := range nw.hosts {
-			prevLen[i] = len(h.queue)
+		for i := range nw.hosts {
+			prevLen[i] = len(nw.hosts[i].queue.items)
 		}
 		if err := nw.load(st); err != nil {
-			return Stats{}, err
+			return err
 		}
-		for i, h := range nw.hosts {
-			for _, m := range h.queue[prevLen[i]:] {
-				m.stage = sIdx
+		for i := range nw.hosts {
+			h := &nw.hosts[i]
+			for _, id := range h.queue.items[prevLen[i]:] {
+				m := &nw.msgs[id]
+				m.stage = int32(sIdx)
 				h.sendLeft[sIdx]++
 				nw.hosts[m.Dst].recvLeft[sIdx]++
 			}
 		}
 	}
-	return nw.finish()
+	return nil
+}
+
+// resizeInt32 returns a zeroed slice of length n, reusing capacity.
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // finish drives an async run to completion.
 func (nw *Network) finish() (Stats, error) {
 	for j := range nw.hosts {
-		nw.kickHost(nw.hosts[j])
+		nw.kickHost(&nw.hosts[j])
 	}
 	nw.startProbes()
-	if !nw.sched.Run(nw.cfg.MaxEvents) {
-		return Stats{}, fmt.Errorf("netsim: exceeded %d events", nw.cfg.MaxEvents)
+	if !nw.drain() {
+		return Stats{}, nw.flushed(fmt.Errorf("netsim: exceeded %d events", nw.cfg.MaxEvents))
 	}
 	if nw.err != nil {
-		return Stats{}, nw.err
+		return Stats{}, nw.flushed(nw.err)
 	}
 	if nw.remaining != 0 {
-		return Stats{}, fmt.Errorf("netsim: deadlock with %d messages undelivered", nw.remaining)
+		return Stats{}, nw.flushed(fmt.Errorf("netsim: deadlock with %d messages undelivered", nw.remaining))
 	}
+	nw.syncElidedClock()
 	nw.obsFinalSample()
-	return nw.collect(), nil
+	return nw.collect(), nw.flushed(nil)
+}
+
+// flushed flushes the buffered flow log and folds a flush failure into
+// the run's error. Every public run entry point returns through it.
+func (nw *Network) flushed(err error) error {
+	if nw.flow != nil {
+		if ferr := nw.flow.Flush(); err == nil && ferr != nil {
+			err = fmt.Errorf("netsim: flushing flow log: %w", ferr)
+		}
+	}
+	return err
+}
+
+// syncElidedClock advances the clock to the last eager delivery, the
+// instant the drained queue's final event would have carried without
+// elision.
+func (nw *Network) syncElidedClock() {
+	if nw.endAt > nw.sched.Now() {
+		nw.sched.AdvanceTo(nw.endAt)
+	}
 }
 
 func (nw *Network) collect() Stats {
 	s := nw.stats
 	s.Duration = nw.sched.Now()
-	s.Events = nw.sched.Executed()
+	s.Events = nw.sched.Executed() + nw.elided
 	if s.MessagesDelivered == 0 {
 		s.LatencyMin = 0
 	}
 	s.LinkBusy = make([]des.Time, len(nw.channels))
-	for i, ch := range nw.channels {
-		s.LinkBusy[i] = ch.busy
+	for i := range nw.channels {
+		s.LinkBusy[i] = nw.channels[i].busy
 	}
 	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
 	s.KeptLatencies = nw.cfg.KeepLatencies
@@ -555,25 +895,25 @@ func serTime(size int64, rate float64) des.Time {
 
 // kickHost tries to inject the source host's next packet.
 func (nw *Network) kickHost(h *hostState) {
-	ch := h.up
+	ch := &nw.channels[h.up]
 	now := nw.sched.Now()
 	if ch.lastBit > now || ch.credits <= 0 {
-		if nw.ob != nil && ch.credits <= 0 && h.nextIn < len(h.queue) {
+		if nw.ob != nil && ch.credits <= 0 && h.nextIn < len(h.queue.items) {
 			nw.obsHostStall(h, now)
 		}
 		return // retried on channel-free / credit-return events
 	}
-	if h.nextIn >= len(h.queue) {
+	if h.nextIn >= len(h.queue.items) {
 		return
 	}
-	m := h.queue[h.nextIn]
+	m := &nw.msgs[h.queue.items[h.nextIn]]
 	if h.dependent && m.stage > h.readyStage {
 		return // unblocked by advanceReady when dependencies land
 	}
 	if m.notBefore > now {
 		if !m.timerSet {
 			m.timerSet = true
-			nw.sched.At(m.notBefore, func() { nw.kickHost(h) })
+			nw.sched.AtEvent(m.notBefore, evKick, h.id, 0, 0)
 		}
 		return
 	}
@@ -585,18 +925,28 @@ func (nw *Network) kickHost(h *hostState) {
 	if rem := m.Bytes - int64(m.sentPkts)*int64(nw.cfg.MTU); rem < size {
 		size = rem
 	}
-	path := m.path
-	if nw.cfg.PerPacketRouting {
-		var err error
-		path, err = nw.pathOf(m.Src, m.Dst)
+	pid := nw.allocPkt()
+	p := &nw.pkts[pid]
+	p.msg = int32(h.queue.items[h.nextIn])
+	p.size = int32(size)
+	p.seq = m.sentPkts
+	p.hop = 0
+	p.tailArrive = now
+	p.pathOff, p.pathLen = m.pathOff, m.pathLen
+	p.perPkt = nw.cfg.PerPacketRouting
+	if p.perPkt {
+		nw.walkBuf = nw.walkBuf[:0]
+		err := nw.rt.Walk(m.Src, m.Dst, func(l topo.LinkID, up bool) {
+			nw.walkBuf = append(nw.walkBuf, chanID(l, up))
+		})
 		if err != nil {
 			nw.err = err
 			return
 		}
+		p.ownPath = append(p.ownPath[:0], nw.walkBuf...)
 	}
-	p := &packet{msg: m, size: size, seq: m.sentPkts, path: path, tailArrive: now}
 	if nw.ob != nil {
-		nw.obsInject(h, p, now)
+		nw.obsInject(h, p, m, now)
 	}
 	m.sentPkts++
 	if m.sentPkts == m.packets {
@@ -605,19 +955,23 @@ func (nw *Network) kickHost(h *hostState) {
 		// in the tail-departure event below.
 		h.nextIn++
 	}
-	nw.transmit(p, ch, nil)
+	nw.transmit(pid, ch, -1)
 }
 
-// transmit sends packet p over channel ch. fromBuf is the input channel
-// whose buffer currently holds p (nil when injecting from a host).
-// The caller guarantees ch is free and has a credit.
-func (nw *Network) transmit(p *packet, ch *channel, fromBuf *channel) {
+// transmit sends packet pid over channel ch. fromBuf is the input
+// channel id whose buffer currently holds the packet (-1 when injecting
+// from a host). The caller guarantees ch is free and has a credit.
+func (nw *Network) transmit(pid int32, ch *channel, fromBuf int32) {
+	p := &nw.pkts[pid]
 	now := nw.sched.Now()
 	start := now
 	if ch.lastBit > start {
 		panic("netsim: transmit on busy channel")
 	}
-	ser := serTime(p.size, ch.rate)
+	ser := ch.serMTU
+	if int(p.size) != nw.cfg.MTU {
+		ser = serTime(int64(p.size), ch.rate)
+	}
 	tail := start + ser
 	// Cut-through cannot finish before the packet's bits arrived here.
 	if p.tailArrive > tail {
@@ -631,28 +985,66 @@ func (nw *Network) transmit(p *packet, ch *channel, fromBuf *channel) {
 	}
 	p.hop++
 	headerAt := start + nw.cfg.LinkLatency
-	if nw.t.Node(ch.to).Kind == topo.Switch {
+	if ch.toHost < 0 {
 		headerAt += nw.cfg.SwitchLatency
+		// Resolve the next hop once here so arbitration never walks the
+		// message path again for this buffered packet.
+		path := nw.pktPath(p)
+		if int(p.hop) < len(path) {
+			p.next = path[p.hop]
+		} else {
+			p.next = -1
+		}
+	} else {
+		p.next = -1
 	}
 	tailArrive := tail + nw.cfg.LinkLatency
-	nw.sched.At(headerAt, func() { nw.arriveHeader(p, ch, tailArrive) })
-	nw.sched.At(tail, func() { nw.departTail(p, ch, fromBuf) })
+	if ch.toHost >= 0 && nw.eager {
+		// Last hop with nobody watching: deliver inline at the arrival
+		// timestamp and account for the two skipped events. Sub-tree
+		// sharding keeps a host on its leaf's shard, so this touches
+		// only shard-local state.
+		nw.elided += 2
+		nw.deliverAt(pid, tailArrive)
+	} else {
+		nw.schedule(ch.shardTo(nw), headerAt, evArrive, pid, ch.id, int64(tailArrive))
+	}
+	nw.schedule(ch.shard, tail, evDepart, pid, ch.id, int64(fromBuf))
+}
+
+// shardTo returns the shard owning the channel's receiver side.
+func (ch *channel) shardTo(nw *Network) int32 {
+	if nw.sh == nil {
+		return 0
+	}
+	return nw.sh.nodeShard[ch.to]
+}
+
+// schedule routes an event to the owning shard's scheduler. In the
+// sequential loop every event is local.
+func (nw *Network) schedule(shard int32, at des.Time, kind uint16, a, b int32, c int64) {
+	if nw.sh == nil {
+		nw.sched.AtEvent(at, kind, a, b, c)
+		return
+	}
+	nw.sh.scheduleFrom(nw, shard, at, kind, a, b, c)
 }
 
 // arriveHeader lands the packet's header at ch's receiver.
-func (nw *Network) arriveHeader(p *packet, ch *channel, tailArrive des.Time) {
+func (nw *Network) arriveHeader(pid, chID int32, tailArrive des.Time) {
+	p := &nw.pkts[pid]
+	ch := &nw.channels[chID]
 	p.tailArrive = tailArrive
 	if nw.ob != nil {
 		nw.obsHeadArrives(ch, nw.sched.Now())
 	}
-	to := nw.t.Node(ch.to)
-	if to.Kind == topo.Host {
+	if ch.toHost >= 0 {
 		// Delivery completes when the tail arrives.
-		nw.sched.At(tailArrive, func() { nw.deliver(p, ch) })
+		nw.schedule(ch.shardTo(nw), tailArrive, evDeliver, pid, chID, 0)
 		return
 	}
-	ch.buf = append(ch.buf, p)
-	if len(ch.buf) == 1 {
+	ch.buf.push(pid)
+	if ch.buf.len() == 1 {
 		nw.requestForward(ch)
 	}
 }
@@ -660,79 +1052,112 @@ func (nw *Network) arriveHeader(p *packet, ch *channel, tailArrive des.Time) {
 // requestForward queues ch's buffer head at its output channel and tries
 // to arbitrate.
 func (nw *Network) requestForward(in *channel) {
-	if len(in.buf) == 0 || in.requested {
+	if in.buf.len() == 0 || in.requested {
 		return
 	}
-	p := in.buf[0]
-	if p.hop >= len(p.path) {
+	p := &nw.pkts[in.buf.front()]
+	if p.next < 0 {
 		nw.err = fmt.Errorf("netsim: packet overran its path at node %d", in.to)
 		return
 	}
-	out := nw.channels[p.path[p.hop]]
+	out := &nw.channels[p.next]
 	in.requested = true
-	out.reqs = append(out.reqs, in)
+	out.reqs.push(in.id)
 	nw.tryForward(out)
 }
 
 // tryForward arbitrates the output channel: FIFO over requesting inputs.
 func (nw *Network) tryForward(out *channel) {
 	now := nw.sched.Now()
-	for out.lastBit <= now && out.credits > 0 && len(out.reqs) > 0 {
-		in := out.reqs[0]
-		out.reqs = out.reqs[1:]
+	for out.lastBit <= now && out.credits > 0 && out.reqs.len() > 0 {
+		in := &nw.channels[out.reqs.pop()]
 		in.requested = false
-		if len(in.buf) == 0 {
+		if in.buf.len() == 0 {
 			continue // stale
 		}
-		p := in.buf[0]
-		if p.hop >= len(p.path) || nw.channels[p.path[p.hop]] != out {
+		pid := in.buf.front()
+		p := &nw.pkts[pid]
+		if p.next != out.id {
 			// Stale request (head changed); requeue the real target.
 			nw.requestForward(in)
 			continue
 		}
-		nw.transmit(p, out, in)
+		nw.transmit(pid, out, in.id)
 	}
-	if nw.ob != nil && len(out.reqs) > 0 && out.credits <= 0 && out.lastBit <= now {
+	if nw.ob != nil && out.reqs.len() > 0 && out.credits <= 0 && out.lastBit <= now {
 		nw.obsSwitchStall(out, now)
 	}
 }
 
-// departTail runs when p's last bit leaves channel ch's transmitter.
-func (nw *Network) departTail(p *packet, ch *channel, fromBuf *channel) {
-	if fromBuf == nil {
+// departTail runs when the packet's last bit leaves channel ch's
+// transmitter.
+func (nw *Network) departTail(pid, chID int32, fromBuf int32) {
+	p := &nw.pkts[pid]
+	ch := &nw.channels[chID]
+	if fromBuf < 0 {
 		// Left a host NIC: sender may proceed with its next message
-		// ("sent to the wire").
-		m := p.msg
-		if m.host.dependent && p.seq == m.packets-1 {
-			m.host.sendLeft[m.stage]--
-			nw.advanceReady(m.host)
+		// ("sent to the wire"). The host comes from the channel, not
+		// the packet: an eager final-hop delivery downstream may have
+		// recycled this packet id for a different flow — possibly one
+		// whose source lives on another shard — by the time the tail
+		// departs, so p is only trustworthy in dependent mode, which
+		// disables eager delivery and never recycles in-flight ids.
+		h := &nw.hosts[ch.fromHost]
+		if h.dependent {
+			m := &nw.msgs[p.msg]
+			if p.seq == m.packets-1 {
+				h.sendLeft[m.stage]--
+				nw.advanceReady(h)
+			}
 		}
-		nw.kickHost(m.host)
-	} else {
-		// Free the input-buffer slot, return the credit upstream and
-		// let the new head arbitrate.
-		if len(fromBuf.buf) == 0 || fromBuf.buf[0] != p {
-			nw.err = fmt.Errorf("netsim: buffer head mismatch on channel %d", fromBuf.id)
-			return
-		}
-		fromBuf.buf = fromBuf.buf[1:]
-		fromBuf.credits++
-		nw.creditReturn(fromBuf)
-		nw.requestForward(fromBuf)
+		nw.kickHost(h)
+		return
 	}
+	// Free the input-buffer slot, return the credit upstream and let the
+	// new head arbitrate.
+	fb := &nw.channels[fromBuf]
+	if fb.buf.len() == 0 || fb.buf.front() != pid {
+		nw.err = fmt.Errorf("netsim: buffer head mismatch on channel %d", fb.id)
+		return
+	}
+	fb.buf.pop()
+	if nw.sh != nil && nw.sh.nodeShard[ch.to] != nw.shardID {
+		// The arrival was handed to another shard as a copy
+		// (shard.go); the local packet is done.
+		nw.freePkts = append(nw.freePkts, pid)
+	}
+	nw.creditReturn(fb)
+	nw.requestForward(fb)
 	// The channel is free at this instant: re-arbitrate.
-	if nw.t.Node(ch.from).Kind == topo.Host {
-		nw.kickHost(nw.hosts[nw.t.Node(ch.from).Index])
+	if ch.fromHost >= 0 {
+		nw.kickHost(&nw.hosts[ch.fromHost])
 	} else {
 		nw.tryForward(ch)
 	}
 }
 
-// creditReturn wakes the transmitter feeding channel ch.
+// creditReturn hands a freed buffer slot back to channel ch's
+// transmitter and wakes it. When the transmitter belongs to another
+// shard, the credit travels on the reverse wire: it is delivered
+// LinkLatency later as an evCreditX event — the conservative lookahead
+// that makes sub-tree partitions independent within a window. On
+// contention-free traffic the transmitter never exhausts its credit
+// budget, so the extra latency is unobservable and sharded results stay
+// bit-exact (docs/SIMULATOR.md).
 func (nw *Network) creditReturn(ch *channel) {
-	from := nw.t.Node(ch.from)
-	if from.Kind == topo.Host {
-		nw.kickHost(nw.hosts[from.Index])
+	if nw.sh != nil && ch.shard != nw.shardID {
+		nw.sh.scheduleFrom(nw, ch.shard, nw.sched.Now()+nw.cfg.LinkLatency, evCreditX, ch.id, 0, 0)
+		return
+	}
+	ch.credits++
+	nw.wakeTransmitter(ch)
+}
+
+// wakeTransmitter re-arbitrates the sender feeding channel ch after a
+// credit became available.
+func (nw *Network) wakeTransmitter(ch *channel) {
+	if ch.fromHost >= 0 {
+		nw.kickHost(&nw.hosts[ch.fromHost])
 	} else {
 		nw.tryForward(ch)
 	}
@@ -742,7 +1167,7 @@ func (nw *Network) creditReturn(ch *channel) {
 // and re-kicks its injection queue.
 func (nw *Network) advanceReady(h *hostState) {
 	moved := false
-	for h.readyStage < len(h.sendLeft) && h.stageComplete(h.readyStage) {
+	for int(h.readyStage) < len(h.sendLeft) && h.stageComplete(h.readyStage) {
 		h.readyStage++
 		moved = true
 	}
@@ -751,9 +1176,15 @@ func (nw *Network) advanceReady(h *hostState) {
 	}
 }
 
-// deliver completes a packet at its destination host.
-func (nw *Network) deliver(p *packet, ch *channel) {
-	m := p.msg
+// deliverAt completes a packet at its destination host. at is the
+// packet's tail-arrival instant: the current time in the event path,
+// a (deterministic) future instant on the eager path.
+func (nw *Network) deliverAt(pid int32, at des.Time) {
+	if at > nw.endAt {
+		nw.endAt = at
+	}
+	p := &nw.pkts[pid]
+	m := &nw.msgs[p.msg]
 	if p.seq != m.recvPkts {
 		nw.stats.OutOfOrderPackets++
 		if nw.ob != nil {
@@ -761,25 +1192,29 @@ func (nw *Network) deliver(p *packet, ch *channel) {
 		}
 	}
 	m.recvPkts++
-	nw.stats.BytesDelivered += p.size
+	nw.stats.BytesDelivered += int64(p.size)
 	if nw.ob != nil {
 		nw.obsDeliverPacket(p)
 	}
 	if m.recvPkts == m.packets {
 		nw.stats.MessagesDelivered++
 		nw.remaining--
-		if nw.hosts[m.Dst].dependent {
-			dh := nw.hosts[m.Dst]
+		dh := &nw.hosts[m.Dst]
+		if dh.dependent {
 			dh.recvLeft[m.stage]--
 			nw.advanceReady(dh)
 		}
-		lat := nw.sched.Now() - m.startedAt
+		lat := at - m.startedAt
 		if nw.ob != nil {
-			nw.obsDeliverMessage(m, lat, nw.sched.Now())
+			nw.obsDeliverMessage(m, lat, at)
 		}
-		if nw.cfg.FlowLog != nil {
-			fmt.Fprintf(nw.cfg.FlowLog, "%d,%d,%d,%d,%d,%d\n",
-				m.Src, m.Dst, m.Bytes, m.startedAt, nw.sched.Now(), lat)
+		if nw.flow != nil {
+			nw.writeFlowRecord(m, at, lat)
+		} else if nw.flowSink {
+			nw.flowRecs = append(nw.flowRecs, flowRec{
+				src: m.Src, dst: m.Dst, bytes: m.Bytes,
+				start: m.startedAt, end: at, lat: lat,
+			})
 		}
 		if nw.cfg.KeepLatencies {
 			nw.stats.Latencies = append(nw.stats.Latencies, lat)
@@ -792,5 +1227,25 @@ func (nw *Network) deliver(p *packet, ch *channel) {
 			nw.stats.LatencyMax = lat
 		}
 	}
-	_ = ch
+	nw.freePkts = append(nw.freePkts, pid)
+}
+
+// writeFlowRecord appends one CSV record to the buffered flow log
+// without allocating.
+func (nw *Network) writeFlowRecord(m *message, end, lat des.Time) {
+	b := nw.flowScratch[:0]
+	b = strconv.AppendInt(b, int64(m.Src), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(m.Dst), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, m.Bytes, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(m.startedAt), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(end), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(lat), 10)
+	b = append(b, '\n')
+	nw.flowScratch = b
+	nw.flow.Write(b)
 }

@@ -7,6 +7,10 @@ package netsim
 // trace-event tracer. With all three nil, nw.ob stays nil and the hot
 // path pays a single pointer check per instrumentation site.
 //
+// Registry metrics are atomic, so sharded runs share one simObs across
+// shard goroutines; the mutex-protected tracer and sampler are driven
+// only from the coordinator or with sharding disabled.
+//
 // docs/OBSERVABILITY.md documents every metric name, probe series and
 // trace lane emitted here.
 
@@ -92,12 +96,13 @@ func (nw *Network) emitTraceMeta(ob *simObs) {
 		label = "collective"
 	}
 	tr.ProcessName(tracePidStages, label)
-	for _, ch := range nw.channels {
+	for i := range nw.channels {
+		ch := &nw.channels[i]
 		dir := "up"
 		if ch.id%2 == 1 {
 			dir = "down"
 		}
-		tr.ThreadName(tracePidLinks, ch.id,
+		tr.ThreadName(tracePidLinks, int(ch.id),
 			fmt.Sprintf("ch%d %s n%d>n%d", ch.id, dir, ch.from, ch.to))
 	}
 }
@@ -116,19 +121,20 @@ func (nw *Network) startProbes() {
 	// mid-run (re)start — a new barrier stage — doesn't attribute all
 	// historical busy time to its first sample.
 	prevBusy := make([]des.Time, len(nw.channels))
-	for i, ch := range nw.channels {
-		prevBusy[i] = ch.busy
+	for i := range nw.channels {
+		prevBusy[i] = nw.channels[i].busy
 	}
 	prevT := nw.sched.Now()
 	s.Series("link_util", func(now des.Time, buf []float64) []float64 {
 		dt := now - prevT
 		maxU := 0.0
-		for i, ch := range nw.channels {
+		for i := range nw.channels {
+			busy := nw.channels[i].busy
 			u := 0.0
 			if dt > 0 {
-				u = float64(ch.busy-prevBusy[i]) / float64(dt)
+				u = float64(busy-prevBusy[i]) / float64(dt)
 			}
-			prevBusy[i] = ch.busy
+			prevBusy[i] = busy
 			if u > maxU {
 				maxU = u
 			}
@@ -143,8 +149,8 @@ func (nw *Network) startProbes() {
 	})
 	s.Series("buffer_pkts", func(now des.Time, buf []float64) []float64 {
 		total := 0
-		for _, ch := range nw.channels {
-			n := len(ch.buf)
+		for i := range nw.channels {
+			n := nw.channels[i].buf.len()
 			total += n
 			buf = append(buf, float64(n))
 		}
@@ -160,7 +166,7 @@ func (nw *Network) startProbes() {
 			float64(ob.switchStalls.Value()))
 	})
 	s.Series("event_queue", func(now des.Time, buf []float64) []float64 {
-		pend := nw.sched.Pending()
+		pend := nw.schedPending()
 		if ob.trace != nil {
 			ob.trace.Counter(tracePidMetrics, now, "event_queue",
 				obs.Num("pending", float64(pend)))
@@ -168,6 +174,15 @@ func (nw *Network) startProbes() {
 		return append(buf, float64(pend))
 	})
 	s.Start(nw.sched)
+}
+
+// schedPending returns the regular-event queue depth — summed across
+// shards in a sharded run.
+func (nw *Network) schedPending() int {
+	if nw.sh != nil {
+		return nw.sh.pending()
+	}
+	return nw.sched.Pending()
 }
 
 // obsFinalSample captures one last probe sample at the end of a run or
@@ -180,12 +195,12 @@ func (nw *Network) obsFinalSample() {
 }
 
 // obsInject records a packet entering the fabric at its source host.
-func (nw *Network) obsInject(h *hostState, p *packet, now des.Time) {
+func (nw *Network) obsInject(h *hostState, p *packet, m *message, now des.Time) {
 	ob := nw.ob
 	ob.pktInjected.Inc()
 	if ob.trace != nil {
-		ob.trace.Instant(tracePidHosts, h.id, now, "inject",
-			obs.Str("msg", fmt.Sprintf("%d>%d", p.msg.Src, p.msg.Dst)),
+		ob.trace.Instant(tracePidHosts, int(h.id), now, "inject",
+			obs.Str("msg", fmt.Sprintf("%d>%d", m.Src, m.Dst)),
 			obs.Num("seq", float64(p.seq)))
 	}
 }
@@ -196,8 +211,9 @@ func (nw *Network) obsTransmit(p *packet, ch *channel, start, dur des.Time) {
 	ob := nw.ob
 	ob.pktTx.Inc()
 	if ob.trace != nil {
-		ob.trace.Complete(tracePidLinks, ch.id, start, dur,
-			fmt.Sprintf("pkt %d>%d #%d", p.msg.Src, p.msg.Dst, p.seq),
+		m := &nw.msgs[p.msg]
+		ob.trace.Complete(tracePidLinks, int(ch.id), start, dur,
+			fmt.Sprintf("pkt %d>%d #%d", m.Src, m.Dst, p.seq),
 			obs.Num("bytes", float64(p.size)),
 			obs.Num("hop", float64(p.hop)))
 	}
@@ -206,7 +222,7 @@ func (nw *Network) obsTransmit(p *packet, ch *channel, start, dur des.Time) {
 // obsHeadArrives records a packet header landing at a receiver.
 func (nw *Network) obsHeadArrives(ch *channel, now des.Time) {
 	if tr := nw.ob.trace; tr != nil {
-		tr.Instant(tracePidLinks, ch.id, now, "head-arrives")
+		tr.Instant(tracePidLinks, int(ch.id), now, "head-arrives")
 	}
 }
 
@@ -215,7 +231,7 @@ func (nw *Network) obsHostStall(h *hostState, now des.Time) {
 	ob := nw.ob
 	ob.hostStalls.Inc()
 	if ob.trace != nil {
-		ob.trace.Instant(tracePidHosts, h.id, now, "blocked-on-credit")
+		ob.trace.Instant(tracePidHosts, int(h.id), now, "blocked-on-credit")
 	}
 }
 
@@ -225,13 +241,13 @@ func (nw *Network) obsSwitchStall(out *channel, now des.Time) {
 	ob := nw.ob
 	ob.switchStalls.Inc()
 	if ob.trace != nil {
-		ob.trace.Instant(tracePidLinks, out.id, now, "blocked-on-credit")
+		ob.trace.Instant(tracePidLinks, int(out.id), now, "blocked-on-credit")
 	}
 }
 
 // obsDeliverPacket records payload arrival at the destination host.
 func (nw *Network) obsDeliverPacket(p *packet) {
-	nw.ob.bytesDelivered.Add(p.size)
+	nw.ob.bytesDelivered.Add(int64(p.size))
 }
 
 // obsDeliverMessage records a completed message: latency histogram plus
@@ -265,7 +281,16 @@ func (nw *Network) obsCollect(s *Stats) {
 	if ob == nil {
 		return
 	}
-	ob.reg.Gauge("netsim_event_queue_high_water").Max(int64(nw.sched.MaxPending()))
+	ob.reg.Gauge("netsim_event_queue_high_water").Max(int64(nw.schedMaxPending()))
 	ob.reg.Gauge("netsim_events_executed").Set(int64(s.Events))
 	ob.reg.Gauge("netsim_duration_ps").Set(int64(s.Duration))
+}
+
+// schedMaxPending returns the queue-depth high-water mark — the max
+// across shards in a sharded run.
+func (nw *Network) schedMaxPending() int {
+	if nw.sh != nil {
+		return nw.sh.maxPending()
+	}
+	return nw.sched.MaxPending()
 }

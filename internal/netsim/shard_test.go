@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+// Sharded equivalence: the conservative parallel loop must reproduce
+// the sequential simulation exactly — same Stats, same flow log — for
+// workloads whose transmitters never exhaust their credit budget (the
+// bit-exactness precondition documented in shard.go). The matrix
+// crosses topologies (paper cluster, k-ary-n-tree, seeded random
+// routing) with progression semantics (async, barrier, dependent).
+
+// flowCanon canonicalizes a flow log for comparison: the header stays
+// in place, data rows are sorted. A sequential run writes records in
+// delivery-event order while a sharded run merges per-shard buffers in
+// (end, start, src, dst) order, so rows completing at the same instant
+// may legally swap; the records themselves must match exactly.
+func flowCanon(log string) string {
+	lines := strings.Split(strings.TrimRight(log, "\n"), "\n")
+	if len(lines) <= 2 {
+		return log
+	}
+	sort.Strings(lines[2:])
+	return strings.Join(lines, "\n")
+}
+
+// shiftMsgs builds the s-shift permutation over n hosts.
+func shiftMsgs(n int, s int, bytes int64) []Message {
+	msgs := make([]Message, 0, n)
+	for src := 0; src < n; src++ {
+		msgs = append(msgs, Message{Src: src, Dst: (src + s) % n, Bytes: bytes})
+	}
+	return msgs
+}
+
+// equivRun executes one workload on a fresh Network and returns its
+// stats and flow log.
+func equivRun(t *testing.T, rt route.Router, cfg Config, mode string, stages [][]Message) (Stats, string) {
+	t.Helper()
+	var flow bytes.Buffer
+	cfg.FlowLog = &flow
+	cfg.KeepLatencies = true
+	nw, err := New(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	switch mode {
+	case "async":
+		var flat []Message
+		for _, s := range stages {
+			flat = append(flat, s...)
+		}
+		st, err = nw.Run(flat)
+	case "barrier":
+		st, err = nw.RunStages(stages)
+	case "dependent":
+		st, err = nw.RunDependent(stages)
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", mode, cfg.Shards, err)
+	}
+	return st, flow.String()
+}
+
+func TestShardEquivalenceMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		rt   func() route.Router
+	}{
+		{"paper-cluster324", func() route.Router {
+			return route.DModK(topo.MustBuild(topo.Cluster324))
+		}},
+		{"4-ary-2-tree", func() route.Router {
+			return route.DModK(topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 4}, []int{1, 1})))
+		}},
+		{"rand-rlft-seed7", func() route.Router {
+			tp := topo.MustBuild(topo.MustPGFT(2, []int{4, 4}, []int{1, 2}, []int{1, 2}))
+			return route.MinHopRandom(tp, 7)
+		}},
+	}
+	modes := []string{"async", "barrier", "dependent"}
+	for _, tc := range cases {
+		rt := tc.rt()
+		n := rt.Topology().NumHosts()
+		stages := [][]Message{
+			shiftMsgs(n, 1, 3*2048),
+			shiftMsgs(n, n/2, 2*2048+512),
+		}
+		cfg := DefaultConfig()
+		cfg.Shards = 1
+		var want = map[string]Stats{}
+		var wantFlow = map[string]string{}
+		for _, mode := range modes {
+			want[mode], wantFlow[mode] = equivRun(t, rt, cfg, mode, stages)
+		}
+		for _, shards := range []int{2, 4} {
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", tc.name, mode, shards), func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Shards = shards
+					got, gotFlow := equivRun(t, rt, cfg, mode, stages)
+					if !reflect.DeepEqual(got, want[mode]) {
+						t.Errorf("stats diverge from sequential:\n got: %+v\nwant: %+v", got, want[mode])
+					}
+					if flowCanon(gotFlow) != flowCanon(wantFlow[mode]) {
+						t.Errorf("flow log diverges from sequential:\n got:\n%s\nwant:\n%s", gotFlow, wantFlow[mode])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardSequentialMatchesUnsharded pins Shards=1 to the Shards=0
+// default path: both must take the plain sequential loop.
+func TestShardSequentialMatchesUnsharded(t *testing.T) {
+	rt := fig1LFT()
+	n := rt.Topology().NumHosts()
+	stages := [][]Message{shiftMsgs(n, 3, 4096)}
+	cfg0 := DefaultConfig()
+	st0, flow0 := equivRun(t, rt, cfg0, "async", stages)
+	cfg1 := DefaultConfig()
+	cfg1.Shards = 1
+	st1, flow1 := equivRun(t, rt, cfg1, "async", stages)
+	if !reflect.DeepEqual(st0, st1) || flow0 != flow1 {
+		t.Errorf("Shards=1 diverges from Shards=0:\n got: %+v\nwant: %+v", st1, st0)
+	}
+}
+
+// TestShardPartition checks the structural invariants of the node
+// partition: every node owned, hosts colocated with their leaf, shard
+// ids in range.
+func TestShardPartition(t *testing.T) {
+	tp := topo.MustBuild(topo.Cluster324)
+	for _, shards := range []int{2, 3, 6} {
+		ns := partitionNodes(tp, shards)
+		if len(ns) != len(tp.Nodes) {
+			t.Fatalf("shards=%d: partition covers %d nodes, want %d", shards, len(ns), len(tp.Nodes))
+		}
+		for id, s := range ns {
+			if s < 0 || int(s) >= shards {
+				t.Fatalf("shards=%d: node %d assigned to shard %d", shards, id, s)
+			}
+		}
+		for j := 0; j < tp.NumHosts(); j++ {
+			h := tp.Host(j)
+			up := tp.Ports[h.Up[0]]
+			leaf := tp.Ports[tp.Links[up.Link].Upper].Node
+			if ns[h.ID] != ns[leaf] {
+				t.Fatalf("shards=%d: host %d on shard %d, its leaf %d on shard %d",
+					shards, h.ID, ns[h.ID], leaf, ns[leaf])
+			}
+		}
+		used := map[int32]bool{}
+		for _, s := range ns {
+			used[s] = true
+		}
+		if len(used) != shards {
+			t.Errorf("shards=%d: only %d shards used", shards, len(used))
+		}
+	}
+}
+
+// TestShardContendedConserves exercises the regime outside the
+// bit-exactness precondition: incast traffic exhausts credits, so
+// cross-shard credit returns (delayed by one lookahead) shape timing.
+// The run must still complete, conserve bytes, and stay deterministic
+// for a fixed shard count.
+func TestShardContendedConserves(t *testing.T) {
+	rt := fig1LFT()
+	n := rt.Topology().NumHosts()
+	var msgs []Message
+	for src := 1; src < n; src++ {
+		msgs = append(msgs, Message{Src: src, Dst: 0, Bytes: 8 * 2048})
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	nw, err := New(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := nw.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n-1) * 8 * 2048; first.BytesDelivered != want {
+		t.Errorf("delivered %d bytes, want %d", first.BytesDelivered, want)
+	}
+	second, err := nw.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("contended sharded rerun diverges:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestShardNetworkReuse runs the same sharded workload twice on one
+// Network: arenas and the shard runtime must reset cleanly between
+// runs.
+func TestShardNetworkReuse(t *testing.T) {
+	rt := fig1LFT()
+	n := rt.Topology().NumHosts()
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	nw, err := New(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := shiftMsgs(n, 5, 6144)
+	first, err := nw.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := nw.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("sharded rerun diverges:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -176,30 +176,44 @@ func LoadHistory(dir string) ([]*BenchRun, error) {
 }
 
 // Delta is one benchmark's baseline-vs-current comparison. Ratio is
-// current/baseline ns/op: 1.10 means 10% slower.
+// current/baseline ns/op: 1.10 means 10% slower. AllocRatio is the
+// same quotient for allocs/op (0 when either side lacks -benchmem
+// data); allocation counts are deterministic, so any growth beyond
+// tolerance is a real regression, not noise.
 type Delta struct {
-	Name       string  `json:"name"`
-	BaseNsOp   float64 `json:"base_ns_op"`
-	CurNsOp    float64 `json:"cur_ns_op"`
-	Ratio      float64 `json:"ratio"`
-	Regression bool    `json:"regression"`
+	Name            string  `json:"name"`
+	BaseNsOp        float64 `json:"base_ns_op"`
+	CurNsOp         float64 `json:"cur_ns_op"`
+	Ratio           float64 `json:"ratio"`
+	Regression      bool    `json:"regression"`
+	BaseAllocs      float64 `json:"base_allocs_op,omitempty"`
+	CurAllocs       float64 `json:"cur_allocs_op,omitempty"`
+	AllocRatio      float64 `json:"alloc_ratio,omitempty"`
+	AllocRegression bool    `json:"alloc_regression,omitempty"`
 }
 
 // Comparison is the outcome of judging a run against a baseline with a
 // tolerance: Regressions counts benchmarks slower than
-// baseline*(1+tolerance); Only* list benchmarks present on one side.
+// baseline*(1+tolerance), AllocRegressions those allocating more than
+// that; Only* list benchmarks present on one side.
 type Comparison struct {
-	BaseDate    string   `json:"base_date"`
-	CurDate     string   `json:"cur_date"`
-	Tolerance   float64  `json:"tolerance"`
-	Deltas      []Delta  `json:"deltas"`
-	Regressions int      `json:"regressions"`
-	OnlyBase    []string `json:"only_base,omitempty"`
-	OnlyCurrent []string `json:"only_current,omitempty"`
+	BaseDate         string   `json:"base_date"`
+	CurDate          string   `json:"cur_date"`
+	Tolerance        float64  `json:"tolerance"`
+	Deltas           []Delta  `json:"deltas"`
+	Regressions      int      `json:"regressions"`
+	AllocRegressions int      `json:"alloc_regressions"`
+	OnlyBase         []string `json:"only_base,omitempty"`
+	OnlyCurrent      []string `json:"only_current,omitempty"`
 }
 
-// Compare judges cur against base: any shared benchmark whose ns/op
-// grew by more than tolerance (a fraction; 0.15 = 15%) is flagged.
+// Bad reports whether the comparison found any regression, in time or
+// in allocations; the -gate flag keys off this.
+func (c *Comparison) Bad() bool { return c.Regressions+c.AllocRegressions > 0 }
+
+// Compare judges cur against base: any shared benchmark whose ns/op or
+// allocs/op grew by more than tolerance (a fraction; 0.15 = 15%) is
+// flagged. Allocations are only judged when both runs recorded them.
 func Compare(base, cur *BenchRun, tolerance float64) *Comparison {
 	c := &Comparison{BaseDate: base.Date, CurDate: cur.Date, Tolerance: tolerance}
 	seen := map[string]bool{}
@@ -210,13 +224,24 @@ func Compare(base, cur *BenchRun, tolerance float64) *Comparison {
 			c.OnlyBase = append(c.OnlyBase, b.Name)
 			continue
 		}
-		d := Delta{Name: b.Name, BaseNsOp: b.NsPerOp, CurNsOp: r.NsPerOp}
+		d := Delta{
+			Name:     b.Name,
+			BaseNsOp: b.NsPerOp, CurNsOp: r.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CurAllocs: r.AllocsPerOp,
+		}
 		if b.NsPerOp > 0 {
 			d.Ratio = r.NsPerOp / b.NsPerOp
 		}
 		d.Regression = d.Ratio > 1+tolerance
 		if d.Regression {
 			c.Regressions++
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = r.AllocsPerOp / b.AllocsPerOp
+			d.AllocRegression = d.AllocRatio > 1+tolerance
+			if d.AllocRegression {
+				c.AllocRegressions++
+			}
 		}
 		c.Deltas = append(c.Deltas, d)
 	}
@@ -243,8 +268,17 @@ func (c *Comparison) WriteTable(w io.Writer) error {
 		if d.Regression {
 			flag = "!!"
 		}
-		fmt.Fprintf(w, "  %s %-50s %12.0f -> %10.0f ns/op  %+6.1f%%\n",
+		fmt.Fprintf(w, "  %s %-50s %12.0f -> %10.0f ns/op  %+6.1f%%",
 			flag, d.Name, d.BaseNsOp, d.CurNsOp, (d.Ratio-1)*100)
+		if d.AllocRatio > 0 {
+			aflag := ""
+			if d.AllocRegression {
+				aflag = " !!"
+			}
+			fmt.Fprintf(w, "   %10.0f -> %8.0f allocs/op  %+6.1f%%%s",
+				d.BaseAllocs, d.CurAllocs, (d.AllocRatio-1)*100, aflag)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, n := range c.OnlyBase {
 		fmt.Fprintf(w, "  -- %-50s dropped (in baseline only)\n", n)
@@ -252,8 +286,9 @@ func (c *Comparison) WriteTable(w io.Writer) error {
 	for _, n := range c.OnlyCurrent {
 		fmt.Fprintf(w, "  ++ %-50s new (no baseline)\n", n)
 	}
-	if c.Regressions > 0 {
-		fmt.Fprintf(w, "  %d regression(s) beyond tolerance\n", c.Regressions)
+	if c.Bad() {
+		fmt.Fprintf(w, "  %d time and %d allocation regression(s) beyond tolerance\n",
+			c.Regressions, c.AllocRegressions)
 	} else {
 		fmt.Fprintln(w, "  no regressions beyond tolerance")
 	}

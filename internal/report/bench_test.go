@@ -55,7 +55,7 @@ func TestParseGoBenchRawText(t *testing.T) {
 func TestBenchHistoryAndGate(t *testing.T) {
 	dir := t.TempDir()
 	day1 := &BenchRun{Date: "2026-08-01", Results: []BenchResult{
-		{Name: "BenchmarkStageCompiled", NsPerOp: 1000},
+		{Name: "BenchmarkStageCompiled", NsPerOp: 1000, AllocsPerOp: 100},
 		{Name: "BenchmarkOrderSweep", NsPerOp: 50000},
 		{Name: "BenchmarkRetired", NsPerOp: 10},
 	}}
@@ -73,10 +73,11 @@ func TestBenchHistoryAndGate(t *testing.T) {
 		t.Errorf("schema not stamped: %q", day1.Schema)
 	}
 
-	// Second run: one bench 5% slower (fine at 15%), one 40% slower
-	// (regression), one dropped, one new.
+	// Second run: one bench 5% slower but allocating double (alloc
+	// regression), one 40% slower (time regression), one dropped, one
+	// new.
 	day2 := &BenchRun{Date: "2026-08-05", Results: []BenchResult{
-		{Name: "BenchmarkStageCompiled", NsPerOp: 1050},
+		{Name: "BenchmarkStageCompiled", NsPerOp: 1050, AllocsPerOp: 200},
 		{Name: "BenchmarkOrderSweep", NsPerOp: 70000},
 		{Name: "BenchmarkBrandNew", NsPerOp: 7},
 	}}
@@ -100,8 +101,8 @@ func TestBenchHistoryAndGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Compare(base, day2, 0.15)
-	if c.Regressions != 1 {
-		t.Fatalf("regressions = %d, want 1: %+v", c.Regressions, c.Deltas)
+	if c.Regressions != 1 || c.AllocRegressions != 1 || !c.Bad() {
+		t.Fatalf("regressions = %d/%d allocs, want 1/1: %+v", c.Regressions, c.AllocRegressions, c.Deltas)
 	}
 	for _, d := range c.Deltas {
 		switch d.Name {
@@ -109,9 +110,15 @@ func TestBenchHistoryAndGate(t *testing.T) {
 			if !d.Regression || d.Ratio != 1.4 {
 				t.Errorf("slowdown not flagged: %+v", d)
 			}
+			if d.AllocRegression || d.AllocRatio != 0 {
+				t.Errorf("bench without alloc data judged on allocs: %+v", d)
+			}
 		case "BenchmarkStageCompiled":
 			if d.Regression {
 				t.Errorf("within-tolerance drift flagged: %+v", d)
+			}
+			if !d.AllocRegression || d.AllocRatio != 2 {
+				t.Errorf("doubled allocations not flagged: %+v", d)
 			}
 		}
 	}
@@ -127,15 +134,15 @@ func TestBenchHistoryAndGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"!! BenchmarkOrderSweep", "+40.0%", "1 regression", "dropped", "new"} {
+	for _, want := range []string{"!! BenchmarkOrderSweep", "+40.0%", "allocs/op", "1 time and 1 allocation regression", "dropped", "new"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("comparison table missing %q:\n%s", want, out)
 		}
 	}
 
 	// Identical runs gate clean.
-	if c := Compare(base, day1, 0.15); c.Regressions != 0 {
-		t.Errorf("self-comparison found %d regressions", c.Regressions)
+	if c := Compare(base, day1, 0.15); c.Bad() {
+		t.Errorf("self-comparison found %d/%d regressions", c.Regressions, c.AllocRegressions)
 	}
 }
 
