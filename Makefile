@@ -5,8 +5,14 @@ GO ?= go
 BENCHTIME ?= 1s
 # Per-target fuzzing budget for fuzz and fuzz-smoke.
 FUZZTIME ?= 30s
+# load-curve knobs: topology, loop shape, ladder and per-level window.
+LOADTOPO ?= 324
+LOADMODE ?= closed
+LOADLEVELS ?= 1,2,4,8
+LOADDURATION ?= 2s
+LOADAGREE ?= 0
 
-.PHONY: all build vet test race bench bench-json bench-netsim bench-track bench-gate report check daemon-smoke experiments experiments-quick fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-json bench-netsim bench-track bench-gate report check daemon-smoke load-curve experiments experiments-quick fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -69,6 +75,14 @@ check:
 # misbehaves.
 daemon-smoke:
 	./scripts/daemon_smoke.sh
+
+# Saturation curve against a live daemon: boot ftfabricd on LOADTOPO,
+# sweep the LOADLEVELS ladder (LOADMODE closed = concurrency, open =
+# req/s) for LOADDURATION per level, pull the fabric event journal and
+# render load.html. LOADAGREE > 0 gates on client/server p99 agreement.
+load-curve:
+	TOPO=$(LOADTOPO) MODE=$(LOADMODE) LEVELS=$(LOADLEVELS) \
+		DURATION=$(LOADDURATION) AGREE=$(LOADAGREE) ./scripts/load_sweep.sh
 
 # Regenerate every table and figure at paper scale (minutes).
 experiments:

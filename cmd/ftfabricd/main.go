@@ -43,6 +43,9 @@ func main() {
 		debounce    = flag.Duration("debounce", 25*time.Millisecond, "fault-event coalescing window before a reroute")
 		seed        = flag.Int64("seed", 1, "seed for fail_random fault draws")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+		spanTrace   = flag.String("span-trace", "", "write request and rebuild spans to `file` in Chrome trace-event format")
+		spanSample  = flag.Int("span-sample", 1, "trace one in N eligible requests (with -span-trace)")
+		journal     = flag.Int("journal", 1024, "fabric event journal capacity (GET /v1/events)")
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -50,7 +53,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftfabricd:", err)
 		os.Exit(1)
 	}
-	err := run(*spec, *addr, *maxInflight, *timeout, *debounce, *seed, *drain)
+	err := run(options{
+		Spec:        *spec,
+		Addr:        *addr,
+		MaxInflight: *maxInflight,
+		Timeout:     *timeout,
+		Debounce:    *debounce,
+		Seed:        *seed,
+		Drain:       *drain,
+		SpanTrace:   *spanTrace,
+		SpanSample:  *spanSample,
+		Journal:     *journal,
+	})
 	if perr := pf.Stop(); err == nil {
 		err = perr
 	}
@@ -60,8 +74,18 @@ func main() {
 	}
 }
 
-func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, seed int64, drain time.Duration) error {
-	g, err := topo.ParseSpec(spec)
+type options struct {
+	Spec, Addr          string
+	MaxInflight         int
+	Timeout, Debounce   time.Duration
+	Seed                int64
+	Drain               time.Duration
+	SpanTrace           string
+	SpanSample, Journal int
+}
+
+func run(o options) error {
+	g, err := topo.ParseSpec(o.Spec)
 	if err != nil {
 		return err
 	}
@@ -69,13 +93,31 @@ func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, se
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	var spans *obs.SpanTracer
+	if o.SpanTrace != "" {
+		f, err := os.Create(o.SpanTrace)
+		if err != nil {
+			return fmt.Errorf("span-trace: %w", err)
+		}
+		tr := obs.NewTracer(f)
+		spans = obs.NewSpanTracer(tr, 1, "ftfabricd")
+		defer func() {
+			tr.Close()
+			f.Close()
+		}()
+	}
 	m, err := fmgr.New(fmgr.Config{
 		Topo:           t,
-		Debounce:       debounce,
-		Rand:           rand.New(rand.NewSource(seed)),
-		Metrics:        obs.NewRegistry(),
-		MaxInflight:    maxInflight,
-		RequestTimeout: timeout,
+		Debounce:       o.Debounce,
+		Rand:           rand.New(rand.NewSource(o.Seed)),
+		Metrics:        reg,
+		MaxInflight:    o.MaxInflight,
+		RequestTimeout: o.Timeout,
+		Spans:          spans,
+		SpanSample:     o.SpanSample,
+		JournalSize:    o.Journal,
 	})
 	if err != nil {
 		return err
@@ -84,7 +126,7 @@ func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, se
 	defer m.Close()
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.Addr,
 		Handler:           m.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -94,7 +136,7 @@ func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, se
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d) on %s\n",
-		g, t.NumHosts(), m.Current().Epoch, addr)
+		g, t.NumHosts(), m.Current().Epoch, o.Addr)
 
 	select {
 	case err := <-errc:
@@ -102,7 +144,7 @@ func run(spec, addr string, maxInflight int, timeout, debounce time.Duration, se
 	case <-ctx.Done():
 	}
 	fmt.Println("ftfabricd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.Drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

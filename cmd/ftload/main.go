@@ -1,0 +1,485 @@
+// Command ftload sweeps offered load against a running ftfabricd and
+// reports the latency curve: for each rung of a concurrency ladder
+// (closed loop) or offered-rate ladder (open loop) it hammers one
+// endpoint for a fixed window, measures client-side p50/p95/p99, and
+// cross-checks the tail against the daemon's own per-endpoint RED
+// histogram over the same window. The sweep is written as a
+// fattree-load/v1 JSON document that `ftreport html -load` turns into
+// a p99-vs-offered-load curve.
+//
+// Usage:
+//
+//	ftfabricd -topo 324 &
+//	ftload -addr http://127.0.0.1:7474 -mode closed -levels 1,2,4,8 -duration 2s -out load.json
+//	ftload -addr http://127.0.0.1:7474 -mode open -levels 200,400,800 -agree 0.25
+//
+// With -agree F the run fails (exit 1) unless, at the lowest level,
+// the client-side p99 — re-bucketed through the server's histogram
+// bounds after subtracting the measured /healthz RTT floor — agrees
+// with the server histogram p99 within fraction F.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fattree/internal/obs"
+	"fattree/internal/report"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:7474", "daemon base URL")
+		mode        = flag.String("mode", "closed", "closed (concurrency ladder) or open (offered-rate ladder)")
+		levels      = flag.String("levels", "1,2,4,8", "comma-separated ladder: workers (closed) or requests/sec (open)")
+		duration    = flag.Duration("duration", 2*time.Second, "measurement window per level")
+		warmup      = flag.Duration("warmup", 250*time.Millisecond, "per-level warmup excluded from stats")
+		outstanding = flag.Int("max-outstanding", 256, "open loop: in-flight cap before ticks are shed")
+		seed        = flag.Int64("seed", 1, "seed for src/dst pair draws")
+		agree       = flag.Float64("agree", 0, "fail unless client and server p99 agree within this fraction at the lowest level (0 disables)")
+		out         = flag.String("out", "", "write the fattree-load/v1 document here (default stdout)")
+	)
+	flag.Parse()
+	doc, err := sweep(config{
+		Addr:        *addr,
+		Mode:        *mode,
+		Levels:      *levels,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Outstanding: *outstanding,
+		Seed:        *seed,
+	}, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftload:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "ftload:", err)
+		os.Exit(1)
+	}
+	if *agree > 0 {
+		if err := checkAgreement(doc, *agree); err != nil {
+			fmt.Fprintln(os.Stderr, "ftload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ftload: client/server p99 agree within %.0f%% at the lowest level\n", *agree*100)
+	}
+}
+
+// config parameterizes one sweep; separated from flags so tests drive
+// sweeps in-process.
+type config struct {
+	Addr        string
+	Mode        string
+	Levels      string
+	Duration    time.Duration
+	Warmup      time.Duration
+	Outstanding int
+	Seed        int64
+}
+
+// endpoint is the swept route; its label must match the daemon's RED
+// endpoint label so the server histogram lookup finds the right series.
+const endpoint = "GET /v1/route"
+
+func sweep(cfg config, progress io.Writer) (*report.LoadDoc, error) {
+	if cfg.Mode != "closed" && cfg.Mode != "open" {
+		return nil, fmt.Errorf("unknown mode %q (want closed or open)", cfg.Mode)
+	}
+	ladder, err := parseLevels(cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	hosts, err := numHosts(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	floorUS, floorP99US, err := rttFloorUS(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	doc := &report.LoadDoc{
+		Schema:        report.LoadSchema,
+		Target:        cfg.Addr,
+		Endpoint:      endpoint,
+		Hosts:         hosts,
+		RTTFloorUS:    floorUS,
+		RTTFloorP99US: floorP99US,
+	}
+	fmt.Fprintf(progress, "ftload: %s, %d hosts, rtt floor %.1fµs (p99 %.1fµs), %s ladder %v\n",
+		cfg.Addr, hosts, floorUS, floorP99US, cfg.Mode, ladder)
+
+	for _, rung := range ladder {
+		before, err := serverHistogram(client, cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		var lvl report.LoadLevel
+		if cfg.Mode == "closed" {
+			lvl, err = closedLevel(client, cfg, int(rung), hosts)
+		} else {
+			lvl, err = openLevel(client, cfg, rung, hosts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		after, err := serverHistogram(client, cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		lvl.ServerP99US = histDelta(before, after).Quantile(0.99)
+		doc.Levels = append(doc.Levels, lvl)
+		fmt.Fprintf(progress, "ftload: %s: %.0f req/s, p50 %.1fµs p99 %.1fµs (server p99 %.1fµs), %d errors\n",
+			levelLabel(lvl), lvl.AchievedRPS, lvl.P50US, lvl.P99US, lvl.ServerP99US, lvl.Errors)
+	}
+	return doc, nil
+}
+
+func levelLabel(lvl report.LoadLevel) string {
+	if lvl.Mode == "closed" {
+		return fmt.Sprintf("closed c=%d", lvl.Concurrency)
+	}
+	return fmt.Sprintf("open %.0f/s", lvl.OfferedRPS)
+}
+
+// parseLevels parses the comma ladder and sorts it ascending so the
+// emitted sweep is monotone in offered load.
+func parseLevels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad level %q (want a positive number)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty level ladder")
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// numHosts learns the cluster size from GET /v1/order.
+func numHosts(client *http.Client, addr string) (int, error) {
+	var doc struct {
+		HostOf []int `json:"host_of"`
+	}
+	if err := getJSON(client, addr+"/v1/order", &doc); err != nil {
+		return 0, err
+	}
+	if len(doc.HostOf) == 0 {
+		return 0, fmt.Errorf("daemon reports zero hosts")
+	}
+	return len(doc.HostOf), nil
+}
+
+// rttFloorUS measures the /healthz round trip — the HTTP-stack overhead
+// a client-side latency carries that the server-side handler histogram
+// does not — and returns its median plus its bucketized p99. The median
+// characterizes the typical floor; the p99 is what the agreement gate
+// subtracts, because client and server distributions are compared tail
+// against tail and the transport tail (scheduler wakeups, TCP jitter)
+// is far fatter than the transport median.
+func rttFloorUS(client *http.Client, addr string) (median, p99 float64, err error) {
+	const probes = 200
+	samples := make([]float64, 0, probes)
+	for i := 0; i < probes; i++ {
+		start := time.Now()
+		resp, err := client.Get(addr + "/healthz")
+		if err != nil {
+			return 0, 0, fmt.Errorf("healthz probe: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		samples = append(samples, float64(time.Since(start).Microseconds()))
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], bucketizedP99(samples), nil
+}
+
+// bucketizedP99 estimates p99 through the server's histogram bounds, so
+// every quantity the agreement gate compares carries the same bucketing
+// error.
+func bucketizedP99(samples []float64) float64 {
+	counts := make([]uint64, len(obs.DefaultREDBucketsUS)+1)
+	for _, s := range samples {
+		counts[sort.SearchFloat64s(obs.DefaultREDBucketsUS, s)]++
+	}
+	return obs.HistogramSnapshot{Bounds: obs.DefaultREDBucketsUS, Counts: counts}.Quantile(0.99)
+}
+
+// serverHistogram fetches the daemon's RED duration histogram for the
+// swept endpoint from the JSON /metrics snapshot.
+func serverHistogram(client *http.Client, addr string) (obs.HistogramSnapshot, error) {
+	var snap obs.Snapshot
+	if err := getJSON(client, addr+"/metrics", &snap); err != nil {
+		return obs.HistogramSnapshot{}, err
+	}
+	name := obs.Labeled("fmgr_http_request_duration_us", "endpoint", endpoint)
+	h, ok := snap.Histograms[name]
+	if !ok {
+		// No request served yet: an empty snapshot with the default
+		// bounds subtracts cleanly.
+		h = obs.HistogramSnapshot{
+			Bounds: obs.DefaultREDBucketsUS,
+			Counts: make([]uint64, len(obs.DefaultREDBucketsUS)+1),
+		}
+	}
+	return h, nil
+}
+
+// histDelta subtracts two cumulative snapshots of the same histogram,
+// leaving the distribution observed between them.
+func histDelta(before, after obs.HistogramSnapshot) obs.HistogramSnapshot {
+	d := obs.HistogramSnapshot{
+		Bounds: after.Bounds,
+		Counts: make([]uint64, len(after.Counts)),
+		Sum:    after.Sum - before.Sum,
+		Count:  after.Count - before.Count,
+	}
+	for i := range after.Counts {
+		c := after.Counts[i]
+		if i < len(before.Counts) && before.Counts[i] <= c {
+			c -= before.Counts[i]
+		}
+		d.Counts[i] = c
+	}
+	return d
+}
+
+func getJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// worker state shared by both loop shapes.
+type collector struct {
+	mu      sync.Mutex
+	samples []float64 // client RTT, microseconds
+	errors  int64
+}
+
+func (c *collector) record(us float64, ok bool) {
+	c.mu.Lock()
+	c.samples = append(c.samples, us)
+	if !ok {
+		c.errors++
+	}
+	c.mu.Unlock()
+}
+
+// oneRequest fires a single route lookup for a random pair and reports
+// its RTT and whether it succeeded (200/503 both count as served; 503
+// is a legitimate degraded-fabric answer, anything else is an error).
+func oneRequest(client *http.Client, addr string, rng *rand.Rand, hosts int) (float64, bool) {
+	src := rng.Intn(hosts)
+	dst := rng.Intn(hosts)
+	start := time.Now()
+	resp, err := client.Get(fmt.Sprintf("%s/v1/route?src=%d&dst=%d", addr, src, dst))
+	us := float64(time.Since(start).Microseconds())
+	if err != nil {
+		return us, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return us, resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// closedLevel runs `workers` goroutines back-to-back for the window:
+// offered load equals capacity at this concurrency.
+func closedLevel(client *http.Client, cfg config, workers, hosts int) (report.LoadLevel, error) {
+	col := &collector{}
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for time.Now().Before(deadline) {
+				us, ok := oneRequest(client, cfg.Addr, rng, hosts)
+				if time.Now().After(warmupEnd) {
+					col.record(us, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lvl := summarize(col, cfg.Duration)
+	lvl.Mode = "closed"
+	lvl.Concurrency = workers
+	return lvl, nil
+}
+
+// openLevel offers a fixed rate on a ticker regardless of completions,
+// shedding ticks when the outstanding cap is hit — the saturation
+// signal a closed loop cannot produce.
+func openLevel(client *http.Client, cfg config, rps float64, hosts int) (report.LoadLevel, error) {
+	interval := time.Duration(float64(time.Second) / rps)
+	if interval <= 0 {
+		return report.LoadLevel{}, fmt.Errorf("rate %.0f/s too fast to tick", rps)
+	}
+	col := &collector{}
+	sem := make(chan struct{}, cfg.Outstanding)
+	rngMu := sync.Mutex{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pair := func() (int, int) {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Intn(hosts), rng.Intn(hosts)
+	}
+
+	var shed int64
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			if now.After(warmupEnd) {
+				shed++
+			}
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			src, dst := pair()
+			start := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/v1/route?src=%d&dst=%d", cfg.Addr, src, dst))
+			us := float64(time.Since(start).Microseconds())
+			ok := false
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable
+			}
+			if start.After(warmupEnd) {
+				col.record(us, ok)
+			}
+		}()
+	}
+	wg.Wait()
+	lvl := summarize(col, cfg.Duration)
+	lvl.Mode = "open"
+	lvl.OfferedRPS = rps
+	lvl.Shed = shed
+	return lvl, nil
+}
+
+// summarize folds collected samples into a LoadLevel: exact quantiles,
+// plus a p99 re-estimated through the server's histogram bounds so the
+// client and server tails carry the same bucketing error.
+func summarize(col *collector, window time.Duration) report.LoadLevel {
+	col.mu.Lock()
+	samples := col.samples
+	errors := col.errors
+	col.mu.Unlock()
+	lvl := report.LoadLevel{
+		Sent:      int64(len(samples)),
+		Errors:    errors,
+		DurationS: window.Seconds(),
+	}
+	if len(samples) == 0 {
+		return lvl
+	}
+	sort.Float64s(samples)
+	lvl.AchievedRPS = float64(len(samples)) / window.Seconds()
+	lvl.P50US = exactQuantile(samples, 0.50)
+	lvl.P95US = exactQuantile(samples, 0.95)
+	lvl.P99US = exactQuantile(samples, 0.99)
+	lvl.MaxUS = samples[len(samples)-1]
+
+	lvl.BucketP99US = bucketizedP99(samples)
+	return lvl
+}
+
+// exactQuantile interpolates between order statistics of sorted
+// samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	return sorted[lo] + (sorted[hi]-sorted[lo])*(pos-float64(lo))
+}
+
+// checkAgreement gates on the lowest level: after subtracting the RTT
+// floor's p99 (tail against tail — client latency is transport plus
+// handling, and at low load the transport tail dominates), the client's
+// bucketized p99 must land within `frac` of the server's histogram p99,
+// or within one fine bucket (250µs) absolute — bucket-edge effects at
+// microsecond scales otherwise dominate the relative error.
+func checkAgreement(doc *report.LoadDoc, frac float64) error {
+	if len(doc.Levels) == 0 {
+		return fmt.Errorf("no levels to check")
+	}
+	lvl := doc.Levels[0]
+	if lvl.ServerP99US <= 0 {
+		return fmt.Errorf("server histogram recorded nothing at the lowest level")
+	}
+	client := lvl.BucketP99US - doc.RTTFloorP99US
+	if client < 0 {
+		client = 0
+	}
+	diff := math.Abs(client - lvl.ServerP99US)
+	if diff <= 250 {
+		return nil
+	}
+	if rel := diff / lvl.ServerP99US; rel > frac {
+		return fmt.Errorf("client p99 %.1fµs (floor-p99-adjusted %.1fµs) vs server p99 %.1fµs: off by %.0f%% > %.0f%%",
+			lvl.BucketP99US, client, lvl.ServerP99US, rel*100, frac*100)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fattree/internal/fmgr"
+	"fattree/internal/obs"
+	"fattree/internal/topo"
+)
+
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := topo.ParseSpec("rlft2:4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topo.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fmgr.New(fmgr.Config{
+		Topo:    tp,
+		Metrics: obs.NewRegistry(),
+		Rand:    rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSweepClosed(t *testing.T) {
+	srv := startDaemon(t)
+	doc, err := sweep(config{
+		Addr:     srv.URL,
+		Mode:     "closed",
+		Levels:   "2,1", // deliberately unsorted
+		Duration: 150 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Seed:     1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "fattree-load/v1" || doc.Endpoint != "GET /v1/route" {
+		t.Fatalf("doc header: %+v", doc)
+	}
+	if doc.Hosts != 32 {
+		t.Fatalf("hosts = %d, want 32", doc.Hosts)
+	}
+	if len(doc.Levels) != 2 {
+		t.Fatalf("%d levels, want 2", len(doc.Levels))
+	}
+	// Ladder must be emitted monotone even when given unsorted.
+	if doc.Levels[0].Concurrency != 1 || doc.Levels[1].Concurrency != 2 {
+		t.Fatalf("levels not sorted: %+v", doc.Levels)
+	}
+	for i, lvl := range doc.Levels {
+		if lvl.Mode != "closed" || lvl.Sent == 0 || lvl.Errors != 0 {
+			t.Fatalf("level %d: %+v", i, lvl)
+		}
+		if lvl.P50US <= 0 || lvl.P99US < lvl.P50US || lvl.MaxUS < lvl.P99US {
+			t.Fatalf("level %d quantiles disordered: %+v", i, lvl)
+		}
+		if lvl.ServerP99US <= 0 {
+			t.Fatalf("level %d: server histogram recorded nothing: %+v", i, lvl)
+		}
+		if lvl.BucketP99US <= 0 {
+			t.Fatalf("level %d: no bucketized client p99: %+v", i, lvl)
+		}
+	}
+	// Loopback with no contention: client and server tails must agree
+	// within a loose factor once both go through the same buckets.
+	if err := checkAgreement(doc, 3.0); err != nil {
+		t.Fatalf("agreement at generous tolerance: %v", err)
+	}
+}
+
+func TestSweepOpen(t *testing.T) {
+	srv := startDaemon(t)
+	doc, err := sweep(config{
+		Addr:        srv.URL,
+		Mode:        "open",
+		Levels:      "200",
+		Duration:    200 * time.Millisecond,
+		Warmup:      20 * time.Millisecond,
+		Outstanding: 64,
+		Seed:        1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := doc.Levels[0]
+	if lvl.Mode != "open" || lvl.OfferedRPS != 200 {
+		t.Fatalf("level: %+v", lvl)
+	}
+	if lvl.Sent == 0 || lvl.Errors != 0 {
+		t.Fatalf("open level served nothing cleanly: %+v", lvl)
+	}
+	// At 200/s a loopback route lookup never saturates 64 outstanding.
+	if lvl.Shed != 0 {
+		t.Fatalf("shed %d ticks at trivial load", lvl.Shed)
+	}
+}
+
+func TestSweepBadInputs(t *testing.T) {
+	if _, err := sweep(config{Mode: "sideways"}, io.Discard); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := parseLevels(""); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+	if _, err := parseLevels("4,-1"); err == nil {
+		t.Fatal("negative level accepted")
+	}
+}
+
+func TestHistDelta(t *testing.T) {
+	bounds := []float64{10, 100}
+	before := obs.HistogramSnapshot{Bounds: bounds, Counts: []uint64{5, 2, 0}, Count: 7, Sum: 100}
+	after := obs.HistogramSnapshot{Bounds: bounds, Counts: []uint64{5, 6, 1}, Count: 12, Sum: 400}
+	d := histDelta(before, after)
+	if d.Count != 5 || d.Sum != 300 {
+		t.Fatalf("delta count/sum: %+v", d)
+	}
+	if d.Counts[0] != 0 || d.Counts[1] != 4 || d.Counts[2] != 1 {
+		t.Fatalf("delta counts: %v", d.Counts)
+	}
+	if q := d.Quantile(0.5); q <= 10 || q > 100 {
+		t.Fatalf("delta p50 %v outside (10,100]", q)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := exactQuantile(s, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := exactQuantile(s, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := exactQuantile(s, 0.5); got != 2.5 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := exactQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

@@ -8,6 +8,8 @@
 //	    renders the simulator's probe and trace streams into one
 //	    self-contained HTML file: link-utilization heatmap, stage
 //	    timeline, sparklines and quantile tables. No external assets.
+//	    -load adds an ftload sweep as a p99-vs-offered-load curve;
+//	    -events adds the daemon's fabric event journal as a timeline.
 //
 //	ftreport bench -in BENCH_2026-08-05.json
 //	    ingests `make bench-json` output into the dated history under
@@ -201,34 +203,57 @@ func cmdHTML(args []string) error {
 	var (
 		metrics = fs.String("metrics", "", "probe JSONL stream (from -metrics of ftsim/fthsd)")
 		trace   = fs.String("trace", "", "Chrome trace file (from -trace of ftsim/fthsd)")
+		load    = fs.String("load", "", "fattree-load/v1 sweep (from ftload -out)")
+		events  = fs.String("events", "", "fattree-events/v1 journal (from GET /v1/events)")
 		outPath = fs.String("o", "report.html", "output HTML file (- for stdout)")
 		title   = fs.String("title", "", "report title")
 		stamp   = fs.Bool("stamp", true, "include a generation timestamp (disable for reproducible output)")
 		maxRows = fs.Int("max-heatmap-rows", 64, "cap on heatmap channel rows")
 	)
 	fs.Parse(args)
-	if *metrics == "" && *trace == "" {
-		return fmt.Errorf("html: need -metrics and/or -trace")
+	if *metrics == "" && *trace == "" && *load == "" && *events == "" {
+		return fmt.Errorf("html: need at least one of -metrics, -trace, -load, -events")
 	}
-	var probes *report.ProbeData
+	var in report.Inputs
 	if *metrics != "" {
 		f, err := os.Open(*metrics)
 		if err != nil {
 			return err
 		}
-		probes, err = report.ParseProbes(f)
+		in.Probes, err = report.ParseProbes(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
 	}
-	var tr *report.TraceData
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
 			return err
 		}
-		tr, err = report.ParseTrace(f)
+		in.Trace, err = report.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		in.Load, err = report.ParseLoad(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *events != "" {
+		f, err := os.Open(*events)
+		if err != nil {
+			return err
+		}
+		in.Events, err = report.ParseEvents(f)
 		f.Close()
 		if err != nil {
 			return err
@@ -236,15 +261,19 @@ func cmdHTML(args []string) error {
 	}
 	opt := report.HTMLOptions{
 		Title:          *title,
-		MetricsFile:    filepath.Base(*metrics),
-		TraceFile:      filepath.Base(*trace),
 		MaxHeatmapRows: *maxRows,
 	}
-	if *metrics == "" {
-		opt.MetricsFile = ""
+	if *metrics != "" {
+		opt.MetricsFile = filepath.Base(*metrics)
 	}
-	if *trace == "" {
-		opt.TraceFile = ""
+	if *trace != "" {
+		opt.TraceFile = filepath.Base(*trace)
+	}
+	if *load != "" {
+		opt.LoadFile = filepath.Base(*load)
+	}
+	if *events != "" {
+		opt.EventsFile = filepath.Base(*events)
 	}
 	if *stamp {
 		opt.Generated = time.Now().UTC().Format(time.RFC3339)
@@ -253,7 +282,7 @@ func cmdHTML(args []string) error {
 	if err != nil {
 		return err
 	}
-	err = report.RenderHTML(w, probes, tr, opt)
+	err = report.RenderHTML(w, in, opt)
 	if cerr := closeOut(w); err == nil {
 		err = cerr
 	}

@@ -81,6 +81,18 @@ type Config struct {
 	// Metrics receives the fmgr_* counters, gauges and histograms. Nil
 	// disables instrumentation at nil-handle cost.
 	Metrics *obs.Registry
+	// Spans receives request and event-loop spans (trace/span IDs over
+	// the Chrome trace-event writer). Nil disables tracing at
+	// nil-handle cost.
+	Spans *obs.SpanTracer
+	// SpanSample traces one in every SpanSample requests when Spans is
+	// set (1 = every request, the default). The event loop is always
+	// traced — it is rare and load-bearing.
+	SpanSample int
+	// JournalSize bounds the in-memory fabric event journal served at
+	// GET /v1/events. Default 1024 records; the ring drops oldest
+	// first.
+	JournalSize int
 	// MaxInflight gates concurrent HTTP requests on /v1 (excess gets
 	// 429). Default 64.
 	MaxInflight int
@@ -100,6 +112,12 @@ func (c *Config) fill() {
 	}
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
+	}
+	if c.SpanSample <= 0 {
+		c.SpanSample = 1
+	}
+	if c.JournalSize <= 0 {
+		c.JournalSize = 1024
 	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 64
@@ -164,6 +182,11 @@ type Manager struct {
 
 	gate chan struct{} // max-inflight semaphore for the HTTP layer
 
+	// journal is the bounded fabric event ring served at /v1/events.
+	journal *Journal
+	// spanSeq drives 1-in-N request-span sampling.
+	spanSeq atomic.Uint64
+
 	// metrics handles (nil-safe when cfg.Metrics is nil)
 	mEpoch       *obs.Gauge
 	mReroutes    *obs.Counter
@@ -192,6 +215,7 @@ func New(cfg Config) (*Manager, error) {
 		done:   make(chan struct{}),
 		gate:   make(chan struct{}, cfg.MaxInflight),
 	}
+	m.journal = NewJournal(cfg.JournalSize)
 	m.validate = m.validateState
 	if reg := cfg.Metrics; reg != nil {
 		m.mEpoch = reg.Gauge("fmgr_epoch")
@@ -206,7 +230,7 @@ func New(cfg Config) (*Manager, error) {
 	if a, err := sched.New(cfg.Topo); err == nil {
 		m.alloc = a
 	}
-	st, err := m.buildState(1)
+	st, err := m.buildState(1, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fmgr: initial snapshot: %w", err)
 	}
@@ -252,6 +276,10 @@ func (m *Manager) Close() {
 // to use for any length of time; it just stops being current after the
 // next swap.
 func (m *Manager) Current() *FabricState { return m.cur.Load() }
+
+// Events returns up to n journal records, oldest first (n <= 0 means
+// all kept), plus the count of older records the ring has dropped.
+func (m *Manager) Events(n int) ([]EventRecord, uint64) { return m.journal.Snapshot(n) }
 
 // InjectFaults enqueues fail/revive events for the given links plus a
 // failRandom draw of that many extra fabric links. Link IDs are
@@ -360,6 +388,9 @@ func (m *Manager) loop() {
 		}
 		m.cur.Store(st)
 		m.mEpoch.Set(int64(st.Epoch))
+		m.journal.Record(EventRecord{Kind: EvSwap, Epoch: st.Epoch, Outcome: OutcomeOK,
+			Detail: fmt.Sprintf("failed_links=%d broken_pairs=%d jobs=%d",
+				len(st.FailedLinks), st.BrokenPairs, len(st.Jobs))})
 		backoff = m.cfg.RetryBase
 		retryC = nil
 		dirty = false
@@ -396,18 +427,31 @@ func (m *Manager) loop() {
 	}
 }
 
-// apply mutates the loop-owned fault set / allocator for one event.
+// apply mutates the loop-owned fault set / allocator for one event and
+// journals what was asked for. The reroute/validate/swap phases that
+// follow journal themselves, so /v1/events replays the full
+// fault → reroute → swap lifecycle.
 func (m *Manager) apply(ev event) {
+	epoch := m.cur.Load().Epoch
 	switch ev.kind {
 	case evFail:
 		m.faults.Fail(ev.link)
+		m.journal.Record(EventRecord{Kind: EvFault, Epoch: epoch,
+			Outcome: OutcomeOK, Detail: fmt.Sprintf("link %d", ev.link)})
 	case evRevive:
 		m.faults.Revive(ev.link)
+		m.journal.Record(EventRecord{Kind: EvRevive, Epoch: epoch,
+			Outcome: OutcomeOK, Detail: fmt.Sprintf("link %d", ev.link)})
 	case evFailRandom:
 		if err := m.faults.FailRandomFabricLinksRand(ev.n, m.cfg.Rand); err != nil {
 			// Draw failed (more faults requested than links); the fault
 			// set is unchanged, nothing to roll back.
 			m.mRerouteFail.Inc()
+			m.journal.Record(EventRecord{Kind: EvFaultRandom, Epoch: epoch,
+				Outcome: OutcomeError, Detail: err.Error()})
+		} else {
+			m.journal.Record(EventRecord{Kind: EvFaultRandom, Epoch: epoch,
+				Outcome: OutcomeOK, Detail: fmt.Sprintf("n=%d", ev.n)})
 		}
 	case evAlloc:
 		var a *sched.Allocation
@@ -419,29 +463,66 @@ func (m *Manager) apply(ev event) {
 		}
 		if err == nil {
 			m.mJobsActive.Add(1)
+			m.journal.Record(EventRecord{Kind: EvAlloc, Epoch: epoch,
+				Outcome: OutcomeOK, Detail: fmt.Sprintf("job %d size %d", a.ID, ev.size)})
+		} else {
+			m.journal.Record(EventRecord{Kind: EvAlloc, Epoch: epoch,
+				Outcome: OutcomeError, Detail: err.Error()})
 		}
 		ev.reply <- jobReply{alloc: a, err: err}
 	case evFree:
 		err := m.alloc.Free(ev.job)
 		if err == nil {
 			m.mJobsActive.Add(-1)
+			m.journal.Record(EventRecord{Kind: EvFree, Epoch: epoch,
+				Outcome: OutcomeOK, Detail: fmt.Sprintf("job %d", ev.job)})
+		} else {
+			m.journal.Record(EventRecord{Kind: EvFree, Epoch: epoch,
+				Outcome: OutcomeError, Detail: err.Error()})
 		}
 		ev.reply <- jobReply{err: err}
 	}
 }
 
 // tryRebuild computes and validates the next snapshot; on any error the
-// caller keeps the previous one current.
+// caller keeps the previous one current. Each phase is spanned and
+// journaled: reroute (tables + arena + HSD) then validate.
 func (m *Manager) tryRebuild() (*FabricState, error) {
+	sp := m.cfg.Spans.StartTrace("rebuild")
+	defer sp.End()
+	epoch := m.cur.Load().Epoch + 1
+	sp.Tag(obs.Num("epoch", float64(epoch)))
+
 	start := time.Now()
-	st, err := m.buildState(m.cur.Load().Epoch + 1)
+	rsp := sp.Child("reroute")
+	st, err := m.buildState(epoch, rsp)
+	rsp.End()
+	rec := EventRecord{Kind: EvReroute, Epoch: epoch,
+		DurationUS: time.Since(start).Microseconds(), Outcome: OutcomeOK}
+	if err != nil {
+		rec.Outcome, rec.Detail = OutcomeError, err.Error()
+	} else {
+		rec.Detail = fmt.Sprintf("failed_links=%d broken_pairs=%d unroutable=%d",
+			len(st.FailedLinks), st.BrokenPairs, len(st.Unroutable))
+	}
+	m.journal.Record(rec)
+
 	if err == nil {
-		if err = m.validate(st); err != nil {
+		vstart := time.Now()
+		vsp := sp.Child("validate")
+		err = m.validate(st)
+		vsp.End()
+		vrec := EventRecord{Kind: EvValidate, Epoch: epoch,
+			DurationUS: time.Since(vstart).Microseconds(), Outcome: OutcomeOK}
+		if err != nil {
 			m.mCheckFail.Inc()
+			vrec.Outcome, vrec.Detail = OutcomeError, err.Error()
 		}
+		m.journal.Record(vrec)
 	}
 	m.mRerouteUS.Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
+		sp.Tag(obs.Str("outcome", OutcomeError))
 		return nil, err
 	}
 	m.mReroutes.Inc()
@@ -450,12 +531,17 @@ func (m *Manager) tryRebuild() (*FabricState, error) {
 
 // buildState reroutes around the current fault set and assembles a full
 // snapshot: tables, lenient path arena, job view and Shift-HSD summary.
-func (m *Manager) buildState(epoch uint64) (*FabricState, error) {
+// sp, when tracing, parents one child span per phase.
+func (m *Manager) buildState(epoch uint64, sp *obs.Span) (*FabricState, error) {
+	c := sp.Child("route_around")
 	lft, res, err := m.faults.RouteAround()
+	c.End()
 	if err != nil {
 		return nil, err
 	}
+	c = sp.Child("compile_lenient")
 	paths, err := route.CompileLenient(lft)
+	c.End()
 	if err != nil {
 		return nil, err
 	}
@@ -481,7 +567,9 @@ func (m *Manager) buildState(epoch uint64) (*FabricState, error) {
 			st.Jobs = append(st.Jobs, &jc)
 		}
 	}
+	c = sp.Child("shift_hsd")
 	st.HSD, err = shiftSummary(st)
+	c.End()
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"fattree/internal/fabric"
+	"fattree/internal/obs"
 	"fattree/internal/route"
 	"fattree/internal/sched"
 	"fattree/internal/topo"
@@ -83,11 +85,15 @@ type errorDoc struct {
 //	GET  /v1/hsd                cached Shift-HSD summary
 //	GET  /v1/fabric             fattree-fabric/v1 fabric document
 //	GET  /v1/jobs               placements frozen in the snapshot
+//	GET  /v1/events?n=N         fabric event journal, oldest first
 //	POST /v1/faults             enqueue fail/revive/fail_random events
 //	POST /v1/jobs               allocate a job (synchronous)
 //	DELETE /v1/jobs?id=N        release a job (synchronous)
 //	GET  /healthz               liveness + current epoch
-//	GET  /metrics               obs registry snapshot (JSON)
+//	GET  /metrics               obs registry snapshot; JSON by default,
+//	                            Prometheus text exposition when the
+//	                            Accept header asks for text/plain or
+//	                            with ?format=prometheus
 //	     /debug/pprof/          the usual pprof handlers
 //
 // Every /v1 route runs behind the max-inflight gate (429 when full) and
@@ -95,14 +101,30 @@ type errorDoc struct {
 // daemon stays observable under load.
 func (m *Manager) Handler() http.Handler {
 	api := http.NewServeMux()
-	api.HandleFunc("GET /v1/route", m.handleRoute)
-	api.HandleFunc("GET /v1/order", m.handleOrder)
-	api.HandleFunc("GET /v1/hsd", m.handleHSD)
-	api.HandleFunc("GET /v1/fabric", m.handleFabric)
-	api.HandleFunc("GET /v1/jobs", m.handleJobsList)
-	api.HandleFunc("POST /v1/faults", m.handleFaults)
-	api.HandleFunc("POST /v1/jobs", m.handleJobAlloc)
-	api.HandleFunc("DELETE /v1/jobs", m.handleJobFree)
+	red := obs.NewRED(m.cfg.Metrics, "fmgr_http", nil)
+	// Per-route RED handles are resolved once here, not per request:
+	// the serving path pays two atomic adds and one histogram
+	// observation, no lock, no map lookup — and the endpoint label is
+	// the registered pattern, so label cardinality is bounded by the
+	// route table.
+	handle := func(pattern string, h http.HandlerFunc) {
+		ep := red.Endpoint(pattern)
+		api.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			h(sw, r)
+			ep.Observe(sw.status, time.Since(start))
+		})
+	}
+	handle("GET /v1/route", m.handleRoute)
+	handle("GET /v1/order", m.handleOrder)
+	handle("GET /v1/hsd", m.handleHSD)
+	handle("GET /v1/fabric", m.handleFabric)
+	handle("GET /v1/jobs", m.handleJobsList)
+	handle("GET /v1/events", m.handleEvents)
+	handle("POST /v1/faults", m.handleFaults)
+	handle("POST /v1/jobs", m.handleJobAlloc)
+	handle("DELETE /v1/jobs", m.handleJobFree)
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", m.instrument(m.gated(http.TimeoutHandler(api, m.cfg.RequestTimeout, `{"error":"request timed out"}`))))
@@ -137,7 +159,11 @@ func (m *Manager) gated(next http.Handler) http.Handler {
 	})
 }
 
-// instrument counts requests and observes handling latency.
+// instrument counts requests and observes handling latency in
+// aggregate (requests_total + latency_us, kept for compatibility).
+// Per-endpoint RED instrumentation lives in the per-route wrappers
+// installed by Handler, where the endpoint handle is resolved once at
+// mux construction.
 func (m *Manager) instrument(next http.Handler) http.Handler {
 	total := m.cfg.Metrics.Counter("fmgr_http_requests_total")
 	latHist := m.cfg.Metrics.MustHistogram("fmgr_http_latency_us",
@@ -150,20 +176,59 @@ func (m *Manager) instrument(next http.Handler) http.Handler {
 	})
 }
 
+// statusWriter captures the status code the wrapped handler sends so
+// the middleware can classify the response after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// reqSpan starts a request trace for one in every SpanSample requests;
+// the rest get a nil span, which every span method treats as a no-op.
+func (m *Manager) reqSpan(name string) *obs.Span {
+	if m.cfg.Spans == nil {
+		return nil
+	}
+	if n := uint64(m.cfg.SpanSample); n > 1 && m.spanSeq.Add(1)%n != 0 {
+		return nil
+	}
+	return m.cfg.Spans.StartTrace(name)
+}
+
 func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
+	sp := m.reqSpan("GET /v1/route")
+	defer sp.End()
+
+	c := sp.Child("decode")
 	src, err := intParam(r, "src")
 	if err != nil {
+		c.End()
+		sp.TagStr("outcome", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
 	dst, err := intParam(r, "dst")
+	c.End()
 	if err != nil {
+		sp.TagStr("outcome", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
+	sp.TagNum("src", float64(src))
+	sp.TagNum("dst", float64(dst))
+
+	c = sp.Child("snapshot")
 	st := m.Current()
 	n := st.Topo.NumHosts()
+	c.End()
+	sp.TagNum("epoch", float64(st.Epoch))
 	if src < 0 || src >= n || dst < 0 || dst >= n {
+		sp.TagStr("outcome", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("pair %d->%d out of range [0,%d)", src, dst, n)})
 		return
 	}
@@ -172,7 +237,11 @@ func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, doc)
 		return
 	}
+
+	c = sp.Child("lookup")
 	if st.HostUnroutable(src) || st.HostUnroutable(dst) || st.Paths.Broken(src, dst) {
+		c.End()
+		sp.TagStr("outcome", "unroutable")
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{
 			Error: fmt.Sprintf("no path %d->%d under epoch %d (%d dead links)", src, dst, st.Epoch, len(st.FailedLinks)),
 		})
@@ -180,6 +249,8 @@ func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	path, err := st.Paths.PackedPath(src, dst)
 	if err != nil {
+		c.End()
+		sp.TagStr("outcome", "error")
 		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
 		return
 	}
@@ -202,7 +273,12 @@ func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
 		})
 		cur = to
 	}
+	c.End()
+
+	c = sp.Child("encode")
 	writeJSON(w, http.StatusOK, doc)
+	c.End()
+	sp.TagNum("hops", float64(len(doc.Hops)))
 }
 
 func (m *Manager) handleOrder(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +405,35 @@ func (m *Manager) handleJobsList(w http.ResponseWriter, r *http.Request) {
 	}{st.Epoch, jobs})
 }
 
+// EventsDoc is the GET /v1/events response body.
+type EventsDoc struct {
+	Schema  string        `json:"schema"`
+	Epoch   uint64        `json:"epoch"`
+	Dropped uint64        `json:"dropped"`
+	Events  []EventRecord `json:"events"`
+}
+
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		var err error
+		if n, err = strconv.Atoi(s); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad \"n\": " + err.Error()})
+			return
+		}
+	}
+	recs, dropped := m.Events(n)
+	if recs == nil {
+		recs = []EventRecord{}
+	}
+	writeJSON(w, http.StatusOK, EventsDoc{
+		Schema:  EventsSchema,
+		Epoch:   m.Current().Epoch,
+		Dropped: dropped,
+		Events:  recs,
+	})
+}
+
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := m.Current()
 	writeJSON(w, http.StatusOK, struct {
@@ -339,11 +444,30 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := m.cfg.Metrics.Snapshot().WriteJSON(w); err != nil {
-		// Too late for a status code; the connection will surface it.
+	snap := m.cfg.Metrics.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = snap.WritePrometheus(w)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
+}
+
+// wantsPrometheus decides the /metrics representation: the explicit
+// ?format=prometheus override wins, otherwise an Accept header naming
+// text/plain or OpenMetrics selects the text exposition. JSON stays
+// the default for bare curls and existing tooling.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func jobDoc(a *sched.Allocation) JobDoc {

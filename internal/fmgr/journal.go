@@ -1,0 +1,121 @@
+package fmgr
+
+import (
+	"sync"
+	"time"
+)
+
+// EventsSchema stamps GET /v1/events responses.
+const EventsSchema = "fattree-events/v1"
+
+// Event kinds recorded in the fabric journal. Inputs (what the manager
+// was told) and lifecycle phases (what it did about them) share one
+// stream, so a reader sees fault → reroute → validate → swap in order.
+const (
+	EvFault       = "fault"        // a link was failed
+	EvRevive      = "revive"       // a link was revived
+	EvFaultRandom = "fault_random" // a random fault draw
+	EvAlloc       = "alloc"        // a job placement request
+	EvFree        = "free"         // a job release
+	EvReroute     = "reroute"      // tables + arena + HSD rebuilt
+	EvValidate    = "validate"     // invariant check of the candidate
+	EvSwap        = "swap"         // candidate became current
+)
+
+// Event outcomes.
+const (
+	OutcomeOK    = "ok"
+	OutcomeError = "error"
+)
+
+// EventRecord is one entry of the fabric event journal: what happened,
+// when (wall clock), under or producing which epoch, how long it took
+// and how it ended. Detail is a short human-readable elaboration
+// (link id, job size, broken-pair count, error text).
+type EventRecord struct {
+	Seq        uint64 `json:"seq"`
+	TimeUnixNS int64  `json:"time_unix_ns"`
+	Kind       string `json:"kind"`
+	Epoch      uint64 `json:"epoch"`
+	DurationUS int64  `json:"duration_us,omitempty"`
+	Outcome    string `json:"outcome,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded in-memory ring of EventRecords: the fabric
+// manager's flight recorder. Writes never block and never grow memory
+// past the capacity; once full, the oldest records fall off and the
+// Dropped count says how many. Safe for concurrent use; the single
+// writer is the manager's event loop but readers snapshot from request
+// goroutines.
+type Journal struct {
+	mu   sync.Mutex
+	buf  []EventRecord
+	cap  int
+	next uint64 // seq of the next record == total ever recorded
+}
+
+// NewJournal returns a ring holding at most capacity records
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]EventRecord, 0, capacity), cap: capacity}
+}
+
+// Record appends one record, stamping Seq and, if unset, the wall-clock
+// time. No-op on a nil journal.
+func (j *Journal) Record(rec EventRecord) {
+	if j == nil {
+		return
+	}
+	if rec.TimeUnixNS == 0 {
+		rec.TimeUnixNS = time.Now().UnixNano()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec.Seq = j.next
+	j.next++
+	if len(j.buf) < j.cap {
+		j.buf = append(j.buf, rec)
+		return
+	}
+	j.buf[int(rec.Seq)%j.cap] = rec
+}
+
+// Snapshot returns up to n kept records, oldest first (n <= 0 means
+// all), plus how many older records the ring has dropped.
+func (j *Journal) Snapshot(n int) (recs []EventRecord, dropped uint64) {
+	if j == nil {
+		return nil, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	kept := len(j.buf)
+	dropped = j.next - uint64(kept)
+	if n <= 0 || n > kept {
+		n = kept
+	}
+	recs = make([]EventRecord, 0, n)
+	// Oldest kept record is seq j.next-kept at index (j.next-kept)%cap.
+	for i := kept - n; i < kept; i++ {
+		seq := j.next - uint64(kept) + uint64(i)
+		if kept < j.cap {
+			recs = append(recs, j.buf[i])
+		} else {
+			recs = append(recs, j.buf[int(seq)%j.cap])
+		}
+	}
+	return recs, dropped
+}
+
+// Len returns the number of kept records.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.buf)
+}

@@ -1,0 +1,265 @@
+package fmgr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fattree/internal/obs"
+)
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(EventRecord{Kind: EvFault, Detail: fmt.Sprintf("link %d", i)})
+	}
+	recs, dropped := j.Snapshot(0)
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("kept %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		wantSeq := uint64(6 + i)
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d: seq %d, want %d (out of order?)", i, r.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("link %d", 6+i); r.Detail != want {
+			t.Fatalf("record %d: detail %q, want %q", i, r.Detail, want)
+		}
+		if r.TimeUnixNS == 0 {
+			t.Fatalf("record %d: time not stamped", i)
+		}
+	}
+	// Limited snapshot returns the newest n, still oldest first.
+	recs, _ = j.Snapshot(2)
+	if len(recs) != 2 || recs[0].Seq != 8 || recs[1].Seq != 9 {
+		t.Fatalf("Snapshot(2) = %+v, want seqs 8,9", recs)
+	}
+}
+
+func TestJournalPartialAndNil(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(EventRecord{Kind: EvSwap})
+	j.Record(EventRecord{Kind: EvFault})
+	recs, dropped := j.Snapshot(0)
+	if dropped != 0 || len(recs) != 2 || recs[0].Kind != EvSwap || recs[1].Kind != EvFault {
+		t.Fatalf("partial ring: dropped=%d recs=%+v", dropped, recs)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", j.Len())
+	}
+	var nilJ *Journal
+	nilJ.Record(EventRecord{Kind: EvFault})
+	if recs, dropped := nilJ.Snapshot(0); recs != nil || dropped != 0 || nilJ.Len() != 0 {
+		t.Fatal("nil journal must no-op")
+	}
+}
+
+// TestEventsReplayFaultLifecycle injects a fault over HTTP and checks
+// that GET /v1/events replays the full fault → reroute → validate →
+// swap lifecycle in order, stamped with the new epoch.
+func TestEventsReplayFaultLifecycle(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	h := m.Handler()
+
+	link := fabricLink(t, m.t, 0)
+	req := httptest.NewRequest("POST", "/v1/faults",
+		strings.NewReader(fmt.Sprintf(`{"fail":[%d]}`, link)))
+	if rec, body := do(t, h, req); rec.Code != http.StatusAccepted {
+		t.Fatalf("faults: %d %v", rec.Code, body)
+	}
+	waitEpoch(t, m, 2)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/events", nil))
+	if rec.Code != 200 {
+		t.Fatalf("events: %d %s", rec.Code, rec.Body.String())
+	}
+	var doc EventsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != EventsSchema || doc.Epoch != 2 || doc.Dropped != 0 {
+		t.Fatalf("events header: %+v", doc)
+	}
+	var kinds []string
+	for _, e := range doc.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{EvFault, EvReroute, EvValidate, EvSwap}
+	pos := -1
+	for _, k := range want {
+		next := -1
+		for i := pos + 1; i < len(kinds); i++ {
+			if kinds[i] == k {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			t.Fatalf("lifecycle %v not found in order within %v", want, kinds)
+		}
+		pos = next
+	}
+	for _, e := range doc.Events {
+		switch e.Kind {
+		case EvReroute, EvValidate, EvSwap:
+			if e.Epoch != 2 || e.Outcome != OutcomeOK {
+				t.Fatalf("%s record: %+v, want epoch 2 outcome ok", e.Kind, e)
+			}
+		case EvFault:
+			if want := fmt.Sprintf("link %d", link); e.Detail != want {
+				t.Fatalf("fault detail %q, want %q", e.Detail, want)
+			}
+		}
+	}
+	// Reroute duration must be recorded.
+	for _, e := range doc.Events {
+		if e.Kind == EvReroute && e.DurationUS < 0 {
+			t.Fatalf("reroute duration %d < 0", e.DurationUS)
+		}
+	}
+
+	// n-limited and invalid-n queries.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/events?n=1", nil))
+	var one EventsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Events) != 1 || one.Events[0].Kind != EvSwap {
+		t.Fatalf("events?n=1 = %+v, want just the swap", one.Events)
+	}
+	if rec, _ := get(t, h, "/v1/events?n=bad"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("events?n=bad: %d, want 400", rec.Code)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	h := m.Handler()
+	// Drive one request so the RED family exists.
+	if rec, _ := get(t, h, "/v1/route?src=0&dst=9"); rec.Code != 200 {
+		t.Fatalf("route: %d", rec.Code)
+	}
+
+	// Default stays JSON.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	name := obs.Labeled("fmgr_http_requests_total",
+		"endpoint", "GET /v1/route", "code", "2xx")
+	if snap.Counters[name] != 1 {
+		t.Fatalf("RED counter %q = %d, want 1 (counters: %v)", name, snap.Counters[name], snap.Counters)
+	}
+
+	// Accept: text/plain selects Prometheus exposition.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE fmgr_epoch gauge",
+		"# TYPE fmgr_http_requests_total counter",
+		`fmgr_http_requests_total{endpoint="GET /v1/route",code="2xx"} 1`,
+		`fmgr_http_request_duration_us_bucket{endpoint="GET /v1/route",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// ?format=prometheus works without the header; ?format=json forces
+	// JSON even with a text Accept.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("?format=prometheus content type %q", ct)
+	}
+	req = httptest.NewRequest("GET", "/metrics?format=json", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json content type %q", ct)
+	}
+}
+
+// TestRequestSpans wires a span tracer into the manager and checks the
+// request path and the rebuild loop both emit linked spans.
+func TestRequestSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	m := newManager(t, "rlft2:4,8", func(c *Config) {
+		c.Spans = obs.NewSpanTracer(tr, 1, "fmgr-test")
+	})
+	m.Start()
+	h := m.Handler()
+
+	if rec, _ := get(t, h, "/v1/route?src=0&dst=9"); rec.Code != 200 {
+		t.Fatalf("route: %d", rec.Code)
+	}
+	link := fabricLink(t, m.t, 0)
+	req := httptest.NewRequest("POST", "/v1/faults",
+		strings.NewReader(fmt.Sprintf(`{"fail":[%d]}`, link)))
+	if rec, _ := do(t, h, req); rec.Code != http.StatusAccepted {
+		t.Fatalf("faults: %d", rec.Code)
+	}
+	waitEpoch(t, m, 2)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		`"GET /v1/route"`, `"decode"`, `"snapshot"`, `"lookup"`, `"encode"`,
+		`"rebuild"`, `"reroute"`, `"route_around"`, `"compile_lenient"`,
+		`"shift_hsd"`, `"validate"`, `"trace_id"`, `"parent_id"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanSampling checks that SpanSample=N keeps one in N request
+// traces.
+func TestSpanSampling(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	m := newManager(t, "rlft2:4,8", func(c *Config) {
+		c.Spans = obs.NewSpanTracer(tr, 1, "fmgr-test")
+		c.SpanSample = 4
+	})
+	m.Start()
+	h := m.Handler()
+	for i := 0; i < 8; i++ {
+		if rec, _ := get(t, h, "/v1/route?src=0&dst=9"); rec.Code != 200 {
+			t.Fatalf("route %d: %d", i, rec.Code)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), `"GET /v1/route"`); got != 2 {
+		t.Fatalf("sampled %d route traces out of 8 at 1-in-4, want 2", got)
+	}
+}

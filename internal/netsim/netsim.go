@@ -690,7 +690,7 @@ func (nw *Network) Run(msgs []Message) (Stats, error) {
 	}
 	nw.reset()
 	if err := nw.load(msgs); err != nil {
-		return Stats{}, err
+		return Stats{}, nw.flushed(err)
 	}
 	return nw.finish()
 }
@@ -781,7 +781,7 @@ func (nw *Network) RunDependent(stages [][]Message) (Stats, error) {
 	}
 	nw.reset()
 	if err := nw.loadDependent(stages); err != nil {
-		return Stats{}, err
+		return Stats{}, nw.flushed(err)
 	}
 	return nw.finish()
 }

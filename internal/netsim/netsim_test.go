@@ -667,6 +667,44 @@ func TestRunDependentDeadlockFreeUnderContention(t *testing.T) {
 	}
 }
 
+// TestFlowLogFlushedOnError: an aborted run (bad message, load error)
+// must still flush everything buffered in the flow-log writer — the
+// schema stamp and header here, tail records in general — instead of
+// dropping them silently with the early return.
+func TestFlowLogFlushedOnError(t *testing.T) {
+	lft := fig1LFT()
+	run := func(name string, drive func(nw *Network) error) {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			var log bytes.Buffer
+			cfg.FlowLog = &log
+			nw, err := New(lft, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := drive(nw); err == nil {
+				t.Fatal("bad message did not fail the run")
+			}
+			if !strings.Contains(log.String(), "# "+FlowLogSchema) {
+				t.Fatalf("flow log not flushed on the error path; got %q", log.String())
+			}
+		})
+	}
+	bad := Message{Src: 2, Dst: 2, Bytes: 64} // self message: load error
+	run("Run", func(nw *Network) error {
+		_, err := nw.Run([]Message{{Src: 0, Dst: 5, Bytes: 64}, bad})
+		return err
+	})
+	run("RunDependent", func(nw *Network) error {
+		_, err := nw.RunDependent([][]Message{{{Src: 0, Dst: 5, Bytes: 64}}, {bad}})
+		return err
+	})
+	run("RunStages", func(nw *Network) error {
+		_, err := nw.RunStages([][]Message{{{Src: 0, Dst: 5, Bytes: 64}}, {bad}})
+		return err
+	})
+}
+
 func TestFlowLog(t *testing.T) {
 	lft := fig1LFT()
 	cfg := DefaultConfig()

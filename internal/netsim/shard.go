@@ -464,7 +464,7 @@ func (nw *Network) runShardedAsync(msgs []Message, depStages [][]Message) (Stats
 		err = nw.load(msgs)
 	}
 	if err != nil {
-		return Stats{}, err
+		return Stats{}, nw.flushed(err)
 	}
 	nw.refreshShardViews()
 	nw.startProbes()

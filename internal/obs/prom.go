@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a registry snapshot.
+//
+// Metric names in the registry may carry labels in canonical
+// `name{key="value",...}` form — build them with Labeled so values are
+// escaped correctly. The renderer splits the base name from the label
+// set, sanitizes the base to the Prometheus grammar, groups series of
+// one base under a single # TYPE line, and renders histograms as the
+// cumulative _bucket/_sum/_count triplet the format requires. Output is
+// fully sorted, so it is deterministic for a given snapshot.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Labeled builds a canonical labeled metric name, `name{k="v",...}`,
+// escaping backslash, double quote and newline in values as the
+// exposition format demands. Keys are emitted in the given order; call
+// sites should keep that order stable so one series maps to one
+// registry entry. With no pairs it returns name unchanged.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeries separates a registry metric name into its sanitized base
+// name and the raw label body (without braces, possibly empty).
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], strings.TrimSuffix(name[i+1:], "}")
+	} else {
+		base = name
+	}
+	return sanitizeMetricName(base), labels
+}
+
+// sanitizeMetricName maps an arbitrary base name onto the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	ok := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !ok(i, s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if !ok(i, b[i]) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a sample value; the format wants plain decimal or
+// scientific notation, which 'g' provides.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promSeries is one (base, labels, render) entry awaiting output.
+type promSeries struct {
+	base   string
+	labels string
+	kind   string
+	write  func(w *bufio.Writer, base, labels string)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: counters and gauges as single samples, histograms
+// as cumulative le-bucket series with _sum and _count. Gauges include
+// any GaugeFunc-computed values already folded into the snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	var all []promSeries
+	for name, v := range s.Counters {
+		v := v
+		base, labels := splitSeries(name)
+		all = append(all, promSeries{base, labels, "counter", func(w *bufio.Writer, base, labels string) {
+			writeSample(w, base, labels, strconv.FormatInt(v, 10))
+		}})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		base, labels := splitSeries(name)
+		all = append(all, promSeries{base, labels, "gauge", func(w *bufio.Writer, base, labels string) {
+			writeSample(w, base, labels, strconv.FormatInt(v, 10))
+		}})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		base, labels := splitSeries(name)
+		all = append(all, promSeries{base, labels, "histogram", func(w *bufio.Writer, base, labels string) {
+			cum := uint64(0)
+			for i, bound := range h.Bounds {
+				cum += at64(h.Counts, i)
+				writeSample(w, base+"_bucket", joinLabels(labels, `le="`+promFloat(bound)+`"`), strconv.FormatUint(cum, 10))
+			}
+			cum += at64(h.Counts, len(h.Bounds))
+			writeSample(w, base+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatUint(cum, 10))
+			writeSample(w, base+"_sum", labels, promFloat(h.Sum))
+			writeSample(w, base+"_count", labels, strconv.FormatUint(cum, 10))
+		}})
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].base != all[j].base {
+			return all[i].base < all[j].base
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastBase := ""
+	for _, sr := range all {
+		// One # TYPE line per base name; labeled series of one family
+		// sort adjacent and share it.
+		if sr.base != lastBase {
+			lastBase = sr.base
+			bw.WriteString("# TYPE ")
+			bw.WriteString(sr.base)
+			bw.WriteByte(' ')
+			bw.WriteString(sr.kind)
+			bw.WriteByte('\n')
+		}
+		sr.write(bw, sr.base, sr.labels)
+	}
+	return bw.Flush()
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func at64(c []uint64, i int) uint64 {
+	if i < 0 || i >= len(c) {
+		return 0
+	}
+	return c[i]
+}

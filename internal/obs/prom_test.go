@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("m"); got != "m" {
+		t.Fatalf("no labels: %q", got)
+	}
+	if got := Labeled("m", "a", "x"); got != `m{a="x"}` {
+		t.Fatalf("one label: %q", got)
+	}
+	if got := Labeled("m", "a", "x", "b", "y"); got != `m{a="x",b="y"}` {
+		t.Fatalf("two labels: %q", got)
+	}
+	if got := Labeled("m", "a", `q"\`+"\n"); got != `m{a="q\"\\\n"}` {
+		t.Fatalf("escaping: %q", got)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"fmgr_epoch":    "fmgr_epoch",
+		"a.b-c/d":       "a_b_c_d",
+		"0abc":          "_abc",
+		"":              "_",
+		"ns:metric_us9": "ns:metric_us9",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheus pins the exposition rendering exactly: types,
+// label passthrough, cumulative buckets with +Inf, sum/count, sorted
+// deterministic order, one TYPE line per labeled family.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total").Add(7)
+	r.Counter(Labeled("rpc_total", "endpoint", "/v1/route")).Add(3)
+	r.Counter(Labeled("rpc_total", "endpoint", "/v1/order")).Add(2)
+	r.Gauge("epoch").Set(5)
+	h := r.MustHistogram("lat_us", []float64{1, 10, 100})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(5)   // bucket le=10
+	h.Observe(5)
+	h.Observe(1000) // overflow
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE epoch gauge
+epoch 5
+# TYPE lat_us histogram
+lat_us_bucket{le="1"} 1
+lat_us_bucket{le="10"} 3
+lat_us_bucket{le="100"} 3
+lat_us_bucket{le="+Inf"} 4
+lat_us_sum 1010.5
+lat_us_count 4
+# TYPE req_total counter
+req_total 7
+# TYPE rpc_total counter
+rpc_total{endpoint="/v1/order"} 2
+rpc_total{endpoint="/v1/route"} 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWritePrometheusLabeledHistogram checks the le label merges after
+// existing labels and the family shares one TYPE line.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	for _, ep := range []string{"a", "b"} {
+		h := r.MustHistogram(Labeled("dur_us", "endpoint", ep), []float64{10})
+		h.Observe(3)
+	}
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE dur_us histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", out)
+	}
+	for _, line := range []string{
+		`dur_us_bucket{endpoint="a",le="10"} 1`,
+		`dur_us_bucket{endpoint="a",le="+Inf"} 1`,
+		`dur_us_sum{endpoint="a"} 3`,
+		`dur_us_count{endpoint="b"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+// TestWritePrometheusGaugeFunc: lazily computed gauges reach the
+// exposition like stored ones.
+func TestWritePrometheusGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"process_uptime_seconds", "go_goroutines", "go_heap_inuse_bytes", "go_heap_objects"} {
+		if !strings.Contains(b.String(), "# TYPE "+m+" gauge\n"+m+" ") {
+			t.Fatalf("missing runtime gauge %s in:\n%s", m, b.String())
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %d, want >= 1", snap.Gauges["go_goroutines"])
+	}
+	if snap.Gauges["go_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("go_heap_inuse_bytes = %d, want > 0", snap.Gauges["go_heap_inuse_bytes"])
+	}
+}

@@ -179,19 +179,36 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Registry holds named metrics. The zero value is not usable; a nil
 // *Registry hands out nil handles, making disabled instrumentation free.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() int64),
 	}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time — for values the process can always answer (goroutine count,
+// uptime) without anything updating a stored gauge. fn runs with the
+// registry lock held and must not call back into the registry. A
+// GaugeFunc shadows a stored Gauge of the same name in snapshots.
+// No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -344,6 +361,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{
 			Bounds: append([]float64(nil), h.bounds...),
@@ -387,6 +407,11 @@ func (r *Registry) Names() []string {
 	}
 	for n := range r.hists {
 		names = append(names, n)
+	}
+	for n := range r.gaugeFuncs {
+		if _, stored := r.gauges[n]; !stored {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics adds process-health gauges to the registry,
+// evaluated lazily at snapshot time, so /metrics answers "is the daemon
+// healthy" without reaching for pprof:
+//
+//	process_uptime_seconds  seconds since registration
+//	go_goroutines           live goroutine count
+//	go_heap_inuse_bytes     bytes in in-use heap spans
+//	go_heap_objects         live heap objects
+//
+// The heap gauges share one runtime.ReadMemStats call per snapshot;
+// nothing is paid between snapshots. No-op on a nil registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	r.GaugeFunc("process_uptime_seconds", func() int64 {
+		return int64(time.Since(start).Seconds())
+	})
+	r.GaugeFunc("go_goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	// One ReadMemStats serves both heap gauges: the second func reuses
+	// the stats captured by the first within a single Snapshot call.
+	var ms runtime.MemStats
+	var msAt time.Time
+	readMem := func() *runtime.MemStats {
+		// Snapshot holds the registry lock while evaluating funcs, so
+		// this is never entered concurrently.
+		if time.Since(msAt) > 10*time.Millisecond {
+			runtime.ReadMemStats(&ms)
+			msAt = time.Now()
+		}
+		return &ms
+	}
+	r.GaugeFunc("go_heap_inuse_bytes", func() int64 {
+		return int64(readMem().HeapInuse)
+	})
+	r.GaugeFunc("go_heap_objects", func() int64 {
+		return int64(readMem().HeapObjects)
+	})
+}

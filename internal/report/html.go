@@ -14,8 +14,9 @@ type HTMLOptions struct {
 	// Title heads the page; a default is derived from the inputs when
 	// empty.
 	Title string
-	// MetricsFile / TraceFile name the inputs in the provenance line.
-	MetricsFile, TraceFile string
+	// MetricsFile / TraceFile / LoadFile / EventsFile name the inputs in
+	// the provenance lines.
+	MetricsFile, TraceFile, LoadFile, EventsFile string
 	// Generated is a freeform provenance stamp (e.g. a timestamp);
 	// omitted when empty so golden tests stay byte-stable.
 	Generated string
@@ -24,33 +25,57 @@ type HTMLOptions struct {
 	MaxHeatmapRows int
 }
 
+// Inputs bundles the optional data sources of one report. Any field
+// may be nil; the report shows what it has. Probes and Trace are core
+// (their absence is noted), while Load and Events are opt-in extras
+// that render only when present.
+type Inputs struct {
+	Probes *ProbeData
+	Trace  *TraceData
+	Load   *LoadDoc
+	Events *EventsDoc
+}
+
 // RenderHTML renders one self-contained HTML report — no external
-// scripts, styles or images, just inline CSS and SVG — from a parsed
-// probe stream and/or trace. Either input may be nil; the report shows
-// what it has and notes what is missing. Output is deterministic for
-// given inputs, which the golden test pins.
-func RenderHTML(w io.Writer, probes *ProbeData, trace *TraceData, opt HTMLOptions) error {
+// scripts, styles or images, just inline CSS and SVG — from parsed
+// probe, trace, load-sweep and fabric-event inputs. Output is
+// deterministic for given inputs, which the golden test pins.
+func RenderHTML(w io.Writer, in Inputs, opt HTMLOptions) error {
 	if opt.MaxHeatmapRows <= 0 {
 		opt.MaxHeatmapRows = 64
 	}
-	v := buildView(probes, trace, opt)
+	v := buildView(in, opt)
 	return pageTmpl.Execute(w, v)
 }
 
 // htmlView is the template's data: pre-rendered SVG fragments plus
 // tables, so the template stays purely structural.
 type htmlView struct {
-	Title     string
-	Generated string
-	Inputs    []string
-	Schemas   []string
-	Heatmap   template.HTML
-	Timeline  template.HTML
-	Sparks    []sparkView
-	Hists     []histView
-	Counters  []kvView
-	Gauges    []kvView
-	Notes     []string
+	Title      string
+	Generated  string
+	Inputs     []string
+	Schemas    []string
+	Heatmap    template.HTML
+	Timeline   template.HTML
+	Sparks     []sparkView
+	Hists      []histView
+	Counters   []kvView
+	Gauges     []kvView
+	LoadCurve  template.HTML
+	LoadLevels []loadLevelView
+	EventStrip template.HTML
+	Events     []eventView
+	Notes      []string
+}
+
+type loadLevelView struct {
+	Level                    string
+	RPS, Sent, Errors        string
+	P50, P95, P99, ServerP99 string
+}
+
+type eventView struct {
+	Seq, Offset, Kind, Epoch, Duration, Outcome, Detail string
 }
 
 type sparkView struct {
@@ -70,7 +95,8 @@ type kvView struct {
 	Value string
 }
 
-func buildView(probes *ProbeData, trace *TraceData, opt HTMLOptions) *htmlView {
+func buildView(in Inputs, opt HTMLOptions) *htmlView {
+	probes, trace := in.Probes, in.Trace
 	v := &htmlView{Title: opt.Title, Generated: opt.Generated}
 	if v.Title == "" {
 		v.Title = "fat-tree run report"
@@ -81,11 +107,23 @@ func buildView(probes *ProbeData, trace *TraceData, opt HTMLOptions) *htmlView {
 	if opt.TraceFile != "" {
 		v.Inputs = append(v.Inputs, "trace: "+opt.TraceFile)
 	}
+	if opt.LoadFile != "" {
+		v.Inputs = append(v.Inputs, "load: "+opt.LoadFile)
+	}
+	if opt.EventsFile != "" {
+		v.Inputs = append(v.Inputs, "events: "+opt.EventsFile)
+	}
 	if probes != nil && probes.Schema != "" {
 		v.Schemas = append(v.Schemas, probes.Schema)
 	}
 	if trace != nil && trace.Schema != "" {
 		v.Schemas = append(v.Schemas, trace.Schema)
+	}
+	if in.Load != nil && in.Load.Schema != "" {
+		v.Schemas = append(v.Schemas, in.Load.Schema)
+	}
+	if in.Events != nil && in.Events.Schema != "" {
+		v.Schemas = append(v.Schemas, in.Events.Schema)
 	}
 
 	if probes == nil {
@@ -102,6 +140,15 @@ func buildView(probes *ProbeData, trace *TraceData, opt HTMLOptions) *htmlView {
 		v.Notes = append(v.Notes, "no trace file: stage timeline omitted")
 	} else {
 		v.Timeline = buildTimeline(trace.StageSpans(), &v.Notes)
+	}
+	// Load and events sections are opt-in: no note when absent, so
+	// reports predating them render unchanged.
+	if in.Load != nil {
+		v.LoadCurve = buildLoadCurve(in.Load, &v.Notes)
+		v.LoadLevels = buildLoadTable(in.Load)
+	}
+	if in.Events != nil {
+		v.EventStrip, v.Events = buildEventSection(in.Events, &v.Notes)
 	}
 	return v
 }
@@ -237,6 +284,169 @@ func buildTimeline(spans []StageSpan, notes *[]string) template.HTML {
 	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">%s &#181;s</text>`, f(width), f(barH+14), f(end))
 	b.WriteString(`</svg>`)
 	return template.HTML(b.String())
+}
+
+// buildLoadCurve plots the sweep's latency tail against achieved
+// throughput: client p99 (solid) and server histogram p99 (dashed) per
+// level.
+func buildLoadCurve(load *LoadDoc, notes *[]string) template.HTML {
+	if len(load.Levels) == 0 {
+		*notes = append(*notes, "load sweep has no levels: curve omitted")
+		return ""
+	}
+	const width, height, left, bottom = 640.0, 200.0, 56.0, 22.0
+	maxX, maxY := 0.0, 0.0
+	for _, l := range load.Levels {
+		if l.AchievedRPS > maxX {
+			maxX = l.AchievedRPS
+		}
+		for _, y := range []float64{l.P99US, l.ServerP99US} {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	px := func(rps float64) float64 { return left + rps/maxX*(width-left-8) }
+	py := func(us float64) float64 { return (height - bottom) * (1 - us/maxY) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="p99 latency vs offered load">`,
+		f(width), f(height), f(width), f(height))
+	lines := []struct {
+		color, dash string
+		y           func(LoadLevel) float64
+	}{
+		{"#1e40af", "", func(l LoadLevel) float64 { return l.P99US }},
+		{"#b45309", "4 3", func(l LoadLevel) float64 { return l.ServerP99US }},
+	}
+	for _, ln := range lines {
+		var pts []string
+		for _, l := range load.Levels {
+			pts = append(pts, f(px(l.AchievedRPS))+","+f(py(ln.y(l))))
+		}
+		dash := ""
+		if ln.dash != "" {
+			dash = ` stroke-dasharray="` + ln.dash + `"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5"%s points="%s"/>`,
+			ln.color, dash, strings.Join(pts, " "))
+		for _, l := range load.Levels {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"><title>%s: %s req/s, p99 %s &#181;s</title></circle>`,
+				f(px(l.AchievedRPS)), f(py(ln.y(l))), ln.color,
+				template.HTMLEscapeString(loadLevelLabel(l)), f(l.AchievedRPS), f(ln.y(l)))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl">0 req/s</text>`, f(left), f(height-8))
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">%s req/s</text>`, f(width-8), f(height-8), f(maxX))
+	fmt.Fprintf(&b, `<text x="2" y="10" class="lbl">%s &#181;s</text>`, f(maxY))
+	fmt.Fprintf(&b, `<text x="%s" y="10" class="lbl">client p99 (solid) vs server p99 (dashed)</text>`, f(left))
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+func loadLevelLabel(l LoadLevel) string {
+	if l.Mode == "open" {
+		return fmt.Sprintf("open %s/s", f(l.OfferedRPS))
+	}
+	return fmt.Sprintf("closed c=%d", l.Concurrency)
+}
+
+func buildLoadTable(load *LoadDoc) []loadLevelView {
+	var out []loadLevelView
+	for _, l := range load.Levels {
+		out = append(out, loadLevelView{
+			Level:     loadLevelLabel(l),
+			RPS:       f(l.AchievedRPS),
+			Sent:      fmt.Sprintf("%d", l.Sent),
+			Errors:    fmt.Sprintf("%d", l.Errors),
+			P50:       f(l.P50US),
+			P95:       f(l.P95US),
+			P99:       f(l.P99US),
+			ServerP99: f(l.ServerP99US),
+		})
+	}
+	return out
+}
+
+// eventColors keys the event strip; unknown kinds fall back to grey.
+var eventColors = map[string]string{
+	"fault":        "#b91c1c",
+	"revive":       "#15803d",
+	"fault_random": "#b91c1c",
+	"alloc":        "#7c3aed",
+	"free":         "#7c3aed",
+	"reroute":      "#1d4ed8",
+	"validate":     "#0e7490",
+	"swap":         "#ca8a04",
+}
+
+// maxEventRows caps the event table; truncation is announced in the
+// notes, never silent.
+const maxEventRows = 256
+
+// buildEventSection renders the fabric event journal: a time strip of
+// colored markers plus the record table (newest records win the cap).
+func buildEventSection(events *EventsDoc, notes *[]string) (template.HTML, []eventView) {
+	evs := events.Events
+	if events.Dropped > 0 {
+		*notes = append(*notes, fmt.Sprintf("event journal dropped %d older record(s) at its ring capacity", events.Dropped))
+	}
+	if len(evs) == 0 {
+		*notes = append(*notes, "event journal is empty: fabric timeline omitted")
+		return "", nil
+	}
+	t0 := evs[0].TimeUnixNS
+	spanMS := float64(evs[len(evs)-1].TimeUnixNS-t0) / 1e6
+	if spanMS <= 0 {
+		spanMS = 1
+	}
+	const width, barH = 860.0, 20.0
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="fabric event timeline">`,
+		f(width), f(barH+16), f(width), f(barH+16))
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%s" height="%s" fill="#f3f4f6"/>`, f(width), f(barH))
+	for _, ev := range evs {
+		offMS := float64(ev.TimeUnixNS-t0) / 1e6
+		color, ok := eventColors[ev.Kind]
+		if !ok {
+			color = "#6b7280"
+		}
+		fmt.Fprintf(&b, `<rect x="%s" y="1" width="3" height="%s" fill="%s"><title>#%d %s @ +%s ms (epoch %d): %s</title></rect>`,
+			f(offMS/spanMS*(width-3)), f(barH-2), color,
+			ev.Seq, template.HTMLEscapeString(ev.Kind), f(offMS), ev.Epoch,
+			template.HTMLEscapeString(ev.Detail))
+	}
+	fmt.Fprintf(&b, `<text x="0" y="%s" class="lbl">+0 ms</text>`, f(barH+12))
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">+%s ms</text>`, f(width), f(barH+12), f(spanMS))
+	b.WriteString(`</svg>`)
+
+	if len(evs) > maxEventRows {
+		*notes = append(*notes, fmt.Sprintf("event table shows the newest %d of %d records", maxEventRows, len(evs)))
+		evs = evs[len(evs)-maxEventRows:]
+	}
+	var rows []eventView
+	for _, ev := range evs {
+		dur := ""
+		if ev.DurationUS > 0 {
+			dur = fmt.Sprintf("%d", ev.DurationUS)
+		}
+		rows = append(rows, eventView{
+			Seq:      fmt.Sprintf("%d", ev.Seq),
+			Offset:   "+" + f(float64(ev.TimeUnixNS-t0)/1e6) + " ms",
+			Kind:     ev.Kind,
+			Epoch:    fmt.Sprintf("%d", ev.Epoch),
+			Duration: dur,
+			Outcome:  ev.Outcome,
+			Detail:   ev.Detail,
+		})
+	}
+	return template.HTML(b.String()), rows
 }
 
 // sparkSpec reduces one probe series to one or more plotted lines.
@@ -433,7 +643,19 @@ svg .bar{font:10px ui-monospace,monospace;fill:#fff}
 <p class="legend">{{.Legend}}</p>
 {{.SVG}}
 {{end}}{{end}}
-{{if .Hists}}<h2>Latency and distribution quantiles</h2>
+{{if .LoadCurve}}<h2>Load curve</h2>
+{{.LoadCurve}}
+{{end}}{{if .LoadLevels}}<table>
+<tr><th>level</th><th>req/s</th><th>sent</th><th>errors</th><th>p50 &#181;s</th><th>p95 &#181;s</th><th>p99 &#181;s</th><th>server p99 &#181;s</th></tr>
+{{range .LoadLevels}}<tr><td>{{.Level}}</td><td>{{.RPS}}</td><td>{{.Sent}}</td><td>{{.Errors}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td><td>{{.ServerP99}}</td></tr>
+{{end}}</table>
+{{end}}{{if .EventStrip}}<h2>Fabric events</h2>
+{{.EventStrip}}
+{{end}}{{if .Events}}<table>
+<tr><th>seq</th><th>time</th><th>kind</th><th>epoch</th><th>&#181;s</th><th>outcome</th><th>detail</th></tr>
+{{range .Events}}<tr><td>{{.Seq}}</td><td>{{.Offset}}</td><td>{{.Kind}}</td><td>{{.Epoch}}</td><td>{{.Duration}}</td><td>{{.Outcome}}</td><td>{{.Detail}}</td></tr>
+{{end}}</table>
+{{end}}{{if .Hists}}<h2>Latency and distribution quantiles</h2>
 <table>
 <tr><th>histogram</th><th>count</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>
 {{range .Hists}}<tr><td>{{.Name}}</td><td>{{.Count}}</td><td>{{.Mean}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td></tr>

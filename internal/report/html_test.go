@@ -72,7 +72,7 @@ func fixtureTrace() *TraceData {
 // renderer changes.
 func TestRenderHTMLGolden(t *testing.T) {
 	var buf bytes.Buffer
-	err := RenderHTML(&buf, fixtureProbes(t), fixtureTrace(), HTMLOptions{
+	err := RenderHTML(&buf, Inputs{Probes: fixtureProbes(t), Trace: fixtureTrace()}, HTMLOptions{
 		Title:       "golden fixture run",
 		MetricsFile: "probes.jsonl",
 		TraceFile:   "trace.json",
@@ -101,7 +101,7 @@ func TestRenderHTMLGolden(t *testing.T) {
 // quantile table present.
 func TestRenderHTMLContent(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RenderHTML(&buf, fixtureProbes(t), fixtureTrace(), HTMLOptions{Generated: "test"}); err != nil {
+	if err := RenderHTML(&buf, Inputs{Probes: fixtureProbes(t), Trace: fixtureTrace()}, HTMLOptions{Generated: "test"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -132,21 +132,21 @@ func TestRenderHTMLContent(t *testing.T) {
 // may be missing, and the report says so instead of failing.
 func TestRenderHTMLPartialInputs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RenderHTML(&buf, fixtureProbes(t), nil, HTMLOptions{}); err != nil {
+	if err := RenderHTML(&buf, Inputs{Probes: fixtureProbes(t)}, HTMLOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no trace file") {
 		t.Error("missing-trace note absent")
 	}
 	buf.Reset()
-	if err := RenderHTML(&buf, nil, fixtureTrace(), HTMLOptions{}); err != nil {
+	if err := RenderHTML(&buf, Inputs{Trace: fixtureTrace()}, HTMLOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no probe stream") {
 		t.Error("missing-probes note absent")
 	}
 	buf.Reset()
-	if err := RenderHTML(&buf, nil, nil, HTMLOptions{}); err != nil {
+	if err := RenderHTML(&buf, Inputs{}, HTMLOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "<html") {
@@ -166,7 +166,7 @@ func TestHeatmapTruncation(t *testing.T) {
 	s.Samples = append(s.Samples, Sample{T: 0, Values: vals}, Sample{T: 1000, Values: vals})
 	d.Series["link_util"] = s
 	var buf bytes.Buffer
-	if err := RenderHTML(&buf, d, nil, HTMLOptions{MaxHeatmapRows: 3}); err != nil {
+	if err := RenderHTML(&buf, Inputs{Probes: d}, HTMLOptions{MaxHeatmapRows: 3}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadSchema stamps ftload sweep documents.
+const LoadSchema = "fattree-load/v1"
+
+// LoadLevel is one rung of a load sweep: a fixed concurrency (closed
+// loop) or offered rate (open loop) held for DurationS seconds, with
+// client-side latency quantiles and the server-side histogram estimate
+// over the same window.
+type LoadLevel struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Concurrency int     `json:"concurrency,omitempty"`
+	OfferedRPS  float64 `json:"offered_rps,omitempty"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Sent        int64   `json:"sent"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed,omitempty"` // open loop: ticks dropped at the outstanding cap
+	DurationS   float64 `json:"duration_s"`
+
+	// Client-side quantiles over exact samples, microseconds.
+	P50US float64 `json:"p50_us"`
+	P95US float64 `json:"p95_us"`
+	P99US float64 `json:"p99_us"`
+	MaxUS float64 `json:"max_us"`
+
+	// BucketP99US re-estimates the client p99 through the server's
+	// histogram bounds; ServerP99US is the server histogram delta over
+	// the level's window. Comparing these two is like-for-like — both
+	// carry the same bucketing error.
+	BucketP99US float64 `json:"bucket_p99_us,omitempty"`
+	ServerP99US float64 `json:"server_p99_us,omitempty"`
+}
+
+// LoadDoc is a full ftload sweep.
+type LoadDoc struct {
+	Schema   string `json:"schema"`
+	Target   string `json:"target"`
+	Endpoint string `json:"endpoint"`
+	Hosts    int    `json:"hosts,omitempty"`
+	// RTTFloorUS is the median /healthz round trip; RTTFloorP99US the
+	// bucketized p99 of the same probes — the transport tail a client
+	// p99 carries that the server handler histogram does not.
+	RTTFloorUS    float64     `json:"rtt_floor_us,omitempty"`
+	RTTFloorP99US float64     `json:"rtt_floor_p99_us,omitempty"`
+	Levels        []LoadLevel `json:"levels"`
+}
+
+// ParseLoad reads a fattree-load/v1 document.
+func ParseLoad(r io.Reader) (*LoadDoc, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("report: reading load doc: %w", err)
+	}
+	var doc LoadDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("report: load doc is not JSON: %w", err)
+	}
+	if doc.Schema != LoadSchema {
+		return nil, fmt.Errorf("report: load doc schema %q, want %q", doc.Schema, LoadSchema)
+	}
+	return &doc, nil
+}
+
+// FabricEvent mirrors the fmgr journal record on the wire
+// (fattree-events/v1); report keeps its own copy so rendering does not
+// pull in the daemon.
+type FabricEvent struct {
+	Seq        uint64 `json:"seq"`
+	TimeUnixNS int64  `json:"time_unix_ns"`
+	Kind       string `json:"kind"`
+	Epoch      uint64 `json:"epoch"`
+	DurationUS int64  `json:"duration_us,omitempty"`
+	Outcome    string `json:"outcome,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// EventsSchema stamps fabric event journal documents.
+const EventsSchema = "fattree-events/v1"
+
+// EventsDoc is a GET /v1/events response.
+type EventsDoc struct {
+	Schema  string        `json:"schema"`
+	Epoch   uint64        `json:"epoch"`
+	Dropped uint64        `json:"dropped"`
+	Events  []FabricEvent `json:"events"`
+}
+
+// ParseEvents reads a fattree-events/v1 document.
+func ParseEvents(r io.Reader) (*EventsDoc, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("report: reading events doc: %w", err)
+	}
+	var doc EventsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("report: events doc is not JSON: %w", err)
+	}
+	if doc.Schema != EventsSchema {
+		return nil, fmt.Errorf("report: events doc schema %q, want %q", doc.Schema, EventsSchema)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Load sweep: boot ftfabricd, sweep offered load against it with
+# ftload, pull the fabric event journal after a fault injection, and
+# render everything (p99-vs-load curve + event timeline) into one HTML
+# report. Used by `make load-curve` and the CI load-smoke job.
+#
+# Tunables (environment): ADDR, TOPO, MODE (closed|open), LEVELS,
+# DURATION, AGREE (0 disables the client/server p99 agreement gate),
+# OUT (basename for load JSON / events JSON / HTML).
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7484}
+TOPO=${TOPO:-324}
+MODE=${MODE:-closed}
+LEVELS=${LEVELS:-1,2,4,8}
+DURATION=${DURATION:-2s}
+AGREE=${AGREE:-0}
+OUT=${OUT:-load}
+BIN=${BIN:-./ftfabricd.load}
+LOG=${LOG:-ftfabricd.load.log}
+
+fail() {
+    echo "load-sweep: $1" >&2
+    [ -f "$LOG" ] && sed 's/^/load-sweep: ftfabricd: /' "$LOG" >&2
+    exit 1
+}
+
+go build -o "$BIN" ./cmd/ftfabricd
+"$BIN" -topo "$TOPO" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+
+i=0
+until curl -fs "http://$ADDR/healthz" 2>/dev/null | grep -q '"ok": *true'; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "/healthz never came up"
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.1
+done
+
+# The sweep itself. -agree makes ftload exit non-zero when the client
+# and server p99 disagree beyond the fraction at the lowest level.
+AGREE_FLAGS=""
+[ "$AGREE" != "0" ] && AGREE_FLAGS="-agree $AGREE"
+go run ./cmd/ftload -addr "http://$ADDR" -mode "$MODE" -levels "$LEVELS" \
+    -duration "$DURATION" $AGREE_FLAGS -out "$OUT.json" \
+    || fail "ftload sweep failed"
+grep -q '"schema": *"fattree-load/v1"' "$OUT.json" || fail "sweep output missing schema stamp"
+grep -q '"errors": *[1-9]' "$OUT.json" && fail "sweep saw request errors"
+
+# Prometheus exposition: content negotiation must switch /metrics off
+# JSON, and the RED family must carry the swept endpoint.
+curl -fsS -H 'Accept: text/plain' "http://$ADDR/metrics" \
+    | grep -q '^# TYPE fmgr_http_requests_total counter' \
+    || fail "/metrics did not negotiate Prometheus exposition"
+
+# Event journal: inject one fault, wait for the swap record, archive
+# the fault -> reroute -> validate -> swap replay.
+curl -fsS -X POST "http://$ADDR/v1/faults" -d '{"fail_random":1}' >/dev/null \
+    || fail "fault injection rejected"
+i=0
+until curl -fsS "http://$ADDR/v1/events" | grep -q '"kind": *"swap"'; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "swap never reached the event journal"
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/events" > "$OUT.events.json"
+grep -q '"schema": *"fattree-events/v1"' "$OUT.events.json" || fail "events missing schema stamp"
+grep -q '"kind": *"reroute"' "$OUT.events.json" || fail "events missing reroute record"
+
+go run ./cmd/ftreport html -load "$OUT.json" -events "$OUT.events.json" -o "$OUT.html"
+grep -q "Load curve" "$OUT.html" || fail "report missing load curve"
+grep -q "Fabric events" "$OUT.html" || fail "report missing fabric events"
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+wait "$PID" || fail "daemon exited non-zero after SIGTERM"
+echo "load-sweep: ok ($OUT.json, $OUT.events.json, $OUT.html)"
