@@ -32,6 +32,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON (fattree-table/v1) instead of aligned text")
 		compiled = flag.Bool("compiled", true, "analyze via the compiled path cache (disable to force per-pair table walks)")
 		shards   = flag.Int("shards", 1, "event-loop shards for every simulation: 1 = sequential, N > 1 = parallel sub-tree partitions, -1 = one per CPU")
+		progress = flag.Duration("progress", 0, "print a live progress line to stderr at this wall-clock interval (0 = off)")
 		sinks    obs.FileSinks
 	)
 	sinks.RegisterFlags(flag.CommandLine)
@@ -39,14 +40,22 @@ func main() {
 	flag.Parse()
 	exp.UseCompiledPaths = *compiled
 	err := sinks.Open()
-	if err == nil && (sinks.Enabled() || *shards != 1) {
+	if err == nil && (sinks.Enabled() || *shards != 1 || *progress > 0) {
 		// Attach the sinks and the shard count to every simulation the
 		// experiments run; the trace concatenates all runs on a shared
-		// timeline.
+		// timeline, and one Progress accumulates across the sweep.
+		var prog *netsim.Progress
+		if *progress > 0 {
+			prog = &netsim.Progress{}
+			stop := prog.Report(os.Stderr, *progress, "ftbench")
+			defer stop()
+		}
 		exp.Instrument = func(cfg *netsim.Config) {
 			cfg.Metrics = sinks.Registry
 			cfg.Probes = sinks.Sampler
 			cfg.Trace = sinks.Tracer
+			cfg.LinkProbes = sinks.LinkSampler
+			cfg.Progress = prog
 			cfg.Shards = *shards
 		}
 	}

@@ -154,8 +154,12 @@ func sweep(cfg config, progress io.Writer) (*report.LoadDoc, error) {
 		}
 		lvl.ServerP99US = histDelta(before, after).Quantile(0.99)
 		doc.Levels = append(doc.Levels, lvl)
-		fmt.Fprintf(progress, "ftload: %s: %.0f req/s, p50 %.1fµs p99 %.1fµs (server p99 %.1fµs), %d errors\n",
+		line := fmt.Sprintf("ftload: %s: %.0f req/s, p50 %.1fµs p99 %.1fµs (server p99 %.1fµs), %d errors",
 			levelLabel(lvl), lvl.AchievedRPS, lvl.P50US, lvl.P99US, lvl.ServerP99US, lvl.Errors)
+		if lvl.Mode == "open" {
+			line += fmt.Sprintf(", shed %d (%.0f/s)", lvl.Shed, lvl.ShedRPS)
+		}
+		fmt.Fprintln(progress, line)
 	}
 	return doc, nil
 }
@@ -410,6 +414,9 @@ func openLevel(client *http.Client, cfg config, rps float64, hosts int) (report.
 	lvl.Mode = "open"
 	lvl.OfferedRPS = rps
 	lvl.Shed = shed
+	if cfg.Duration > 0 {
+		lvl.ShedRPS = float64(shed) / cfg.Duration.Seconds()
+	}
 	return lvl, nil
 }
 

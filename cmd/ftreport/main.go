@@ -9,7 +9,9 @@
 //	    self-contained HTML file: link-utilization heatmap, stage
 //	    timeline, sparklines and quantile tables. No external assets.
 //	    -load adds an ftload sweep as a p99-vs-offered-load curve;
-//	    -events adds the daemon's fabric event journal as a timeline.
+//	    -events adds the daemon's fabric event journal as a timeline;
+//	    -linkprobes adds the queue-depth-over-time heatmap, the hot-links
+//	    table and (with a sharded -metrics stream) the shard-balance table.
 //
 //	ftreport bench -in BENCH_2026-08-05.json
 //	    ingests `make bench-json` output into the dated history under
@@ -201,18 +203,19 @@ func buildBlame(spec, cpsName, ordering string, seed int64, drop int, dropSeed i
 func cmdHTML(args []string) error {
 	fs := flag.NewFlagSet("ftreport html", flag.ExitOnError)
 	var (
-		metrics = fs.String("metrics", "", "probe JSONL stream (from -metrics of ftsim/fthsd)")
-		trace   = fs.String("trace", "", "Chrome trace file (from -trace of ftsim/fthsd)")
-		load    = fs.String("load", "", "fattree-load/v1 sweep (from ftload -out)")
-		events  = fs.String("events", "", "fattree-events/v1 journal (from GET /v1/events)")
-		outPath = fs.String("o", "report.html", "output HTML file (- for stdout)")
-		title   = fs.String("title", "", "report title")
-		stamp   = fs.Bool("stamp", true, "include a generation timestamp (disable for reproducible output)")
-		maxRows = fs.Int("max-heatmap-rows", 64, "cap on heatmap channel rows")
+		metrics    = fs.String("metrics", "", "probe JSONL stream (from -metrics of ftsim/fthsd)")
+		trace      = fs.String("trace", "", "Chrome trace file (from -trace of ftsim/fthsd)")
+		load       = fs.String("load", "", "fattree-load/v1 sweep (from ftload -out)")
+		events     = fs.String("events", "", "fattree-events/v1 journal (from GET /v1/events)")
+		linkprobes = fs.String("linkprobes", "", "fattree-linkprobe/v1 stream (from -link-probes of ftsim)")
+		outPath    = fs.String("o", "report.html", "output HTML file (- for stdout)")
+		title      = fs.String("title", "", "report title")
+		stamp      = fs.Bool("stamp", true, "include a generation timestamp (disable for reproducible output)")
+		maxRows    = fs.Int("max-heatmap-rows", 64, "cap on heatmap channel rows")
 	)
 	fs.Parse(args)
-	if *metrics == "" && *trace == "" && *load == "" && *events == "" {
-		return fmt.Errorf("html: need at least one of -metrics, -trace, -load, -events")
+	if *metrics == "" && *trace == "" && *load == "" && *events == "" && *linkprobes == "" {
+		return fmt.Errorf("html: need at least one of -metrics, -trace, -load, -events, -linkprobes")
 	}
 	var in report.Inputs
 	if *metrics != "" {
@@ -259,6 +262,17 @@ func cmdHTML(args []string) error {
 			return err
 		}
 	}
+	if *linkprobes != "" {
+		f, err := os.Open(*linkprobes)
+		if err != nil {
+			return err
+		}
+		in.LinkProbes, err = report.ParseProbes(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
 	opt := report.HTMLOptions{
 		Title:          *title,
 		MaxHeatmapRows: *maxRows,
@@ -274,6 +288,9 @@ func cmdHTML(args []string) error {
 	}
 	if *events != "" {
 		opt.EventsFile = filepath.Base(*events)
+	}
+	if *linkprobes != "" {
+		opt.LinkProbesFile = filepath.Base(*linkprobes)
 	}
 	if *stamp {
 		opt.Generated = time.Now().UTC().Format(time.RFC3339)

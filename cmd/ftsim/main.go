@@ -9,12 +9,14 @@
 //	ftsim -topo 1944 -cps shift -order random -bytes 131072 -sample 8
 //	ftsim -topo 324 -cps ring -trace run.json -metrics run.jsonl
 //	ftsim -topo 1944 -cps shift -sample 8 -shards -1
+//	ftsim -topo 324 -cps shift -sample 4 -progress 1s -link-probes links.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fattree/internal/cps"
 	"fattree/internal/des"
@@ -40,6 +42,7 @@ func main() {
 		hostBW   = flag.Float64("host-bw", 3250e6, "host injection bandwidth bytes/s")
 		bufPkts  = flag.Int("buffers", 8, "input-buffer packets per switch port")
 		shards   = flag.Int("shards", 1, "event-loop shards: 1 = sequential, N > 1 = parallel sub-tree partitions, -1 = one per CPU")
+		progress = flag.Duration("progress", 0, "print a live progress line to stderr at this wall-clock interval (0 = off)")
 		sinks    obs.FileSinks
 	)
 	sinks.RegisterFlags(flag.CommandLine)
@@ -47,7 +50,7 @@ func main() {
 	flag.Parse()
 	err := pf.Start()
 	if err == nil {
-		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, *shards, &sinks)
+		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, *shards, *progress, &sinks)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -58,7 +61,7 @@ func main() {
 	}
 }
 
-func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts, shards int, sinks *obs.FileSinks) error {
+func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts, shards int, progress time.Duration, sinks *obs.FileSinks) error {
 	var mode mpi.Mode
 	switch modeName {
 	case "async":
@@ -128,6 +131,13 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 	cfg.Metrics = sinks.Registry
 	cfg.Probes = sinks.Sampler
 	cfg.Trace = sinks.Tracer
+	cfg.LinkProbes = sinks.LinkSampler
+	if progress > 0 {
+		p := &netsim.Progress{}
+		cfg.Progress = p
+		stop := p.Report(os.Stderr, progress, "ftsim")
+		defer stop()
+	}
 	job, err := mpi.NewJob(lft, o)
 	if err != nil {
 		return err

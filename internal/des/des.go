@@ -97,6 +97,17 @@ type Scheduler struct {
 	slots    [numSlots]slot
 	overflow []event // events at base+horizon or later, unordered
 
+	// Calendar pressure telemetry, reset with Reset: how many times the
+	// wheel re-anchored at the overflow list, the overflow list's
+	// high-water length, and the peak count of simultaneously occupied
+	// wheel slots. All maintained on already-rare paths (first insert
+	// into an empty slot, overflow push, rebase), so the hot path pays
+	// nothing for them.
+	rebases      uint64
+	overflowPeak int
+	occSlots     int
+	occSlotsPeak int
+
 	// bufs recycles slot backing arrays: a slot hands its array back the
 	// moment it drains and grabs one on its next first insert. Without
 	// this, every slot index a burst ever lands on would retain a
@@ -156,6 +167,7 @@ func (s *Scheduler) grab() []event {
 
 // release returns a drained slot's array to the pool.
 func (s *Scheduler) release(sl *slot) {
+	s.occSlots--
 	s.bufs = append(s.bufs, sl.ev[:0])
 	sl.ev = nil
 	sl.maxAt = 0
@@ -170,6 +182,10 @@ func (s *Scheduler) slotInsert(i int, e event) {
 	sl := &s.slots[i]
 	if sl.ev == nil {
 		sl.ev = s.grab()
+		s.occSlots++
+		if s.occSlots > s.occSlotsPeak {
+			s.occSlotsPeak = s.occSlots
+		}
 	}
 	sl.ev = append(sl.ev, e)
 	if e.at < sl.maxAt {
@@ -196,6 +212,9 @@ func (s *Scheduler) Reset() {
 	s.ran = 0
 	s.maxPending = 0
 	s.base = 0
+	s.rebases = 0
+	s.overflowPeak = 0
+	s.occSlotsPeak = 0
 }
 
 // clear drops every queued event and empties the closure registry so
@@ -218,6 +237,7 @@ func (s *Scheduler) clear() {
 	s.cursor = 0
 	s.pending = 0
 	s.work = 0
+	s.occSlots = 0
 }
 
 // Now returns the current simulation time.
@@ -244,6 +264,21 @@ func (s *Scheduler) MaxPending() int { return s.maxPending }
 
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.ran }
+
+// Rebases returns how many times the calendar wheel re-anchored at the
+// overflow list since the last Reset. Frequent rebases mean the
+// workload schedules far past the wheel horizon and the overflow list
+// is doing the queue's work.
+func (s *Scheduler) Rebases() uint64 { return s.rebases }
+
+// OverflowHighWater returns the overflow list's peak length since the
+// last Reset.
+func (s *Scheduler) OverflowHighWater() int { return s.overflowPeak }
+
+// OccupiedSlotsHighWater returns the peak number of simultaneously
+// occupied wheel slots since the last Reset — how spread out in time
+// the pending event set got.
+func (s *Scheduler) OccupiedSlotsHighWater() int { return s.occSlotsPeak }
 
 // NextAt returns the timestamp of the earliest queued event, or ok ==
 // false when the queue is empty. Daemon events count: they hold a place
@@ -324,6 +359,9 @@ func (s *Scheduler) push(e event) {
 		s.slotInsert(int(d), e)
 	} else {
 		s.overflow = append(s.overflow, e)
+		if len(s.overflow) > s.overflowPeak {
+			s.overflowPeak = len(s.overflow)
+		}
 	}
 	s.pending++
 	if e.key&keyDaemon == 0 {
@@ -355,6 +393,7 @@ func (s *Scheduler) firstOccupied(from int) int {
 // redistributes what now fits. Caller guarantees the wheel is empty and
 // the overflow is not.
 func (s *Scheduler) rebase() {
+	s.rebases++
 	min := s.overflow[0].at
 	for i := 1; i < len(s.overflow); i++ {
 		if s.overflow[i].at < min {

@@ -226,3 +226,40 @@ func TestTimeUnits(t *testing.T) {
 		t.Errorf("Microsecond = %d", Microsecond)
 	}
 }
+
+func TestCalendarPressureTelemetry(t *testing.T) {
+	s := NewScheduler()
+	// Two near events land in distinct wheel slots; one far event lands
+	// past the horizon, on the overflow list, and forces a rebase when
+	// the wheel drains.
+	horizon := slotWidth * numSlots
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(slotWidth+1, func() { ran++ })
+	s.At(2*horizon, func() { ran++ })
+	if got := s.OccupiedSlotsHighWater(); got < 2 {
+		t.Errorf("occupied-slots high water %d, want >= 2", got)
+	}
+	if got := s.OverflowHighWater(); got != 1 {
+		t.Errorf("overflow high water %d, want 1", got)
+	}
+	if got := s.Rebases(); got != 0 {
+		t.Errorf("rebases before running: %d, want 0", got)
+	}
+	if !s.Run(0) {
+		t.Fatal("run did not drain")
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d events, want 3", ran)
+	}
+	if got := s.Rebases(); got < 1 {
+		t.Errorf("rebases after draining past the horizon: %d, want >= 1", got)
+	}
+
+	// Reset clears the telemetry with the rest of the scheduler state.
+	s.Reset()
+	if s.Rebases() != 0 || s.OverflowHighWater() != 0 || s.OccupiedSlotsHighWater() != 0 {
+		t.Errorf("Reset kept telemetry: rebases %d overflow %d slots %d",
+			s.Rebases(), s.OverflowHighWater(), s.OccupiedSlotsHighWater())
+	}
+}

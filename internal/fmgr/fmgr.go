@@ -281,6 +281,13 @@ func (m *Manager) Current() *FabricState { return m.cur.Load() }
 // all kept), plus the count of older records the ring has dropped.
 func (m *Manager) Events(n int) ([]EventRecord, uint64) { return m.journal.Snapshot(n) }
 
+// EventsSince returns up to n journal records with Seq >= since, oldest
+// first, plus the count of matching records already dropped by the ring
+// — the incremental-polling form of Events.
+func (m *Manager) EventsSince(since uint64, n int) ([]EventRecord, uint64) {
+	return m.journal.SnapshotSince(since, n)
+}
+
 // InjectFaults enqueues fail/revive events for the given links plus a
 // failRandom draw of that many extra fabric links. Link IDs are
 // validated here; the reroute itself happens asynchronously after the

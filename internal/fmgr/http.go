@@ -85,7 +85,9 @@ type errorDoc struct {
 //	GET  /v1/hsd                cached Shift-HSD summary
 //	GET  /v1/fabric             fattree-fabric/v1 fabric document
 //	GET  /v1/jobs               placements frozen in the snapshot
-//	GET  /v1/events?n=N         fabric event journal, oldest first
+//	GET  /v1/events?limit=N&since_seq=S  fabric event journal, oldest
+//	     first; since_seq returns only records with seq >= S for
+//	     incremental polling (n is accepted as a synonym for limit)
 //	POST /v1/faults             enqueue fail/revive/fail_random events
 //	POST /v1/jobs               allocate a job (synchronous)
 //	DELETE /v1/jobs?id=N        release a job (synchronous)
@@ -414,15 +416,30 @@ type EventsDoc struct {
 }
 
 func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	n := 0
-	if s := r.URL.Query().Get("n"); s != "" {
-		var err error
-		if n, err = strconv.Atoi(s); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad \"n\": " + err.Error()})
-			return
+	// ?limit is the documented spelling; ?n remains as the original.
+	for _, key := range []string{"n", "limit"} {
+		if s := q.Get(key); s != "" {
+			var err error
+			if n, err = strconv.Atoi(s); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad \"" + key + "\": " + err.Error()})
+				return
+			}
 		}
 	}
-	recs, dropped := m.Events(n)
+	var recs []EventRecord
+	var dropped uint64
+	if s := q.Get("since_seq"); s != "" {
+		since, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad \"since_seq\": " + err.Error()})
+			return
+		}
+		recs, dropped = m.EventsSince(since, n)
+	} else {
+		recs, dropped = m.Events(n)
+	}
 	if recs == nil {
 		recs = []EventRecord{}
 	}

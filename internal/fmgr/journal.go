@@ -110,6 +110,47 @@ func (j *Journal) Snapshot(n int) (recs []EventRecord, dropped uint64) {
 	return recs, dropped
 }
 
+// SnapshotSince returns up to n kept records with Seq >= since, oldest
+// first (n <= 0 means all), plus how many matching records the ring
+// has already dropped — the incremental-polling companion to Snapshot.
+// A poller passes its last seen seq + 1 and gets only what is new; a
+// non-zero dropped return means it fell behind the ring.
+func (j *Journal) SnapshotSince(since uint64, n int) (recs []EventRecord, dropped uint64) {
+	if j == nil {
+		return nil, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	kept := len(j.buf)
+	oldest := j.next - uint64(kept) // seq of the oldest kept record
+	if since > oldest {
+		// Everything before `since` was dropped deliberately by the
+		// caller, not by the ring.
+		dropped = 0
+	} else {
+		dropped = oldest - since
+	}
+	if since < oldest {
+		since = oldest
+	}
+	if since > j.next {
+		since = j.next
+	}
+	match := int(j.next - since)
+	if n <= 0 || n > match {
+		n = match
+	}
+	recs = make([]EventRecord, 0, n)
+	for seq := since; seq < since+uint64(n); seq++ {
+		if kept < j.cap {
+			recs = append(recs, j.buf[int(seq-oldest)])
+		} else {
+			recs = append(recs, j.buf[int(seq)%j.cap])
+		}
+	}
+	return recs, dropped
+}
+
 // Len returns the number of kept records.
 func (j *Journal) Len() int {
 	if j == nil {

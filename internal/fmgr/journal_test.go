@@ -263,3 +263,113 @@ func TestSpanSampling(t *testing.T) {
 		t.Fatalf("sampled %d route traces out of 8 at 1-in-4, want 2", got)
 	}
 }
+
+func TestJournalSnapshotSince(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(EventRecord{Kind: EvFault, Detail: fmt.Sprintf("link %d", i)})
+	}
+	// Ring keeps seqs 6..9. A poller resuming from seq 8 gets 8 and 9
+	// with nothing dropped.
+	recs, dropped := j.SnapshotSince(8, 0)
+	if dropped != 0 || len(recs) != 2 || recs[0].Seq != 8 || recs[1].Seq != 9 {
+		t.Fatalf("since 8: %d dropped, %+v", dropped, recs)
+	}
+	// A poller that fell behind (since 2) lost seqs 2..5.
+	recs, dropped = j.SnapshotSince(2, 0)
+	if dropped != 4 || len(recs) != 4 || recs[0].Seq != 6 {
+		t.Fatalf("since 2: %d dropped, %d recs starting %d; want 4 dropped, 4 recs from 6",
+			dropped, len(recs), recs[0].Seq)
+	}
+	// Limit takes the OLDEST matching n so a poller pages forward.
+	recs, dropped = j.SnapshotSince(6, 2)
+	if dropped != 0 || len(recs) != 2 || recs[0].Seq != 6 || recs[1].Seq != 7 {
+		t.Fatalf("since 6 limit 2: %d dropped, %+v", dropped, recs)
+	}
+	// Fully caught up: nothing to return, nothing dropped.
+	recs, dropped = j.SnapshotSince(10, 0)
+	if dropped != 0 || len(recs) != 0 {
+		t.Fatalf("since 10: %d dropped, %+v, want empty", dropped, recs)
+	}
+	// Beyond the head is clamped.
+	recs, dropped = j.SnapshotSince(99, 0)
+	if dropped != 0 || len(recs) != 0 {
+		t.Fatalf("since 99: %d dropped, %+v, want empty", dropped, recs)
+	}
+	// Unwrapped ring (fewer records than capacity).
+	j2 := NewJournal(8)
+	for i := 0; i < 3; i++ {
+		j2.Record(EventRecord{Kind: EvAlloc})
+	}
+	recs, dropped = j2.SnapshotSince(1, 0)
+	if dropped != 0 || len(recs) != 2 || recs[0].Seq != 1 {
+		t.Fatalf("unwrapped since 1: %d dropped, %+v", dropped, recs)
+	}
+	// Nil journal no-ops.
+	var nilJ *Journal
+	if recs, dropped = nilJ.SnapshotSince(0, 0); recs != nil || dropped != 0 {
+		t.Fatal("nil journal must no-op")
+	}
+}
+
+// TestEventsSinceHTTP drives the ?limit and ?since_seq query filters.
+func TestEventsSinceHTTP(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	h := m.Handler()
+
+	link := fabricLink(t, m.t, 0)
+	req := httptest.NewRequest("POST", "/v1/faults",
+		strings.NewReader(fmt.Sprintf(`{"fail":[%d]}`, link)))
+	if rec, body := do(t, h, req); rec.Code != http.StatusAccepted {
+		t.Fatalf("faults: %d %v", rec.Code, body)
+	}
+	waitEpoch(t, m, 2)
+
+	fetch := func(url string) EventsDoc {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: %d %s", url, rec.Code, rec.Body.String())
+		}
+		var doc EventsDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	all := fetch("/v1/events")
+	if len(all.Events) < 2 {
+		t.Fatalf("expected a fault lifecycle, got %+v", all.Events)
+	}
+	// ?limit is a synonym for ?n: newest records win.
+	lim := fetch("/v1/events?limit=1")
+	if len(lim.Events) != 1 || lim.Events[0].Seq != all.Events[len(all.Events)-1].Seq {
+		t.Fatalf("limit=1 = %+v, want the newest record", lim.Events)
+	}
+	// ?since_seq resumes after a seen seq: oldest matching first.
+	mid := all.Events[1].Seq
+	inc := fetch(fmt.Sprintf("/v1/events?since_seq=%d", mid))
+	if len(inc.Events) != len(all.Events)-1 || inc.Events[0].Seq != mid {
+		t.Fatalf("since_seq=%d returned %d events starting %d, want %d starting %d",
+			mid, len(inc.Events), inc.Events[0].Seq, len(all.Events)-1, mid)
+	}
+	// since_seq with limit pages forward from the oldest match.
+	page := fetch(fmt.Sprintf("/v1/events?since_seq=%d&limit=1", mid))
+	if len(page.Events) != 1 || page.Events[0].Seq != mid {
+		t.Fatalf("since_seq+limit = %+v, want just seq %d", page.Events, mid)
+	}
+	// Caught-up poller sees an empty (non-null) list.
+	tail := all.Events[len(all.Events)-1].Seq + 1
+	if doc := fetch(fmt.Sprintf("/v1/events?since_seq=%d", tail)); len(doc.Events) != 0 || doc.Dropped != 0 {
+		t.Fatalf("caught-up poll = %+v", doc)
+	}
+	if rec, _ := get(t, h, "/v1/events?since_seq=bad"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("since_seq=bad: %d, want 400", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/events?limit=bad"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("limit=bad: %d, want 400", rec.Code)
+	}
+}

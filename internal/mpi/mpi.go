@@ -167,7 +167,8 @@ func (j *Job) SimulateMode(seq cps.Sequence, bytes int64, mode Mode, cfg netsim.
 // attachments — the precondition for Network reuse (and for comparing
 // configs with ==, which would panic on exotic io.Writer types).
 func plainConfig(cfg netsim.Config) bool {
-	return cfg.FlowLog == nil && cfg.Metrics == nil && cfg.Probes == nil && cfg.Trace == nil
+	return cfg.FlowLog == nil && cfg.Metrics == nil && cfg.Probes == nil &&
+		cfg.Trace == nil && cfg.LinkProbes == nil && cfg.Progress == nil
 }
 
 // checkoutNetwork returns a simulator for cfg, reusing the cached one

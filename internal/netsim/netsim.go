@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"time"
 
 	"fattree/internal/des"
 	"fattree/internal/obs"
@@ -96,6 +97,20 @@ type Config struct {
 	// events, so Stats.Events grows slightly when enabled; message
 	// timings and all other Stats fields are unaffected.
 	Probes *obs.Sampler
+	// LinkProbes, when non-nil, receives the fattree-linkprobe/v1
+	// stream: a "queue_depth" and a "link_util" series with one value
+	// per directed channel, sampled at the sampler's interval of
+	// simulated time, plus one end-of-run rollup record carrying each
+	// channel's max input-buffer depth and busy fraction. Like Probes,
+	// sampler ticks ride the scheduler, so only Stats.Events grows.
+	LinkProbes *obs.Sampler
+	// Progress, when non-nil, receives live run counters (simulated
+	// time, events executed, messages delivered) that a wall-clock
+	// reporter goroutine reads concurrently — see Progress.Report.
+	// Publishing rides daemon ticks in the sequential loop and window
+	// barriers in sharded runs, so the zero-progress hot path pays
+	// nothing.
+	Progress *Progress
 	// Trace, when non-nil, records message/packet lifecycle events
 	// (inject, head-arrives, blocked-on-credit, deliver) and per-stage
 	// phase markers in Chrome trace-event form — open the file in
@@ -192,6 +207,67 @@ type Stats struct {
 	// latencies (Config.KeepLatencies), so Percentile can distinguish
 	// "retention was off" from "nothing was delivered".
 	KeptLatencies bool
+	// Shards holds per-event-loop DES telemetry: one entry for a
+	// sequential run, one per shard for a sharded run. The wall-clock
+	// fields vary run to run — compare runs across shard counts or
+	// reruns with WithoutTelemetry.
+	Shards []ShardStats
+}
+
+// ShardStats is one event loop's telemetry for a run — load balance
+// and scheduler pressure, not simulation results.
+type ShardStats struct {
+	// Shard is the loop's index (always 0 for sequential runs).
+	Shard int `json:"shard"`
+	// Events counts regular events this loop executed: sharding-only
+	// aux events excluded, eagerly elided deliveries included, so the
+	// per-shard counts sum to Stats.Events.
+	Events uint64 `json:"events"`
+	// MaxPending is this loop's regular-event queue high-water mark.
+	MaxPending int `json:"max_pending"`
+	// MailboxPeak is the largest batch of cross-shard events this shard
+	// received at one window barrier (0 for sequential runs).
+	MailboxPeak int `json:"mailbox_peak"`
+	// BusyNS is wall-clock time spent executing events; StallNS
+	// approximates wall-clock time spent idle at window barriers
+	// waiting for slower shards (the coordinator's total window time
+	// minus this shard's busy time).
+	BusyNS  int64 `json:"busy_ns"`
+	StallNS int64 `json:"stall_ns"`
+	// Calendar-queue pressure (see internal/des): overflow-rebase
+	// count, overflow-list high-water and occupied-slot high-water.
+	CalRebases      uint64 `json:"cal_rebases"`
+	CalOverflowPeak int    `json:"cal_overflow_peak"`
+	CalSlotsPeak    int    `json:"cal_slots_peak"`
+}
+
+// WithoutTelemetry returns a copy of s with the per-shard telemetry
+// cleared — the deterministic, workload-defined remainder that
+// equivalence tests compare across shard counts and reruns.
+func (s Stats) WithoutTelemetry() Stats {
+	s.Shards = nil
+	return s
+}
+
+// ShardImbalance returns the max/mean ratio of per-shard executed
+// events — 1.0 is a perfectly balanced run, and 0 means no telemetry
+// was recorded. The post-run summary parallel-DES tuning starts from.
+func (s Stats) ShardImbalance() float64 {
+	if len(s.Shards) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for _, sh := range s.Shards {
+		sum += sh.Events
+		if sh.Events > max {
+			max = sh.Events
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.Shards))
+	return float64(max) / mean
 }
 
 // ErrLatenciesNotKept is returned by Stats.Percentile when the run did
@@ -435,6 +511,11 @@ type Network struct {
 	elided uint64
 	endAt  des.Time
 
+	// busyNS accumulates wall-clock time spent inside the event loop
+	// (drain for the sequential path, runWindow for shard workers) —
+	// the BusyNS half of ShardStats.
+	busyNS int64
+
 	// Buffered flow log (nil when Config.FlowLog is nil); flushed when
 	// each run returns.
 	flow        *bufio.Writer
@@ -536,7 +617,11 @@ func (nw *Network) reset() {
 	nw.ob = nw.newSimObs()
 	nw.elided = 0
 	nw.endAt = 0
+	nw.busyNS = 0
 	nw.eager = nw.ob == nil && nw.flow == nil && !nw.cfg.PerPacketRouting
+	if p := nw.cfg.Progress; p != nil {
+		p.beginRun()
+	}
 	if nw.flow != nil && !nw.flowHeader {
 		nw.flowHeader = true
 		fmt.Fprintln(nw.flow, "# "+FlowLogSchema)
@@ -577,6 +662,8 @@ func (nw *Network) handle(kind uint16, a, b int32, c int64) {
 // sched.Run, minus one indirect Handler call per event. Reports false
 // when cfg.MaxEvents was exceeded with events still pending.
 func (nw *Network) drain() bool {
+	t0 := time.Now()
+	defer func() { nw.busyNS += time.Since(t0).Nanoseconds() }()
 	sched := nw.sched
 	max := nw.cfg.MaxEvents
 	start := sched.Executed()
@@ -677,6 +764,9 @@ func (nw *Network) load(msgs []Message) error {
 		nw.hosts[m.Src].queue.items = append(nw.hosts[m.Src].queue.items, id)
 		nw.remaining++
 	}
+	if p := nw.cfg.Progress; p != nil {
+		p.addTotal(int64(len(msgs)))
+	}
 	return nil
 }
 
@@ -730,7 +820,7 @@ func (nw *Network) runStages(stages [][]Message, jitter des.Time, seed int64) (S
 		for j := range nw.hosts {
 			nw.kickHost(&nw.hosts[j])
 		}
-		nw.startProbes()
+		nw.startSamplers()
 		if !nw.drain() {
 			return Stats{}, nw.flushed(fmt.Errorf("netsim: stage %d exceeded %d events", i, nw.cfg.MaxEvents))
 		}
@@ -836,7 +926,7 @@ func (nw *Network) finish() (Stats, error) {
 	for j := range nw.hosts {
 		nw.kickHost(&nw.hosts[j])
 	}
-	nw.startProbes()
+	nw.startSamplers()
 	if !nw.drain() {
 		return Stats{}, nw.flushed(fmt.Errorf("netsim: exceeded %d events", nw.cfg.MaxEvents))
 	}
@@ -884,6 +974,21 @@ func (nw *Network) collect() Stats {
 	}
 	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
 	s.KeptLatencies = nw.cfg.KeepLatencies
+	if nw.sh != nil {
+		s.Shards = nw.sh.telemetry()
+	} else {
+		s.Shards = []ShardStats{{
+			Events:          nw.sched.Executed() + nw.elided,
+			MaxPending:      nw.sched.MaxPending(),
+			BusyNS:          nw.busyNS,
+			CalRebases:      nw.sched.Rebases(),
+			CalOverflowPeak: nw.sched.OverflowHighWater(),
+			CalSlotsPeak:    nw.sched.OccupiedSlotsHighWater(),
+		}}
+		if p := nw.cfg.Progress; p != nil {
+			p.publish(s.Duration, int64(s.Events), s.MessagesDelivered)
+		}
+	}
 	nw.obsCollect(&s)
 	return s
 }
@@ -1044,6 +1149,9 @@ func (nw *Network) arriveHeader(pid, chID int32, tailArrive des.Time) {
 		return
 	}
 	ch.buf.push(pid)
+	if nw.ob != nil {
+		nw.ob.noteQueueDepth(ch)
+	}
 	if ch.buf.len() == 1 {
 		nw.requestForward(ch)
 	}

@@ -16,6 +16,7 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"fattree/internal/des"
 	"fattree/internal/obs"
@@ -40,6 +41,13 @@ type simObs struct {
 	reg    *obs.Registry
 	trace  *obs.Tracer
 	probes *obs.Sampler
+	link   *obs.Sampler // fattree-linkprobe/v1 stream (Config.LinkProbes)
+
+	// queueHW tracks each channel's input-buffer depth high-water mark,
+	// updated at every buffer push. Each channel's buffer is touched
+	// only by the shard owning its receiver side, so the per-channel
+	// slots never race across shard goroutines.
+	queueHW []int32
 
 	pktInjected    *obs.Counter
 	pktTx          *obs.Counter
@@ -55,7 +63,7 @@ type simObs struct {
 // when the Config enables nothing.
 func (nw *Network) newSimObs() *simObs {
 	cfg := &nw.cfg
-	if cfg.Metrics == nil && cfg.Probes == nil && cfg.Trace == nil {
+	if cfg.Metrics == nil && cfg.Probes == nil && cfg.Trace == nil && cfg.LinkProbes == nil {
 		return nil
 	}
 	reg := cfg.Metrics
@@ -68,6 +76,8 @@ func (nw *Network) newSimObs() *simObs {
 		reg:            reg,
 		trace:          cfg.Trace,
 		probes:         cfg.Probes,
+		link:           cfg.LinkProbes,
+		queueHW:        make([]int32, len(nw.channels)),
 		pktInjected:    reg.Counter("netsim_packets_injected_total"),
 		pktTx:          reg.Counter("netsim_packets_tx_total"),
 		msgDelivered:   reg.Counter("netsim_messages_delivered_total"),
@@ -176,6 +186,71 @@ func (nw *Network) startProbes() {
 	s.Start(nw.sched)
 }
 
+// noteQueueDepth tracks ch's input-buffer high-water mark after a push.
+func (ob *simObs) noteQueueDepth(ch *channel) {
+	if d := int32(ch.buf.len()); d > ob.queueHW[ch.id] {
+		ob.queueHW[ch.id] = d
+	}
+}
+
+// startSamplers arms every sampled stream for the run (or barrier
+// stage): the -metrics probes, the -link-probes series and the live
+// progress tick. Each is independently nil-guarded.
+func (nw *Network) startSamplers() {
+	nw.startProbes()
+	nw.startLinkProbes()
+	nw.startProgress()
+}
+
+// startLinkProbes registers the fattree-linkprobe/v1 series — one
+// value per directed channel — on the dedicated link sampler and arms
+// it on the current scheduler.
+func (nw *Network) startLinkProbes() {
+	ob := nw.ob
+	if ob == nil || ob.link == nil {
+		return
+	}
+	s := ob.link
+	s.Reset()
+	prevBusy := make([]des.Time, len(nw.channels))
+	for i := range nw.channels {
+		prevBusy[i] = nw.channels[i].busy
+	}
+	prevT := nw.sched.Now()
+	s.Series("link_util", func(now des.Time, buf []float64) []float64 {
+		dt := now - prevT
+		for i := range nw.channels {
+			busy := nw.channels[i].busy
+			u := 0.0
+			if dt > 0 {
+				u = float64(busy-prevBusy[i]) / float64(dt)
+			}
+			prevBusy[i] = busy
+			buf = append(buf, u)
+		}
+		prevT = now
+		return buf
+	})
+	s.Series("queue_depth", func(now des.Time, buf []float64) []float64 {
+		for i := range nw.channels {
+			buf = append(buf, float64(nw.channels[i].buf.len()))
+		}
+		return buf
+	})
+	s.Start(nw.sched)
+}
+
+// LinkRollup is the end-of-run record of the fattree-linkprobe/v1
+// stream: the per-directed-channel contention summary. A
+// contention-free run shows MaxQueue ≤ 1 everywhere; a contended run
+// names the hot channel by index (up = 2*link, down = 2*link+1).
+type LinkRollup struct {
+	Rollup     string    `json:"rollup"` // always "links"
+	DurationPS int64     `json:"duration_ps"`
+	MaxQueue   []int32   `json:"max_queue"`
+	BusyFrac   []float64 `json:"busy_frac"`
+}
+
 // schedPending returns the regular-event queue depth — summed across
 // shards in a sharded run.
 func (nw *Network) schedPending() int {
@@ -189,8 +264,14 @@ func (nw *Network) schedPending() int {
 // stage — the scheduler discards daemon ticks queued past the final
 // event, so the end state needs an explicit sample.
 func (nw *Network) obsFinalSample() {
-	if nw.ob != nil && nw.ob.probes != nil {
+	if nw.ob == nil {
+		return
+	}
+	if nw.ob.probes != nil {
 		nw.ob.probes.Sample(nw.sched.Now())
+	}
+	if nw.ob.link != nil {
+		nw.ob.link.Sample(nw.sched.Now())
 	}
 }
 
@@ -275,7 +356,10 @@ func (nw *Network) obsStage(i, msgs int, start, end des.Time) {
 		obs.Num("messages", float64(msgs)))
 }
 
-// obsCollect freezes end-of-run gauges into the registry.
+// obsCollect freezes end-of-run gauges into the registry, writes the
+// per-link rollup to the linkprobe stream, and exports the per-shard
+// telemetry as labeled gauges plus a {"shards":...} record on the
+// probe stream.
 func (nw *Network) obsCollect(s *Stats) {
 	ob := nw.ob
 	if ob == nil {
@@ -284,6 +368,41 @@ func (nw *Network) obsCollect(s *Stats) {
 	ob.reg.Gauge("netsim_event_queue_high_water").Max(int64(nw.schedMaxPending()))
 	ob.reg.Gauge("netsim_events_executed").Set(int64(s.Events))
 	ob.reg.Gauge("netsim_duration_ps").Set(int64(s.Duration))
+	var maxQ int32
+	for _, d := range ob.queueHW {
+		if d > maxQ {
+			maxQ = d
+		}
+	}
+	ob.reg.Gauge("netsim_link_max_queue_depth").Max(int64(maxQ))
+	if ob.link != nil {
+		roll := LinkRollup{
+			Rollup:     "links",
+			DurationPS: int64(s.Duration),
+			MaxQueue:   append([]int32(nil), ob.queueHW...),
+			BusyFrac:   make([]float64, len(s.LinkBusy)),
+		}
+		if s.Duration > 0 {
+			for i, b := range s.LinkBusy {
+				roll.BusyFrac[i] = float64(b) / float64(s.Duration)
+			}
+		}
+		ob.link.Record(roll)
+	}
+	if len(s.Shards) > 0 {
+		for _, sh := range s.Shards {
+			id := strconv.Itoa(sh.Shard)
+			ob.reg.Gauge(obs.Labeled("netsim_shard_events", "shard", id)).Set(int64(sh.Events))
+			ob.reg.Gauge(obs.Labeled("netsim_shard_stall_ns", "shard", id)).Set(sh.StallNS)
+			ob.reg.Gauge(obs.Labeled("netsim_shard_mailbox_peak", "shard", id)).Set(int64(sh.MailboxPeak))
+		}
+		ob.reg.Gauge("netsim_shard_imbalance_milli").Set(int64(s.ShardImbalance() * 1000))
+		if ob.probes != nil {
+			ob.probes.Record(struct {
+				Shards []ShardStats `json:"shards"`
+			}{s.Shards})
+		}
+	}
 }
 
 // schedMaxPending returns the queue-depth high-water mark — the max

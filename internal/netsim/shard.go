@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"fattree/internal/des"
 	"fattree/internal/topo"
@@ -78,6 +79,14 @@ type shardRuntime struct {
 	start []chan des.Time
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// Telemetry (reset per run): mailboxPeak[r] is the largest batch of
+	// cross-shard events shard r received at one barrier (coordinator
+	// only); windowWallNS accumulates the coordinator's wall-clock time
+	// inside the window loop, so a shard's barrier stall is
+	// approximately windowWallNS minus its own busy time.
+	mailboxPeak  []int
+	windowWallNS int64
 }
 
 // shardID and auxEvents live on Network (one per shard view):
@@ -116,11 +125,12 @@ func (nw *Network) setupShards() {
 	S := nw.cfg.shardCount()
 	if nw.sh == nil || nw.sh.n != S {
 		sh := &shardRuntime{
-			n:         S,
-			nodeShard: partitionNodes(nw.t, S),
-			mailbox:   make([][][]xEvent, S),
-			start:     make([]chan des.Time, S),
-			done:      make(chan struct{}, S),
+			n:           S,
+			nodeShard:   partitionNodes(nw.t, S),
+			mailbox:     make([][][]xEvent, S),
+			start:       make([]chan des.Time, S),
+			done:        make(chan struct{}, S),
+			mailboxPeak: make([]int, S),
 		}
 		for i := 0; i < S; i++ {
 			sh.mailbox[i] = make([][]xEvent, S)
@@ -134,7 +144,9 @@ func (nw *Network) setupShards() {
 	}
 	sh := nw.sh
 	sh.lookahead = nw.cfg.LinkLatency
+	sh.windowWallNS = 0
 	for i := range sh.workers {
+		sh.mailboxPeak[i] = 0
 		w := sh.workers[i]
 		w.sched.Reset()
 		w.stats = Stats{LatencyMin: 1 << 62}
@@ -142,6 +154,7 @@ func (nw *Network) setupShards() {
 		w.auxEvents = 0
 		w.elided = 0
 		w.endAt = 0
+		w.busyNS = 0
 		w.pkts = w.pkts[:0]
 		w.freePkts = w.freePkts[:0]
 		w.flowRecs = w.flowRecs[:0]
@@ -209,6 +222,9 @@ func (sh *shardRuntime) deliverMailboxes() {
 		sh.inbox = in
 		if len(in) == 0 {
 			continue
+		}
+		if len(in) > sh.mailboxPeak[r] {
+			sh.mailboxPeak[r] = len(in)
 		}
 		sort.SliceStable(in, func(i, j int) bool { return in[i].at < in[j].at })
 		w := sh.workers[r]
@@ -282,6 +298,32 @@ func (sh *shardRuntime) executed() uint64 {
 	return n
 }
 
+// telemetry snapshots per-shard DES telemetry after a run: executed
+// events, queue and mailbox high-water marks, wall-clock busy/stall
+// split, and the calendar-queue pressure counters. Called with all
+// workers stopped.
+func (sh *shardRuntime) telemetry() []ShardStats {
+	out := make([]ShardStats, sh.n)
+	for i, w := range sh.workers {
+		stall := sh.windowWallNS - w.busyNS
+		if stall < 0 {
+			stall = 0
+		}
+		out[i] = ShardStats{
+			Shard:           i,
+			Events:          w.sched.Executed() - w.auxEvents + w.elided,
+			MaxPending:      w.sched.MaxPending(),
+			MailboxPeak:     sh.mailboxPeak[i],
+			BusyNS:          w.busyNS,
+			StallNS:         stall,
+			CalRebases:      w.sched.Rebases(),
+			CalOverflowPeak: w.sched.OverflowHighWater(),
+			CalSlotsPeak:    w.sched.OccupiedSlotsHighWater(),
+		}
+	}
+	return out
+}
+
 // endTime returns the global end-of-run instant: the latest shard clock
 // or eager delivery, whichever is later.
 func (sh *shardRuntime) endTime() des.Time {
@@ -305,7 +347,9 @@ func (sh *shardRuntime) startWorkers() {
 		go func() {
 			defer sh.wg.Done()
 			for bound := range ch {
+				t0 := time.Now()
 				w.runWindow(bound)
+				w.busyNS += time.Since(t0).Nanoseconds()
 				sh.done <- struct{}{}
 			}
 		}()
@@ -338,8 +382,11 @@ func (sh *shardRuntime) stopWorkers() {
 // stage is used only for error messages (-1 for async runs).
 func (nw *Network) pumpShards(stage int) error {
 	sh := nw.sh
-	var lastSample des.Time
+	t0 := time.Now()
+	defer func() { sh.windowWallNS += time.Since(t0).Nanoseconds() }()
+	var lastSample, lastLink des.Time
 	probed := nw.ob != nil && nw.ob.probes != nil
+	linked := nw.ob != nil && nw.ob.link != nil
 	for {
 		sh.deliverMailboxes()
 		var min des.Time
@@ -375,6 +422,22 @@ func (nw *Network) pumpShards(stage int) error {
 				nw.ob.probes.Sample(sh.maxNow())
 				lastSample = bound
 			}
+		}
+		if linked {
+			if iv := nw.ob.link.Interval(); iv > 0 && bound-lastLink >= iv {
+				nw.ob.link.Sample(sh.maxNow())
+				lastLink = bound
+			}
+		}
+		if p := nw.cfg.Progress; p != nil {
+			// Workers are parked at the barrier (the done receives above
+			// order their writes before these reads), so per-shard stats
+			// are safe to sum here.
+			var delivered int64
+			for _, w := range sh.workers {
+				delivered += w.stats.MessagesDelivered
+			}
+			p.publish(sh.maxNow(), int64(sh.executed()), delivered)
 		}
 	}
 }
@@ -467,7 +530,7 @@ func (nw *Network) runShardedAsync(msgs []Message, depStages [][]Message) (Stats
 		return Stats{}, nw.flushed(err)
 	}
 	nw.refreshShardViews()
-	nw.startProbes()
+	nw.startSamplers()
 	sh := nw.sh
 	sh.startWorkers()
 	nw.kickAllHosts()
@@ -509,7 +572,7 @@ func (nw *Network) runShardedStages(stages [][]Message, jitter des.Time, seed in
 			nw.applyJitter(st, jitter, rng)
 		}
 		nw.kickAllHosts()
-		nw.startProbes()
+		nw.startSamplers()
 		if err := nw.pumpShards(i); err != nil {
 			sh.stopWorkers()
 			return Stats{}, nw.flushed(err)

@@ -13,6 +13,10 @@ const (
 	ProbeSchema = "fattree-probes/v1"
 	// TraceSchema stamps the -trace Chrome trace-event document.
 	TraceSchema = "fattree-trace/v1"
+	// LinkProbeSchema stamps the -link-probes JSONL stream: per-channel
+	// queue-depth and utilization series plus a closing per-link rollup
+	// record (max queue depth and busy fraction per directed channel).
+	LinkProbeSchema = "fattree-linkprobe/v1"
 )
 
 // StreamHeader is the leading record of a probe JSONL stream.

@@ -27,6 +27,11 @@ import (
 type FileSinks struct {
 	TracePath   string
 	MetricsPath string
+	// LinkProbesPath is the -link-probes flag value: a second JSONL
+	// stream carrying the fattree-linkprobe/v1 per-channel series
+	// (queue depth and utilization over simulated time) and the
+	// end-of-run per-link rollup.
+	LinkProbesPath string
 	// Interval is the probe sampling period; NewSampler's default
 	// (1 us of simulated time) applies when zero. The -probe-interval
 	// flag sets it from the command line (ProbeEvery below); a non-zero
@@ -40,9 +45,13 @@ type FileSinks struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Sampler  *Sampler
+	// LinkSampler drives the -link-probes stream; it shares the
+	// -probe-interval cadence with Sampler.
+	LinkSampler *Sampler
 
-	traceFile   *os.File
-	metricsFile *os.File
+	traceFile     *os.File
+	metricsFile   *os.File
+	linkProbeFile *os.File
 }
 
 // RegisterFlags adds -trace, -metrics and -probe-interval to fs.
@@ -51,13 +60,15 @@ func (s *FileSinks) RegisterFlags(fs *flag.FlagSet) {
 		"write lifecycle events to `file` in Chrome trace-event format (open in Perfetto or chrome://tracing)")
 	fs.StringVar(&s.MetricsPath, "metrics", "",
 		"write metrics and time-series probes to `file` as JSONL")
+	fs.StringVar(&s.LinkProbesPath, "link-probes", "",
+		"write per-link queue-depth/utilization probes to `file` as JSONL (fattree-linkprobe/v1)")
 	fs.DurationVar(&s.ProbeEvery, "probe-interval", 0,
-		"probe sampling `period` of simulated time for -metrics (e.g. 500ns, 2us; default 1us)")
+		"probe sampling `period` of simulated time for -metrics and -link-probes (e.g. 500ns, 2us; default 1us)")
 }
 
-// Enabled reports whether either flag was given.
+// Enabled reports whether any output flag was given.
 func (s *FileSinks) Enabled() bool {
-	return s != nil && (s.TracePath != "" || s.MetricsPath != "")
+	return s != nil && (s.TracePath != "" || s.MetricsPath != "" || s.LinkProbesPath != "")
 }
 
 // Open creates the requested files and builds the sinks; a no-op when
@@ -75,19 +86,28 @@ func (s *FileSinks) Open() error {
 		s.traceFile = f
 		s.Tracer = NewTracer(f)
 	}
+	interval := s.Interval
+	if interval == 0 && s.ProbeEvery > 0 {
+		// time.Duration is nanoseconds, des.Time picoseconds.
+		interval = des.Time(s.ProbeEvery.Nanoseconds()) * des.Nanosecond
+	}
 	if s.MetricsPath != "" {
 		f, err := os.Create(s.MetricsPath)
 		if err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
 		s.metricsFile = f
-		interval := s.Interval
-		if interval == 0 && s.ProbeEvery > 0 {
-			// time.Duration is nanoseconds, des.Time picoseconds.
-			interval = des.Time(s.ProbeEvery.Nanoseconds()) * des.Nanosecond
-		}
 		s.Sampler = NewSampler(f, interval)
 		s.Sampler.Record(StreamHeader{Schema: ProbeSchema})
+	}
+	if s.LinkProbesPath != "" {
+		f, err := os.Create(s.LinkProbesPath)
+		if err != nil {
+			return fmt.Errorf("link-probes: %w", err)
+		}
+		s.linkProbeFile = f
+		s.LinkSampler = NewSampler(f, interval)
+		s.LinkSampler.Record(StreamHeader{Schema: LinkProbeSchema})
 	}
 	return nil
 }
@@ -112,11 +132,17 @@ func (s *FileSinks) Close() error {
 		}{s.Registry.Snapshot()})
 		keep(s.Sampler.Flush())
 	}
+	if s.LinkSampler != nil {
+		keep(s.LinkSampler.Flush())
+	}
 	if s.Tracer != nil {
 		keep(s.Tracer.Close())
 	}
 	if s.metricsFile != nil {
 		keep(s.metricsFile.Close())
+	}
+	if s.linkProbeFile != nil {
+		keep(s.linkProbeFile.Close())
 	}
 	if s.traceFile != nil {
 		keep(s.traceFile.Close())

@@ -14,9 +14,9 @@ type HTMLOptions struct {
 	// Title heads the page; a default is derived from the inputs when
 	// empty.
 	Title string
-	// MetricsFile / TraceFile / LoadFile / EventsFile name the inputs in
-	// the provenance lines.
-	MetricsFile, TraceFile, LoadFile, EventsFile string
+	// MetricsFile / TraceFile / LoadFile / EventsFile / LinkProbesFile
+	// name the inputs in the provenance lines.
+	MetricsFile, TraceFile, LoadFile, EventsFile, LinkProbesFile string
 	// Generated is a freeform provenance stamp (e.g. a timestamp);
 	// omitted when empty so golden tests stay byte-stable.
 	Generated string
@@ -34,6 +34,10 @@ type Inputs struct {
 	Trace  *TraceData
 	Load   *LoadDoc
 	Events *EventsDoc
+	// LinkProbes is a parsed fattree-linkprobe/v1 stream (the -link-probes
+	// file): per-channel queue depth and utilization over time plus the
+	// closing contention rollup.
+	LinkProbes *ProbeData
 }
 
 // RenderHTML renders one self-contained HTML report — no external
@@ -65,7 +69,23 @@ type htmlView struct {
 	LoadLevels []loadLevelView
 	EventStrip template.HTML
 	Events     []eventView
-	Notes      []string
+
+	QueueHeatmap   template.HTML
+	HotLinks       []hotLinkView
+	ShardRows      []shardView
+	ShardImbalance string
+
+	Notes []string
+}
+
+type hotLinkView struct {
+	Channel, MaxQueue, BusyPct string
+}
+
+type shardView struct {
+	Shard, Events, MaxPending, MailboxPeak    string
+	BusyMS, StallMS                           string
+	CalRebases, CalOverflowPeak, CalSlotsPeak string
 }
 
 type loadLevelView struct {
@@ -113,8 +133,14 @@ func buildView(in Inputs, opt HTMLOptions) *htmlView {
 	if opt.EventsFile != "" {
 		v.Inputs = append(v.Inputs, "events: "+opt.EventsFile)
 	}
+	if opt.LinkProbesFile != "" {
+		v.Inputs = append(v.Inputs, "link probes: "+opt.LinkProbesFile)
+	}
 	if probes != nil && probes.Schema != "" {
 		v.Schemas = append(v.Schemas, probes.Schema)
+	}
+	if in.LinkProbes != nil && in.LinkProbes.Schema != "" {
+		v.Schemas = append(v.Schemas, in.LinkProbes.Schema)
 	}
 	if trace != nil && trace.Schema != "" {
 		v.Schemas = append(v.Schemas, trace.Schema)
@@ -141,8 +167,18 @@ func buildView(in Inputs, opt HTMLOptions) *htmlView {
 	} else {
 		v.Timeline = buildTimeline(trace.StageSpans(), &v.Notes)
 	}
-	// Load and events sections are opt-in: no note when absent, so
-	// reports predating them render unchanged.
+	// Link probe, load and events sections are opt-in: no note when
+	// absent, so reports predating them render unchanged.
+	if lp := in.LinkProbes; lp != nil {
+		if lp.Malformed > 0 {
+			v.Notes = append(v.Notes, fmt.Sprintf("%d malformed line(s) skipped in the link probe stream", lp.Malformed))
+		}
+		v.QueueHeatmap = buildQueueHeatmap(lp.Get("queue_depth"), opt.MaxHeatmapRows, &v.Notes)
+		v.HotLinks = buildHotLinks(lp.Rollup)
+	}
+	if probes != nil && len(probes.Shards) > 0 {
+		v.ShardRows, v.ShardImbalance = buildShardTable(probes.Shards)
+	}
 	if in.Load != nil {
 		v.LoadCurve = buildLoadCurve(in.Load, &v.Notes)
 		v.LoadLevels = buildLoadTable(in.Load)
@@ -243,6 +279,154 @@ func buildHeatmap(s *Series, maxRows int, notes *[]string) template.HTML {
 		f(labelW+11*12+6), f(ly+8))
 	b.WriteString(`</svg>`)
 	return template.HTML(b.String())
+}
+
+// buildQueueHeatmap renders the queue-depth-over-time heatmap from a
+// link probe stream: one row per directed channel (deepest first,
+// capped), one column per probe tick, color scaled to the deepest
+// queue seen. A contention-free run renders a flat depth &le; 1 map.
+func buildQueueHeatmap(s *Series, maxRows int, notes *[]string) template.HTML {
+	if s == nil || len(s.Samples) == 0 {
+		*notes = append(*notes, "no queue_depth series: queue heatmap omitted")
+		return ""
+	}
+	nCh := s.Width()
+	if nCh == 0 {
+		*notes = append(*notes, "queue_depth series has empty samples: queue heatmap omitted")
+		return ""
+	}
+	type ranked struct {
+		ch   int
+		peak float64
+	}
+	rk := make([]ranked, nCh)
+	for i := range rk {
+		rk[i].ch = i
+	}
+	maxDepth := 0.0
+	for _, sm := range s.Samples {
+		for i, d := range sm.Values {
+			if d > rk[i].peak {
+				rk[i].peak = d
+			}
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	if maxDepth == 0 {
+		maxDepth = 1
+	}
+	sort.SliceStable(rk, func(i, j int) bool { return rk[i].peak > rk[j].peak })
+	rows := nCh
+	if rows > maxRows {
+		rows = maxRows
+		*notes = append(*notes, fmt.Sprintf("queue heatmap shows the %d deepest of %d directed channels", rows, nCh))
+	}
+	cols := len(s.Samples)
+
+	const labelW, cellH, legendH = 56.0, 10.0, 26.0
+	cellW := math.Max(2, math.Min(18, 820.0/float64(cols)))
+	width := labelW + cellW*float64(cols) + 8
+	height := cellH*float64(rows) + legendH + 18
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %s %s" width="%s" height="%s" role="img" aria-label="queue depth heatmap">`,
+		f(width), f(height), f(width), f(height))
+	for r := 0; r < rows; r++ {
+		ch := rk[r].ch
+		y := float64(r) * cellH
+		fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">ch%d</text>`,
+			f(labelW-4), f(y+cellH-2), ch)
+		for c, sm := range s.Samples {
+			d := 0.0
+			if ch < len(sm.Values) {
+				d = sm.Values[ch]
+			}
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"><title>ch%d @ %d ps: depth %.0f</title></rect>`,
+				f(labelW+float64(c)*cellW), f(y), f(cellW), f(cellH), utilColor(d/maxDepth), ch, sm.T, d)
+		}
+	}
+	axisY := cellH*float64(rows) + 12
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl">%d ps</text>`, f(labelW), f(axisY), s.Samples[0].T)
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl" text-anchor="end">%d ps</text>`,
+		f(labelW+cellW*float64(cols)), f(axisY), s.Samples[cols-1].T)
+	ly := axisY + 6
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="12" height="8" fill="%s"/>`,
+			f(labelW+float64(i)*12), f(ly), utilColor(float64(i)/10))
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="lbl">depth 0 &#8594; %s</text>`,
+		f(labelW+11*12+6), f(ly+8), f(maxDepth))
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// maxHotLinks caps the hot-links table at the deepest channels.
+const maxHotLinks = 16
+
+// buildHotLinks tabulates the rollup's deepest channels. Depth 1 is a
+// packet transmitting with nothing queued behind it — only depth > 1
+// marks contention, so a contention-free run yields an empty table.
+func buildHotLinks(roll *LinkRollup) []hotLinkView {
+	if roll == nil {
+		return nil
+	}
+	type ranked struct {
+		ch, depth int
+	}
+	var rk []ranked
+	for ch, d := range roll.MaxQueue {
+		if d > 1 {
+			rk = append(rk, ranked{ch, d})
+		}
+	}
+	sort.SliceStable(rk, func(i, j int) bool { return rk[i].depth > rk[j].depth })
+	if len(rk) > maxHotLinks {
+		rk = rk[:maxHotLinks]
+	}
+	var out []hotLinkView
+	for _, r := range rk {
+		busy := ""
+		if r.ch < len(roll.BusyFrac) {
+			busy = f(100 * roll.BusyFrac[r.ch])
+		}
+		out = append(out, hotLinkView{
+			Channel:  fmt.Sprintf("ch%d", r.ch),
+			MaxQueue: fmt.Sprintf("%d", r.depth),
+			BusyPct:  busy,
+		})
+	}
+	return out
+}
+
+// buildShardTable tabulates the per-shard DES telemetry and computes
+// the events imbalance (max/mean) headline.
+func buildShardTable(shards []ShardStat) ([]shardView, string) {
+	var out []shardView
+	var sumEv, maxEv uint64
+	for _, sh := range shards {
+		sumEv += sh.Events
+		if sh.Events > maxEv {
+			maxEv = sh.Events
+		}
+		out = append(out, shardView{
+			Shard:           fmt.Sprintf("%d", sh.Shard),
+			Events:          fmt.Sprintf("%d", sh.Events),
+			MaxPending:      fmt.Sprintf("%d", sh.MaxPending),
+			MailboxPeak:     fmt.Sprintf("%d", sh.MailboxPeak),
+			BusyMS:          f(float64(sh.BusyNS) / 1e6),
+			StallMS:         f(float64(sh.StallNS) / 1e6),
+			CalRebases:      fmt.Sprintf("%d", sh.CalRebases),
+			CalOverflowPeak: fmt.Sprintf("%d", sh.CalOverflowPeak),
+			CalSlotsPeak:    fmt.Sprintf("%d", sh.CalSlotsPeak),
+		})
+	}
+	imbalance := ""
+	if len(shards) > 0 && sumEv > 0 {
+		imbalance = fmt.Sprintf("%.2f", float64(maxEv)*float64(len(shards))/float64(sumEv))
+	}
+	return out, imbalance
 }
 
 // buildTimeline renders the collective stage spans as a single-lane
@@ -636,7 +820,19 @@ svg .bar{font:10px ui-monospace,monospace;fill:#fff}
 {{end}}
 {{if .Heatmap}}<h2>Link utilization</h2>
 {{.Heatmap}}{{end}}
-{{if .Timeline}}<h2>Stage timeline</h2>
+{{if .QueueHeatmap}}<h2>Queue depth over time</h2>
+{{.QueueHeatmap}}
+{{end}}{{if .HotLinks}}<table>
+<tr><th>channel</th><th>max queue</th><th>busy %</th></tr>
+{{range .HotLinks}}<tr><td>{{.Channel}}</td><td>{{.MaxQueue}}</td><td>{{.BusyPct}}</td></tr>
+{{end}}</table>
+{{end}}{{if .ShardRows}}<h2>Shard balance</h2>
+{{if .ShardImbalance}}<p class="meta">events imbalance (max/mean): {{.ShardImbalance}}</p>
+{{end}}<table>
+<tr><th>shard</th><th>events</th><th>max pending</th><th>mailbox peak</th><th>busy ms</th><th>stall ms</th><th>cal rebases</th><th>cal overflow peak</th><th>cal slots peak</th></tr>
+{{range .ShardRows}}<tr><td>{{.Shard}}</td><td>{{.Events}}</td><td>{{.MaxPending}}</td><td>{{.MailboxPeak}}</td><td>{{.BusyMS}}</td><td>{{.StallMS}}</td><td>{{.CalRebases}}</td><td>{{.CalOverflowPeak}}</td><td>{{.CalSlotsPeak}}</td></tr>
+{{end}}</table>
+{{end}}{{if .Timeline}}<h2>Stage timeline</h2>
 {{.Timeline}}{{end}}
 {{if .Sparks}}<h2>Time series</h2>
 {{range .Sparks}}<h3>{{.Name}}</h3>

@@ -20,7 +20,8 @@ type LoadLevel struct {
 	AchievedRPS float64 `json:"achieved_rps"`
 	Sent        int64   `json:"sent"`
 	Errors      int64   `json:"errors"`
-	Shed        int64   `json:"shed,omitempty"` // open loop: ticks dropped at the outstanding cap
+	Shed        int64   `json:"shed,omitempty"`     // open loop: ticks dropped at the outstanding cap
+	ShedRPS     float64 `json:"shed_rps,omitempty"` // shed ticks per second of the measurement window
 	DurationS   float64 `json:"duration_s"`
 
 	// Client-side quantiles over exact samples, microseconds.

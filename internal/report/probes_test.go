@@ -128,3 +128,80 @@ func TestParseProbesMalformed(t *testing.T) {
 		t.Error("nil ProbeData.Get not nil")
 	}
 }
+
+// TestParseProbesLinkRecords checks the fattree-linkprobe/v1 record
+// kinds: the contention rollup and the per-shard telemetry record.
+func TestParseProbesLinkRecords(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"schema":"fattree-linkprobe/v1"}`,
+		`{"t_ps":0,"series":"queue_depth","values":[0,1]}`,
+		`{"t_ps":1000,"series":"queue_depth","values":[2,1]}`,
+		`{"rollup":"links","duration_ps":2000,"max_queue":[2,1],"busy_frac":[0.5,0.25]}`,
+		`{"shards":[{"shard":0,"events":10,"max_pending":3,"busy_ns":100,"stall_ns":50},{"shard":1,"events":30,"max_pending":4,"busy_ns":120,"stall_ns":30}]}`,
+	}, "\n")
+	d, err := ParseProbes(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != "fattree-linkprobe/v1" {
+		t.Errorf("schema %q", d.Schema)
+	}
+	if d.Malformed != 0 || d.Extra != 0 {
+		t.Errorf("malformed %d extra %d, want 0 0", d.Malformed, d.Extra)
+	}
+	if d.Rollup == nil || d.Rollup.DurationPS != 2000 {
+		t.Fatalf("rollup = %+v", d.Rollup)
+	}
+	if len(d.Rollup.MaxQueue) != 2 || d.Rollup.MaxQueue[0] != 2 {
+		t.Errorf("rollup max queue = %v", d.Rollup.MaxQueue)
+	}
+	if len(d.Shards) != 2 || d.Shards[1].Events != 30 || d.Shards[0].MaxPending != 3 {
+		t.Errorf("shards = %+v", d.Shards)
+	}
+	if s := d.Get("queue_depth"); s == nil || len(s.Samples) != 2 {
+		t.Errorf("queue_depth series = %+v", s)
+	}
+}
+
+// TestRenderHTMLLinkSections drives the queue-depth heatmap, hot-links
+// table and shard-balance table into the page.
+func TestRenderHTMLLinkSections(t *testing.T) {
+	lp, err := ParseProbes(strings.NewReader(strings.Join([]string{
+		`{"schema":"fattree-linkprobe/v1"}`,
+		`{"t_ps":0,"series":"queue_depth","values":[0,1,3]}`,
+		`{"t_ps":1000,"series":"queue_depth","values":[1,0,2]}`,
+		`{"rollup":"links","duration_ps":2000,"max_queue":[1,1,3],"busy_frac":[0.5,0.25,0.75]}`,
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := ParseProbes(strings.NewReader(
+		`{"shards":[{"shard":0,"events":100,"max_pending":5,"busy_ns":1000000,"stall_ns":500000},{"shard":1,"events":300,"max_pending":7,"busy_ns":2000000,"stall_ns":250000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = RenderHTML(&out, Inputs{Probes: probes, LinkProbes: lp},
+		HTMLOptions{LinkProbesFile: "lp.jsonl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := out.String()
+	for _, want := range []string{
+		"Queue depth over time",
+		"queue depth heatmap",
+		"Shard balance",
+		"events imbalance (max/mean): 1.50",
+		"fattree-linkprobe/v1",
+		"link probes: lp.jsonl",
+		// The hot-links table names only the contended channel (depth > 1).
+		"<td>ch2</td><td>3</td><td>75</td>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("rendered HTML is missing %q", want)
+		}
+	}
+	if strings.Contains(html, "<td>ch0</td>") || strings.Contains(html, "<td>ch1</td>") {
+		t.Error("hot-links table lists depth <= 1 channels")
+	}
+}
