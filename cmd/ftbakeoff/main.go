@@ -1,0 +1,137 @@
+// Command ftbakeoff races every registered routing engine through an
+// escalating fault storm on a seeded fabric and reports per-engine
+// routability, Shift-HSD degradation, reroute wall-clock latency and
+// (with -sim) netsim max queue depth. The verdict is a schema-stamped
+// fattree-bakeoff/v1 JSON document that ftreport html renders as a
+// comparison table with degradation curves.
+//
+// Usage:
+//
+//	ftbakeoff -topo 324 -seed 7 -o bakeoff.json
+//	ftbakeoff -topo rlft2:4,8 -engines dmodk,fault-resilient -sim
+//	ftbakeoff -topo rlft2:4,8 -min-routability 50   # CI gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"fattree/internal/bakeoff"
+	"fattree/internal/engine"
+	"fattree/internal/obs/prof"
+	"fattree/internal/topo"
+)
+
+func main() {
+	var (
+		spec    = flag.String("topo", "324", "topology spec")
+		engines = flag.String("engines", "", "comma-separated engines to race (default: all registered)")
+		seed    = flag.Int64("seed", 7, "seed for fault draws and seeded engines")
+		sim     = flag.Bool("sim", false, "simulate sampled Shift stages for max queue depth (slower)")
+		bytes   = flag.Int64("bytes", 64<<10, "per-message payload for -sim")
+		stages  = flag.Int("sim-stages", 4, "Shift stages sampled per cell for -sim")
+		minRout = flag.Float64("min-routability", 0, "fail when any engine drops below this routability % at any level")
+		out     = flag.String("o", "", "write the fattree-bakeoff/v1 JSON verdict to this file")
+		jsonOut = flag.Bool("json", false, "print the JSON verdict to stdout instead of the table")
+	)
+	pf := prof.Register(flag.CommandLine)
+	flag.Parse()
+	err := pf.Start()
+	if err == nil {
+		err = run(*spec, *engines, *seed, *sim, *bytes, *stages, *minRout, *out, *jsonOut)
+	}
+	if perr := pf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftbakeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, engines string, seed int64, sim bool, bytes int64, stages int, minRout float64, out string, jsonOut bool) error {
+	g, err := topo.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	t, err := topo.Build(g)
+	if err != nil {
+		return err
+	}
+	cfg := bakeoff.Config{Topo: t, Seed: seed, Sim: sim, Bytes: bytes, SimStages: stages}
+	if engines != "" {
+		for _, name := range strings.Split(engines, ",") {
+			name = strings.TrimSpace(name)
+			// Resolve early so a typo reports the registered names
+			// before any work happens.
+			if _, err := engine.Build(name, t, engine.Options{Seed: seed}); err != nil {
+				return err
+			}
+			cfg.Engines = append(cfg.Engines, name)
+		}
+	}
+	doc, err := bakeoff.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	} else {
+		printTable(doc)
+	}
+
+	if minRout > 0 {
+		for _, lv := range doc.Levels {
+			for _, er := range lv.Engines {
+				if er.Err != "" {
+					return fmt.Errorf("level %s: engine %s failed: %s", lv.Name, er.Engine, er.Err)
+				}
+				if er.RoutabilityPct < minRout {
+					return fmt.Errorf("level %s: engine %s routability %.2f%% below gate %.2f%%",
+						lv.Name, er.Engine, er.RoutabilityPct, minRout)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func printTable(doc *bakeoff.Doc) {
+	fmt.Printf("# bake-off on %s (%d hosts, seed %d)\n", doc.Topology, doc.Hosts, doc.Seed)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "level\tfaults\tengine\troutability\tbroken\tmax-hsd\tavg-hsd\treroute")
+	for _, lv := range doc.Levels {
+		for _, er := range lv.Engines {
+			if er.Err != "" {
+				fmt.Fprintf(w, "%s\t%d\t%s\tERROR: %s\t\t\t\t\n", lv.Name, len(lv.FailedLinks), er.Engine, er.Err)
+				continue
+			}
+			depth := ""
+			if er.MaxQueueDepth >= 0 {
+				depth = fmt.Sprintf("\tqdepth=%d", er.MaxQueueDepth)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\t%.2f%%\t%d\t%d\t%.2f\t%dus%s\n",
+				lv.Name, len(lv.FailedLinks), er.Engine, er.RoutabilityPct,
+				er.BrokenPairs, er.MaxHSD, er.AvgMaxHSD, er.RerouteUS, depth)
+		}
+	}
+	w.Flush()
+}

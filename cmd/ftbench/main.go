@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"fattree/internal/engine"
 	"fattree/internal/exp"
 	"fattree/internal/netsim"
 	"fattree/internal/obs"
@@ -27,6 +28,7 @@ import (
 func main() {
 	var (
 		which    = flag.String("exp", "all", "experiment: f1 | f2 | f3 | t3 | ring | cf | wrap | routing | bidir | semantics | placement | latency | taper | patterns | adaptive | jitter | buffers | jobs | queue | faults | all")
+		engName  = flag.String("engine", "", "routing engine from the registry for the engine-parametric experiments (default dmodk; \"list\" prints them)")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast run")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit JSON (fattree-table/v1) instead of aligned text")
@@ -38,7 +40,14 @@ func main() {
 	sinks.RegisterFlags(flag.CommandLine)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if *engName == "list" {
+		for _, info := range engine.Infos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 	exp.UseCompiledPaths = *compiled
+	exp.EngineName = *engName
 	err := sinks.Open()
 	if err == nil && (sinks.Enabled() || *shards != 1 || *progress > 0) {
 		// Attach the sinks and the shard count to every simulation the

@@ -13,6 +13,8 @@
 //	ftcheck -topo 324 -routing minhop-random -json     # broken routing -> failing verdict
 //	ftcheck -topo 324 -order random -seed 3            # shuffled ordering -> HSD > 1
 //	ftcheck -topo 324 -fault-random 2 -reroute         # fault + reroute still passes
+//	ftcheck -topo 324 -engine fault-resilient          # catalog over a registry engine
+//	ftcheck -topo 324 -engine nodetype-lb -fault-random 2   # engine's own fault handling
 //	ftcheck -rand 20 -seed 1                           # sweep 20 seeded random RLFTs
 //	ftcheck -list                                      # catalog names and paper refs
 //
@@ -29,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fattree/internal/engine"
 	"fattree/internal/fabric"
 	"fattree/internal/invariant"
 	"fattree/internal/order"
@@ -48,6 +51,7 @@ func main() {
 	var (
 		spec      = flag.String("topo", "324", "topology spec")
 		routing   = flag.String("routing", "dmodk", "routing: dmodk | dmodk-naive | minhop-random | smodk")
+		engName   = flag.String("engine", "", "routing engine from the registry (\"list\" prints them); overrides -routing and brings its own fault handling")
 		ordering  = flag.String("order", "topology", "ordering: topology | random | adversarial | cyclic")
 		seed      = flag.Int64("seed", 1, "seed for -order random, -routing minhop-random, -fault-random and the -rand sweep base")
 		checksArg = flag.String("checks", "all", "comma-separated check names or kind prefixes (see -list)")
@@ -65,7 +69,13 @@ func main() {
 		}
 		return
 	}
-	ok, err := run(*spec, *routing, *ordering, *seed, *checksArg, *randN, *faultsArg, *faultRand, *reroute, *jsonOut, os.Stdout)
+	if *engName == "list" {
+		for _, info := range engine.Infos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+	ok, err := run(*spec, *routing, *engName, *ordering, *seed, *checksArg, *randN, *faultsArg, *faultRand, *reroute, *jsonOut, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftcheck:", err)
 		os.Exit(2)
@@ -78,7 +88,7 @@ func main() {
 // run checks one instance (plus an optional random sweep) and reports
 // whether everything passed. Errors are usage/build problems, not check
 // failures.
-func run(spec, routing, ordering string, seed int64, checksArg string, randN int, faultsArg string, faultRand int, reroute, jsonOut bool, w io.Writer) (bool, error) {
+func run(spec, routing, engName, ordering string, seed int64, checksArg string, randN int, faultsArg string, faultRand int, reroute, jsonOut bool, w io.Writer) (bool, error) {
 	checks, err := invariant.Select(checksArg)
 	if err != nil {
 		return false, err
@@ -92,7 +102,7 @@ func run(spec, routing, ordering string, seed int64, checksArg string, randN int
 		return false, err
 	}
 
-	in, faults, err := buildInstance(t, routing, ordering, seed, faultsArg, faultRand, reroute)
+	in, faults, err := buildInstance(t, routing, engName, ordering, seed, faultsArg, faultRand, reroute)
 	if err != nil {
 		return false, err
 	}
@@ -130,7 +140,9 @@ func run(spec, routing, ordering string, seed int64, checksArg string, randN int
 
 // buildInstance assembles the system under check: topology, routing
 // (optionally over a faulted fabric, stale or rerouted), and ordering.
-func buildInstance(t *topo.Topology, routing, ordering string, seed int64, faultsArg string, faultRand int, reroute bool) (*invariant.Instance, []int, error) {
+// With -engine, the registry engine produces the tables — including its
+// own fault handling, so -reroute is redundant and refused.
+func buildInstance(t *topo.Topology, routing, engName, ordering string, seed int64, faultsArg string, faultRand int, reroute bool) (*invariant.Instance, []int, error) {
 	n := t.NumHosts()
 
 	fs := fabric.NewFaultSet(t)
@@ -157,7 +169,31 @@ func buildInstance(t *topo.Topology, routing, ordering string, seed int64, fault
 	}
 
 	var in *invariant.Instance
-	if len(faults) > 0 && reroute {
+	if engName != "" {
+		if reroute {
+			return nil, nil, fmt.Errorf("-reroute is incompatible with -engine (engines handle faults themselves)")
+		}
+		e, err := engine.Build(engName, t, engine.Options{Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		var efs *fabric.FaultSet
+		if len(faults) > 0 {
+			efs = fs
+		}
+		tb, err := e.Tables(efs)
+		if err != nil {
+			return nil, nil, err
+		}
+		in = invariant.NewInstance(t, tb.Router, nil)
+		if len(tb.Unroutable) > 0 {
+			unroutable := make(map[int]bool, len(tb.Unroutable))
+			for _, j := range tb.Unroutable {
+				unroutable[j] = true
+			}
+			in.Unroutable = func(j int) bool { return unroutable[j] }
+		}
+	} else if len(faults) > 0 && reroute {
 		if routing != "dmodk" {
 			return nil, nil, fmt.Errorf("-reroute implies D-Mod-K tables; drop -routing %s", routing)
 		}

@@ -12,7 +12,7 @@ import (
 func checkRun(t *testing.T, spec, routing, ordering string, seed int64, checks string, randN int, faults string, faultRand int, reroute bool) (bool, *document) {
 	t.Helper()
 	var buf bytes.Buffer
-	ok, err := run(spec, routing, ordering, seed, checks, randN, faults, faultRand, reroute, true, &buf)
+	ok, err := run(spec, routing, "", ordering, seed, checks, randN, faults, faultRand, reroute, true, &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestExplicitFaultList(t *testing.T) {
 // names error.
 func TestCheckSelection(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run("kary:2,2", "dmodk", "topology", 1, "topo", 0, "", 0, false, true, &buf)
+	ok, err := run("kary:2,2", "dmodk", "", "topology", 1, "topo", 0, "", 0, false, true, &buf)
 	if err != nil || !ok {
 		t.Fatalf("topo-only run: ok=%v err=%v", ok, err)
 	}
@@ -162,7 +162,7 @@ func TestCheckSelection(t *testing.T) {
 			t.Fatalf("unexpected check %s in topo-only run", c.Name)
 		}
 	}
-	if _, err := run("kary:2,2", "dmodk", "topology", 1, "nope", 0, "", 0, false, true, &buf); err == nil {
+	if _, err := run("kary:2,2", "dmodk", "", "topology", 1, "nope", 0, "", 0, false, true, &buf); err == nil {
 		t.Fatal("unknown check name accepted")
 	}
 }
@@ -170,7 +170,7 @@ func TestCheckSelection(t *testing.T) {
 // TestTextOutput: the human format ends with the overall verdict word.
 func TestTextOutput(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run("kary:2,2", "dmodk", "topology", 1, "all", 0, "", 0, false, false, &buf)
+	ok, err := run("kary:2,2", "dmodk", "", "topology", 1, "all", 0, "", 0, false, false, &buf)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"fattree/internal/engine"
 	"fattree/internal/fmgr"
 	"fattree/internal/obs"
 	"fattree/internal/obs/prof"
@@ -37,6 +38,7 @@ import (
 func main() {
 	var (
 		spec        = flag.String("topo", "324", "topology spec")
+		engName     = flag.String("engine", "", "routing engine from the registry (default dmodk; \"list\" prints them)")
 		addr        = flag.String("addr", "127.0.0.1:7474", "listen address")
 		maxInflight = flag.Int("max-inflight", 64, "concurrent /v1 requests before 429")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request handling timeout")
@@ -49,12 +51,19 @@ func main() {
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if *engName == "list" {
+		for _, info := range engine.Infos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 	if err := pf.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "ftfabricd:", err)
 		os.Exit(1)
 	}
 	err := run(options{
 		Spec:        *spec,
+		Engine:      *engName,
 		Addr:        *addr,
 		MaxInflight: *maxInflight,
 		Timeout:     *timeout,
@@ -75,7 +84,7 @@ func main() {
 }
 
 type options struct {
-	Spec, Addr          string
+	Spec, Engine, Addr  string
 	MaxInflight         int
 	Timeout, Debounce   time.Duration
 	Seed                int64
@@ -110,6 +119,7 @@ func run(o options) error {
 	}
 	m, err := fmgr.New(fmgr.Config{
 		Topo:           t,
+		Engine:         o.Engine,
 		Debounce:       o.Debounce,
 		Rand:           rand.New(rand.NewSource(o.Seed)),
 		Metrics:        reg,
@@ -135,8 +145,8 @@ func run(o options) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d) on %s\n",
-		g, t.NumHosts(), m.Current().Epoch, o.Addr)
+	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d, engine %s) on %s\n",
+		g, t.NumHosts(), m.Current().Epoch, m.Current().Engine, o.Addr)
 
 	select {
 	case err := <-errc:

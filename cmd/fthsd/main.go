@@ -20,6 +20,7 @@ import (
 
 	"fattree/internal/cps"
 	"fattree/internal/des"
+	"fattree/internal/engine"
 	"fattree/internal/hsd"
 	"fattree/internal/mpi"
 	"fattree/internal/obs"
@@ -33,6 +34,7 @@ import (
 func main() {
 	var (
 		spec     = flag.String("topo", "324", "topology spec")
+		engName  = flag.String("engine", "", "routing engine from the registry (default dmodk; \"list\" prints them)")
 		cpsName  = flag.String("cps", "shift", "CPS: shift | ring | binomial | dissemination | tournament | recursive-doubling | recursive-halving | topo-aware")
 		ordering = flag.String("order", "topology", "ordering: topology | random | adversarial")
 		seeds    = flag.Int("seeds", 1, "random orderings to sweep")
@@ -47,12 +49,18 @@ func main() {
 	sinks.RegisterFlags(flag.CommandLine)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if *engName == "list" {
+		for _, info := range engine.Infos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 	err := sinks.Open()
 	if err == nil {
 		err = pf.Start()
 	}
 	if err == nil {
-		err = run(*spec, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled, *jsonOut, &sinks)
+		err = run(*spec, *engName, *cpsName, *ordering, *seeds, *drop, *dropSeed, *perStage, *levels, *compiled, *jsonOut, &sinks)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -101,7 +109,7 @@ func emitObs(rep *hsd.Report, sinks *obs.FileSinks) {
 	}
 }
 
-func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled, jsonOut bool, sinks *obs.FileSinks) error {
+func run(spec, engName, cpsName, ordering string, seeds, drop int, dropSeed int64, perStage, levels, compiled, jsonOut bool, sinks *obs.FileSinks) error {
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -119,23 +127,41 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 		active = append([]int(nil), perm[drop:]...)
 	}
 	var lft *route.LFT
-	if active == nil {
-		lft = route.DModK(t)
+	var rt route.Router
+	if engName != "" {
+		if active != nil {
+			return fmt.Errorf("-drop is incompatible with -engine")
+		}
+		e, err := engine.Build(engName, t, engine.Options{Seed: dropSeed})
+		if err != nil {
+			return err
+		}
+		tb, err := e.Tables(nil)
+		if err != nil {
+			return err
+		}
+		// Engine routers come pre-compiled wherever possible; lft stays
+		// nil for source-based engines, which only -levels needs.
+		rt, lft = tb.Router, tb.LFT
 	} else {
-		lft, err = route.DModKActive(t, active)
-		if err != nil {
-			return err
+		if active == nil {
+			lft = route.DModK(t)
+		} else {
+			lft, err = route.DModKActive(t, active)
+			if err != nil {
+				return err
+			}
 		}
-	}
-	// The compiled path cache makes multi-ordering sweeps and long
-	// sequences iterate packed arenas instead of re-walking the tables.
-	var rt route.Router = lft
-	if compiled {
-		c, err := route.Compile(lft)
-		if err != nil {
-			return err
+		// The compiled path cache makes multi-ordering sweeps and long
+		// sequences iterate packed arenas instead of re-walking the tables.
+		rt = lft
+		if compiled {
+			c, err := route.Compile(lft)
+			if err != nil {
+				return err
+			}
+			rt = c
 		}
-		rt = c
 	}
 	jobSize := n
 	if active != nil {
@@ -187,7 +213,7 @@ func run(spec, cpsName, ordering string, seeds, drop int, dropSeed int64, perSta
 				"seeds": seeds,
 			})
 		}
-		fmt.Printf("%s / %s / random x%d on %s (job %d):\n", seq.Name(), lft.Name, seeds, g, jobSize)
+		fmt.Printf("%s / %s / random x%d on %s (job %d):\n", seq.Name(), rt.Label(), seeds, g, jobSize)
 		fmt.Printf("  avg max HSD: mean %.3f  min %.3f  max %.3f\n", sw.Mean, sw.Min, sw.Max)
 	default:
 		return fmt.Errorf("unknown ordering %q", ordering)
@@ -215,6 +241,9 @@ func analyzeOne(rt route.Router, lft *route.LFT, o *order.Ordering, seq cps.Sequ
 	}
 	printReport(rep, perStage)
 	if levels {
+		if lft == nil {
+			return fmt.Errorf("-levels needs forwarding tables; %s has no LFT realization", rt.Label())
+		}
 		return printLevels(lft, o, seq, rep)
 	}
 	return nil

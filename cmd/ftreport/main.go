@@ -11,7 +11,9 @@
 //	    -load adds an ftload sweep as a p99-vs-offered-load curve;
 //	    -events adds the daemon's fabric event journal as a timeline;
 //	    -linkprobes adds the queue-depth-over-time heatmap, the hot-links
-//	    table and (with a sharded -metrics stream) the shard-balance table.
+//	    table and (with a sharded -metrics stream) the shard-balance table;
+//	    -bakeoff adds an ftbakeoff engine comparison: per-fault-level
+//	    tables plus routability degradation curves.
 //
 //	ftreport bench -in BENCH_2026-08-05.json
 //	    ingests `make bench-json` output into the dated history under
@@ -208,14 +210,15 @@ func cmdHTML(args []string) error {
 		load       = fs.String("load", "", "fattree-load/v1 sweep (from ftload -out)")
 		events     = fs.String("events", "", "fattree-events/v1 journal (from GET /v1/events)")
 		linkprobes = fs.String("linkprobes", "", "fattree-linkprobe/v1 stream (from -link-probes of ftsim)")
+		bakeoffIn  = fs.String("bakeoff", "", "fattree-bakeoff/v1 verdict (from ftbakeoff -o)")
 		outPath    = fs.String("o", "report.html", "output HTML file (- for stdout)")
 		title      = fs.String("title", "", "report title")
 		stamp      = fs.Bool("stamp", true, "include a generation timestamp (disable for reproducible output)")
 		maxRows    = fs.Int("max-heatmap-rows", 64, "cap on heatmap channel rows")
 	)
 	fs.Parse(args)
-	if *metrics == "" && *trace == "" && *load == "" && *events == "" && *linkprobes == "" {
-		return fmt.Errorf("html: need at least one of -metrics, -trace, -load, -events, -linkprobes")
+	if *metrics == "" && *trace == "" && *load == "" && *events == "" && *linkprobes == "" && *bakeoffIn == "" {
+		return fmt.Errorf("html: need at least one of -metrics, -trace, -load, -events, -linkprobes, -bakeoff")
 	}
 	var in report.Inputs
 	if *metrics != "" {
@@ -273,6 +276,17 @@ func cmdHTML(args []string) error {
 			return err
 		}
 	}
+	if *bakeoffIn != "" {
+		f, err := os.Open(*bakeoffIn)
+		if err != nil {
+			return err
+		}
+		in.Bakeoff, err = report.ParseBakeoff(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
 	opt := report.HTMLOptions{
 		Title:          *title,
 		MaxHeatmapRows: *maxRows,
@@ -291,6 +305,9 @@ func cmdHTML(args []string) error {
 	}
 	if *linkprobes != "" {
 		opt.LinkProbesFile = filepath.Base(*linkprobes)
+	}
+	if *bakeoffIn != "" {
+		opt.BakeoffFile = filepath.Base(*bakeoffIn)
 	}
 	if *stamp {
 		opt.Generated = time.Now().UTC().Format(time.RFC3339)

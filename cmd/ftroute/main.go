@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fattree/internal/engine"
 	"fattree/internal/obs/prof"
 	"fattree/internal/route"
 	"fattree/internal/topo"
@@ -26,6 +27,7 @@ func main() {
 	var (
 		spec    = flag.String("topo", "324", "topology spec")
 		routing = flag.String("routing", "dmodk", "routing: dmodk | dmodk-naive | minhop-random")
+		engName = flag.String("engine", "", "routing engine from the registry (\"list\" prints them); overrides -routing")
 		seed    = flag.Int64("seed", 1, "seed for randomized routings")
 		verify  = flag.Bool("verify", false, "verify delivery, minimality and up*/down* shape")
 		dump    = flag.Bool("dump", false, "dump the forwarding tables")
@@ -36,7 +38,7 @@ func main() {
 	flag.Parse()
 	err := pf.Start()
 	if err == nil {
-		err = run(*spec, *routing, *seed, *verify, *dump, *trace, *active)
+		err = run(*spec, *routing, *engName, *seed, *verify, *dump, *trace, *active)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -47,7 +49,20 @@ func main() {
 	}
 }
 
-func run(spec, routing string, seed int64, verify, dump bool, trace, activeList string) error {
+func run(spec, routing, engName string, seed int64, verify, dump bool, trace, activeList string) error {
+	if engName == "list" {
+		for _, info := range engine.Infos() {
+			props := []string{}
+			if info.LFT {
+				props = append(props, "lft")
+			}
+			if info.FaultAware {
+				props = append(props, "fault-aware")
+			}
+			fmt.Printf("%-16s %-13s %s\n", info.Name, strings.Join(props, ","), info.Description)
+		}
+		return nil
+	}
 	g, err := topo.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -67,27 +82,45 @@ func run(spec, routing string, seed int64, verify, dump bool, trace, activeList 
 		}
 	}
 	var lft *route.LFT
-	switch routing {
-	case "dmodk":
+	if engName != "" {
 		if active != nil {
-			// Malformed sets (duplicates, out-of-range hosts) surface
-			// here as errors, not panics.
-			lft, err = route.DModKActive(t, active)
-			if err != nil {
-				return err
-			}
-		} else {
-			lft = route.DModK(t)
+			return fmt.Errorf("-active is incompatible with -engine")
 		}
-	case "dmodk-naive":
-		lft = route.DModKNaive(t)
-	case "minhop-random":
-		lft = route.MinHopRandom(t, seed)
-	default:
-		return fmt.Errorf("unknown routing %q", routing)
-	}
-	if active != nil && routing != "dmodk" {
-		return fmt.Errorf("-active requires -routing dmodk")
+		e, err := engine.Build(engName, t, engine.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		tb, err := e.Tables(nil)
+		if err != nil {
+			return err
+		}
+		if tb.LFT == nil {
+			return fmt.Errorf("engine %q has no forwarding-table realization to verify or dump", engName)
+		}
+		lft = tb.LFT
+	} else {
+		switch routing {
+		case "dmodk":
+			if active != nil {
+				// Malformed sets (duplicates, out-of-range hosts) surface
+				// here as errors, not panics.
+				lft, err = route.DModKActive(t, active)
+				if err != nil {
+					return err
+				}
+			} else {
+				lft = route.DModK(t)
+			}
+		case "dmodk-naive":
+			lft = route.DModKNaive(t)
+		case "minhop-random":
+			lft = route.MinHopRandom(t, seed)
+		default:
+			return fmt.Errorf("unknown routing %q", routing)
+		}
+		if active != nil && routing != "dmodk" {
+			return fmt.Errorf("-active requires -routing dmodk")
+		}
 	}
 	did := false
 	if verify {

@@ -20,6 +20,7 @@ import (
 
 	"fattree/internal/cps"
 	"fattree/internal/des"
+	"fattree/internal/engine"
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/obs"
@@ -32,6 +33,7 @@ import (
 func main() {
 	var (
 		spec     = flag.String("topo", "324", "topology spec")
+		engName  = flag.String("engine", "", "routing engine from the registry (default dmodk; \"list\" prints them)")
 		cpsName  = flag.String("cps", "ring", "CPS name (see fthsd) or topo-aware")
 		ordering = flag.String("order", "topology", "ordering: topology | random | adversarial")
 		seed     = flag.Int64("seed", 1, "random-ordering seed")
@@ -48,9 +50,15 @@ func main() {
 	sinks.RegisterFlags(flag.CommandLine)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if *engName == "list" {
+		for _, info := range engine.Infos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 	err := pf.Start()
 	if err == nil {
-		err = run(*spec, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, *shards, *progress, &sinks)
+		err = run(*spec, *engName, *cpsName, *ordering, *seed, *bytes, *mode, *sample, *linkBW, *hostBW, *bufPkts, *shards, *progress, &sinks)
 	}
 	if perr := pf.Stop(); err == nil {
 		err = perr
@@ -61,7 +69,7 @@ func main() {
 	}
 }
 
-func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts, shards int, progress time.Duration, sinks *obs.FileSinks) error {
+func run(spec, engName, cpsName, ordering string, seed, bytes int64, modeName string, sample int, linkBW, hostBW float64, bufPkts, shards int, progress time.Duration, sinks *obs.FileSinks) error {
 	var mode mpi.Mode
 	switch modeName {
 	case "async":
@@ -82,7 +90,18 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 		return err
 	}
 	n := t.NumHosts()
-	lft := route.DModK(t)
+	var rt route.Router = route.DModK(t)
+	if engName != "" {
+		e, err := engine.Build(engName, t, engine.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		tb, err := e.Tables(nil)
+		if err != nil {
+			return err
+		}
+		rt = tb.Router
+	}
 
 	var o *order.Ordering
 	switch ordering {
@@ -138,7 +157,7 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 		stop := p.Report(os.Stderr, progress, "ftsim")
 		defer stop()
 	}
-	job, err := mpi.NewJob(lft, o)
+	job, err := mpi.NewJob(rt, o)
 	if err != nil {
 		return err
 	}
@@ -149,7 +168,7 @@ func run(spec, cpsName, ordering string, seed, bytes int64, modeName string, sam
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s / %s / %s / %s on %s\n", seq.Name(), lft.Name, o.Label, mode, g)
+	fmt.Printf("%s / %s / %s / %s on %s\n", seq.Name(), rt.Label(), o.Label, mode, g)
 	fmt.Printf("  stages: %d  messages: %d  bytes: %d\n", seq.NumStages(), st.MessagesDelivered, st.BytesDelivered)
 	fmt.Printf("  makespan: %.3f ms  events: %d\n", float64(st.Duration)/float64(des.Millisecond), st.Events)
 	fmt.Printf("  aggregate BW: %.1f MB/s  normalized: %.3f\n",

@@ -1,0 +1,298 @@
+// Package bakeoff runs every registered routing engine through an
+// escalating fault storm on a seeded fabric and scores each one on
+// routability, Shift contention (HSD), reroute wall-clock latency and —
+// optionally — simulated max queue depth. This is the comparative
+// methodology of the Gliksberg fault-resiliency paper applied to the
+// repository's engine registry: the same fabric, the same faults, every
+// engine, one schema-stamped verdict (fattree-bakeoff/v1) that
+// cmd/ftbakeoff emits and ftreport html renders as a comparison table
+// with degradation curves.
+package bakeoff
+
+import (
+	"time"
+
+	"fattree/internal/cps"
+	"fattree/internal/engine"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/netsim"
+	"fattree/internal/obs"
+	"fattree/internal/topo"
+)
+
+// Schema stamps bake-off documents, following the repository's
+// fattree-*/v1 convention. Bump /vN on breaking changes.
+const Schema = "fattree-bakeoff/v1"
+
+// Doc is the bake-off verdict: one Level per fault-storm rung, one
+// EngineResult per engine per rung.
+type Doc struct {
+	Schema   string        `json:"schema"`
+	Topology string        `json:"topology"`
+	Hosts    int           `json:"hosts"`
+	Seed     int64         `json:"seed"`
+	Engines  []engine.Info `json:"engines"`
+	Levels   []Level       `json:"levels"`
+}
+
+// Level is one rung of the fault storm.
+type Level struct {
+	Name string `json:"name"`
+	// FailedLinks are the dead link IDs at this rung (cumulative storms
+	// list everything dead, not the delta).
+	FailedLinks []int          `json:"failed_links"`
+	Engines     []EngineResult `json:"engines"`
+}
+
+// EngineResult scores one engine at one fault level. When the engine
+// failed outright, Err carries the error and every metric is zero.
+type EngineResult struct {
+	Engine string `json:"engine"`
+	Err    string `json:"err,omitempty"`
+	// RoutabilityPct is the percentage of ordered src!=dst pairs served.
+	RoutabilityPct float64 `json:"routability_pct"`
+	// Unroutable counts hosts that lost their only uplink.
+	Unroutable int `json:"unroutable"`
+	// BrokenPairs counts unserved ordered pairs between routable hosts.
+	BrokenPairs int `json:"broken_pairs"`
+	// MaxHSD and AvgMaxHSD summarize Shift over the served pairs;
+	// ContentionFree means every stage stayed at HSD <= 1.
+	MaxHSD         int     `json:"max_hsd"`
+	AvgMaxHSD      float64 `json:"avg_max_hsd"`
+	ContentionFree bool    `json:"contention_free"`
+	// RerouteUS is the wall-clock microseconds the engine took to
+	// produce tables for this fault level (table build + path compile).
+	RerouteUS int64 `json:"reroute_us"`
+	// MaxQueueDepth is netsim's worst input-buffer depth over the
+	// sampled Shift stages; -1 when simulation was off.
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+}
+
+// Config parameterizes a bake-off run.
+type Config struct {
+	// Topo is the fabric under test (required).
+	Topo *topo.Topology
+	// Engines lists the engines to race; nil races every registered one.
+	Engines []string
+	// Seed drives the fault draws and seeded engines.
+	Seed int64
+	// Opts is passed to every engine builder.
+	Opts engine.Options
+	// Levels are the fault-storm rungs; nil uses StormLevels.
+	Levels []FaultLevel
+	// Sim enables the netsim queue-depth probe (slower).
+	Sim bool
+	// Bytes is the per-message payload when Sim is on (default 64 KiB).
+	Bytes int64
+	// SimStages caps how many Shift stages are simulated per cell,
+	// spread evenly across the sequence (default 4).
+	SimStages int
+}
+
+// FaultLevel is one named fault set of the storm.
+type FaultLevel struct {
+	Name string
+	FS   *fabric.FaultSet
+}
+
+// StormLevels builds the default escalating storm: healthy fabric, one
+// random fabric link, every link of one top-level switch, and a
+// correlated leaf-spine failure (half of one leaf's uplinks plus one
+// random link) — the three degradation regimes of the fault-resiliency
+// literature on top of the baseline.
+func StormLevels(t *topo.Topology, seed int64) ([]FaultLevel, error) {
+	g := t.Spec
+	levels := []FaultLevel{{Name: "healthy", FS: fabric.NewFaultSet(t)}}
+
+	one := fabric.NewFaultSet(t)
+	if err := one.FailRandomFabricLinks(1, seed); err != nil {
+		return nil, err
+	}
+	levels = append(levels, FaultLevel{Name: "1-link", FS: one})
+
+	// A whole top-level switch: every down link of one spine dies, the
+	// way a bricked switch or a powered-off line card looks to the SM.
+	top := t.ByLevel[g.H]
+	sw := fabric.NewFaultSet(t)
+	node := t.Node(top[int(seed%int64(len(top)))])
+	for _, pid := range node.Down {
+		sw.Fail(t.Ports[pid].Link)
+	}
+	levels = append(levels, FaultLevel{Name: "spine-switch", FS: sw})
+
+	// Correlated leaf-spine: half of one leaf's uplinks plus a random
+	// fabric link elsewhere — the multi-point damage a cable bundle cut
+	// or a rack-level power event produces.
+	leaf := t.Node(t.ByLevel[1][0])
+	ls := fabric.NewFaultSet(t)
+	for i, pid := range leaf.Up {
+		if i%2 == 0 {
+			ls.Fail(t.Ports[pid].Link)
+		}
+	}
+	if err := ls.FailRandomFabricLinks(1, seed+1); err != nil {
+		return nil, err
+	}
+	levels = append(levels, FaultLevel{Name: "leaf-spine", FS: ls})
+	return levels, nil
+}
+
+// Run races the engines through the storm and assembles the verdict.
+// Engine build failures abort; per-level table failures are recorded in
+// the cell and the race continues.
+func Run(cfg Config) (*Doc, error) {
+	t := cfg.Topo
+	names := cfg.Engines
+	if names == nil {
+		names = engine.Names()
+	}
+	levels := cfg.Levels
+	if levels == nil {
+		var err error
+		levels, err = StormLevels(t, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Bytes == 0 {
+		cfg.Bytes = 64 << 10
+	}
+	if cfg.SimStages == 0 {
+		cfg.SimStages = 4
+	}
+
+	doc := &Doc{Schema: Schema, Topology: t.Spec.String(), Hosts: t.NumHosts(), Seed: cfg.Seed}
+	byName := make(map[string]engine.Info)
+	for _, info := range engine.Infos() {
+		byName[info.Name] = info
+	}
+	engines := make(map[string]engine.Engine, len(names))
+	opts := cfg.Opts
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	for _, name := range names {
+		e, err := engine.Build(name, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		engines[name] = e
+		doc.Engines = append(doc.Engines, byName[name])
+	}
+
+	for _, lv := range levels {
+		level := Level{Name: lv.Name, FailedLinks: []int{}}
+		for _, l := range lv.FS.FailedLinks() {
+			level.FailedLinks = append(level.FailedLinks, int(l))
+		}
+		for _, name := range names {
+			level.Engines = append(level.Engines, scoreCell(t, engines[name], lv.FS, cfg))
+		}
+		doc.Levels = append(doc.Levels, level)
+	}
+	return doc, nil
+}
+
+// scoreCell races one engine against one fault level.
+func scoreCell(t *topo.Topology, e engine.Engine, fs *fabric.FaultSet, cfg Config) EngineResult {
+	res := EngineResult{Engine: e.Name(), MaxQueueDepth: -1}
+	start := time.Now()
+	tb, err := e.Tables(fs)
+	res.RerouteUS = time.Since(start).Microseconds()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	n := t.NumHosts()
+	res.RoutabilityPct = 100 * tb.Routability(n)
+	res.Unroutable = len(tb.Unroutable)
+	res.BrokenPairs = tb.BrokenPairs
+
+	unset := make([]bool, n)
+	for _, u := range tb.Unroutable {
+		unset[u] = true
+	}
+	served := func(src, dst int) bool {
+		return src != dst && !unset[src] && !unset[dst] && !tb.Compiled.Broken(src, dst)
+	}
+
+	// Shift over the served pairs: the degradation the paper's headline
+	// metric suffers at this fault level.
+	seq := cps.Shift(n)
+	a := hsd.NewAnalyzer(tb.Router)
+	first := true
+	sum, stages := 0.0, 0
+	var pairs [][2]int
+	for s := 0; s < seq.NumStages(); s++ {
+		pairs = pairs[:0]
+		for _, p := range seq.Stage(s) {
+			if served(int(p.Src), int(p.Dst)) {
+				pairs = append(pairs, [2]int{int(p.Src), int(p.Dst)})
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		sr, err := a.Stage(pairs)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if first || sr.MaxHSD > res.MaxHSD {
+			res.MaxHSD = sr.MaxHSD
+		}
+		first = false
+		sum += float64(sr.MaxHSD)
+		stages++
+	}
+	if stages > 0 {
+		res.AvgMaxHSD = sum / float64(stages)
+	}
+	res.ContentionFree = res.MaxHSD <= 1
+
+	if cfg.Sim {
+		depth, err := simQueueDepth(tb, seq, served, cfg)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.MaxQueueDepth = depth
+	}
+	return res
+}
+
+// simQueueDepth replays a sampled subset of Shift stages through netsim
+// and reports the worst input-buffer depth any link saw.
+func simQueueDepth(tb *engine.Tables, seq cps.Sequence, served func(int, int) bool, cfg Config) (int64, error) {
+	reg := obs.NewRegistry()
+	sc := netsim.DefaultConfig()
+	sc.Metrics = reg
+	nw, err := netsim.New(tb.Router, sc)
+	if err != nil {
+		return 0, err
+	}
+	step := seq.NumStages() / cfg.SimStages
+	if step == 0 {
+		step = 1
+	}
+	var stages [][]netsim.Message
+	for s := 0; s < seq.NumStages(); s += step {
+		var msgs []netsim.Message
+		for _, p := range seq.Stage(s) {
+			if served(int(p.Src), int(p.Dst)) {
+				msgs = append(msgs, netsim.Message{Src: int(p.Src), Dst: int(p.Dst), Bytes: cfg.Bytes})
+			}
+		}
+		if len(msgs) > 0 {
+			stages = append(stages, msgs)
+		}
+	}
+	if len(stages) == 0 {
+		return 0, nil
+	}
+	if _, err := nw.RunStages(stages); err != nil {
+		return 0, err
+	}
+	return reg.Gauge("netsim_link_max_queue_depth").Value(), nil
+}

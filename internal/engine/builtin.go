@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+
+	"fattree/internal/fabric"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func init() {
+	Register(Info{
+		Name:        "dmodk",
+		Description: "paper's D-Mod-K (equation 1); reroutes with per-destination down-cone growth",
+		LFT:         true,
+		FaultAware:  true,
+	}, func(t *topo.Topology, opts Options) (Engine, error) {
+		healthy, err := healthyTables(route.DModK(t))
+		if err != nil {
+			return nil, err
+		}
+		return &dmodkEngine{t: t, healthy: healthy}, nil
+	})
+
+	Register(Info{
+		Name:        "dmodk-naive",
+		Description: "textbook D-Mod-K without the parallel-copy down rule; fault-oblivious baseline",
+		LFT:         true,
+	}, func(t *topo.Topology, opts Options) (Engine, error) {
+		return newLFTEngine("dmodk-naive", route.DModKNaive(t))
+	})
+
+	Register(Info{
+		Name:        "minhop-random",
+		Description: "seeded random minimal up-port selection; fault-oblivious baseline",
+		LFT:         true,
+	}, func(t *topo.Topology, opts Options) (Engine, error) {
+		return newLFTEngine("minhop-random", route.MinHopRandom(t, opts.Seed))
+	})
+
+	Register(Info{
+		Name:        "smodk",
+		Description: "source-based S-Mod-K; spreads by source index, no forwarding-table realization",
+	}, func(t *topo.Topology, opts Options) (Engine, error) {
+		s := route.NewSModK(t)
+		c, err := route.Compile(s)
+		if err != nil {
+			return nil, err
+		}
+		return &routerEngine{
+			name:    "smodk",
+			t:       t,
+			rt:      s,
+			healthy: &Tables{Router: c, Compiled: c},
+		}, nil
+	})
+}
+
+// healthyTables compiles a fully routable LFT into the Tables a healthy
+// fabric serves.
+func healthyTables(lft *route.LFT) (*Tables, error) {
+	c, err := route.Compile(lft)
+	if err != nil {
+		return nil, err
+	}
+	return &Tables{Router: c, LFT: lft, Compiled: c}, nil
+}
+
+// faultedTables leniently compiles rt against the fault set and fills the
+// shared collateral accounting: every pair whose path crosses a dead link
+// (or that rt refuses) comes back broken, and BrokenPairs excludes the
+// pairs already doomed by unroutable hosts.
+func faultedTables(t *topo.Topology, rt route.Router, lft *route.LFT, fs *fabric.FaultSet) (*Tables, error) {
+	c, err := route.CompileLenient(newAliveOnly(rt, fs))
+	if err != nil {
+		return nil, err
+	}
+	un := deadUplinkHosts(t, fs)
+	return &Tables{
+		Router:      c,
+		LFT:         lft,
+		Compiled:    c,
+		Unroutable:  un,
+		BrokenPairs: brokenAmongRoutable(t.NumHosts(), c.NumBroken(), un),
+	}, nil
+}
+
+// dmodkEngine serves the paper's D-Mod-K tables and falls back to the
+// fabric reroute (down-cone growth) on faults.
+type dmodkEngine struct {
+	t       *topo.Topology
+	healthy *Tables
+}
+
+func (e *dmodkEngine) Name() string { return "dmodk" }
+
+func (e *dmodkEngine) Tables(fs *fabric.FaultSet) (*Tables, error) {
+	if fs == nil || fs.Failed() == 0 {
+		return e.healthy, nil
+	}
+	lft, rr, err := fs.RouteAround()
+	if err != nil {
+		return nil, err
+	}
+	c, err := route.CompileLenient(lft)
+	if err != nil {
+		return nil, err
+	}
+	return &Tables{
+		Router:      c,
+		LFT:         lft,
+		Compiled:    c,
+		Unroutable:  rr.UnroutableHosts,
+		BrokenPairs: brokenAmongRoutable(e.t.NumHosts(), c.NumBroken(), rr.UnroutableHosts),
+	}, nil
+}
+
+// lftEngine wraps a fault-oblivious forwarding-table routing: under
+// faults the tables stay as programmed and every pair crossing a dead
+// link is refused rather than repaired.
+type lftEngine struct {
+	name    string
+	lft     *route.LFT
+	healthy *Tables
+}
+
+func newLFTEngine(name string, lft *route.LFT) (*lftEngine, error) {
+	healthy, err := healthyTables(lft)
+	if err != nil {
+		return nil, err
+	}
+	return &lftEngine{name: name, lft: lft, healthy: healthy}, nil
+}
+
+func (e *lftEngine) Name() string { return e.name }
+
+func (e *lftEngine) Tables(fs *fabric.FaultSet) (*Tables, error) {
+	if fs == nil || fs.Failed() == 0 {
+		return e.healthy, nil
+	}
+	return faultedTables(e.lft.T, e.lft, e.lft, fs)
+}
+
+// routerEngine is lftEngine for routings with no forwarding-table
+// realization (source-based schemes).
+type routerEngine struct {
+	name    string
+	t       *topo.Topology
+	rt      route.Router
+	healthy *Tables
+}
+
+func (e *routerEngine) Name() string { return e.name }
+
+func (e *routerEngine) Tables(fs *fabric.FaultSet) (*Tables, error) {
+	if fs == nil || fs.Failed() == 0 {
+		return e.healthy, nil
+	}
+	return faultedTables(e.t, e.rt, nil, fs)
+}
+
+// aliveOnly filters a router through a snapshot of the dead links: a walk
+// that crosses one delivers its hops (so lenient compiles account the
+// partial path) and then fails, which is exactly the contract that makes
+// CompileLenient mark the pair broken. It snapshots the fault set instead
+// of holding it because callers (the fabric manager) mutate their live
+// FaultSet between epochs while compiled arenas stay immutable.
+type aliveOnly struct {
+	inner route.Router
+	dead  []bool
+}
+
+func newAliveOnly(r route.Router, fs *fabric.FaultSet) *aliveOnly {
+	dead := make([]bool, len(r.Topology().Links))
+	for _, l := range fs.FailedLinks() {
+		dead[l] = true
+	}
+	return &aliveOnly{inner: r, dead: dead}
+}
+
+func (a *aliveOnly) Topology() *topo.Topology { return a.inner.Topology() }
+
+func (a *aliveOnly) Label() string { return a.inner.Label() }
+
+func (a *aliveOnly) Walk(src, dst int, visit func(link topo.LinkID, up bool)) error {
+	var hit topo.LinkID = topo.LinkID(-1)
+	if err := a.inner.Walk(src, dst, func(l topo.LinkID, up bool) {
+		if a.dead[l] && hit < 0 {
+			hit = l
+		}
+		visit(l, up)
+	}); err != nil {
+		return err
+	}
+	if hit >= 0 {
+		return fmt.Errorf("route: %s: path %d->%d crosses dead link %d", a.Label(), src, dst, hit)
+	}
+	return nil
+}

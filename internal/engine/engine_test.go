@@ -1,0 +1,449 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fattree/internal/cps"
+	"fattree/internal/fabric"
+	"fattree/internal/hsd"
+	"fattree/internal/invariant"
+	"fattree/internal/order"
+	"fattree/internal/route"
+	"fattree/internal/topo"
+)
+
+func build324(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.Build(topo.Cluster324)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func buildSmall(t *testing.T) *topo.Topology {
+	t.Helper()
+	g, err := topo.RLFT2(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topo.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// realEngines is the shipped registry, spelled out so tests stay
+// deterministic when a test file registers extra throwaway engines.
+var realEngines = []string{"dmodk", "dmodk-naive", "fault-resilient", "minhop-random", "nodetype-lb", "smodk"}
+
+func TestBuildUnknownListsNames(t *testing.T) {
+	tp := buildSmall(t)
+	_, err := Build("no-such-engine", tp, Options{})
+	if err == nil {
+		t.Fatal("Build accepted an unknown engine")
+	}
+	for _, name := range realEngines {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-engine error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestNamesAndInfos(t *testing.T) {
+	names := Names()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range realEngines {
+		if !have[want] {
+			t.Errorf("Names() = %v missing %q", names, want)
+		}
+	}
+	for _, info := range Infos() {
+		if info.Name == "" || info.Description == "" {
+			t.Errorf("Info %+v missing name or description", info)
+		}
+	}
+}
+
+// withoutThm2 filters Theorem-2 down-uniqueness out of the catalog, for
+// routings that only promise it per source (S-Mod-K) or per node type
+// (multi-type nodetype-lb), not globally per down port.
+func withoutThm2(t *testing.T) []invariant.Check {
+	t.Helper()
+	var out []invariant.Check
+	for _, c := range invariant.Catalog() {
+		if c.Name != "route.thm2-down-unique" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestHealthyCatalog324 runs the full invariant catalog (routing
+// totality, up*/down*, minimality, Theorem 2, contention-freedom of the
+// Table-2 sequences — so Shift-HSD = 1) against every shipped engine on
+// the healthy paper cluster. The fault-oblivious baselines are excluded
+// where they are expected to fail (minhop-random is deliberately
+// contention-prone), and source-spread S-Mod-K skips the global Theorem-2
+// claim it never makes.
+func TestHealthyCatalog324(t *testing.T) {
+	tp := build324(t)
+	for _, name := range []string{"dmodk", "smodk", "nodetype-lb", "fault-resilient"} {
+		t.Run(name, func(t *testing.T) {
+			e, err := Build(name, tp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := e.Tables(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.Compiled.NumBroken() != 0 || len(tb.Unroutable) != 0 || tb.BrokenPairs != 0 {
+				t.Fatalf("healthy tables report damage: broken=%d unroutable=%v", tb.Compiled.NumBroken(), tb.Unroutable)
+			}
+			var checks []invariant.Check
+			if name == "smodk" {
+				checks = withoutThm2(t)
+			}
+			rep := invariant.Run(&invariant.Instance{Topo: tp, Router: tb.Router}, checks)
+			if !rep.Pass {
+				t.Fatalf("catalog failed: %v", rep.FailedNames())
+			}
+		})
+	}
+}
+
+// TestHealthyShiftHSDOne pins the acceptance bar directly: on cluster324
+// with zero faults the two new engines keep every Shift stage at HSD 1.
+func TestHealthyShiftHSDOne(t *testing.T) {
+	tp := build324(t)
+	o := order.Topology(tp.NumHosts(), nil)
+	for _, name := range []string{"nodetype-lb", "fault-resilient"} {
+		e, err := Build(name, tp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Tables(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := hsd.AnalyzeParallel(tb.Router, o, cps.Shift(tp.NumHosts()), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxHSD() != 1 {
+			t.Errorf("%s: Shift max HSD = %d, want 1", name, rep.MaxHSD())
+		}
+	}
+}
+
+// TestNodetypeRouting checks the ranked variant: a single type collapses
+// to plain D-Mod-K bit for bit, and a striped multi-type assignment
+// still passes every routing invariant.
+func TestNodetypeRouting(t *testing.T) {
+	tp := buildSmall(t)
+	e, err := Build("nodetype-lb", tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Tables(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := route.DModK(tp)
+	for id := range want.Out {
+		for j, p := range want.Out[id] {
+			if tb.LFT.Out[id][j] != p {
+				t.Fatalf("single-type nodetype-lb differs from d-mod-k at node %d dst %d", id, j)
+			}
+		}
+	}
+
+	types := make([]int, tp.NumHosts())
+	for j := range types {
+		types[j] = j % 3
+	}
+	e, err = Build("nodetype-lb", tp, Options{NodeTypes: types})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = e.Tables(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "nodetype-lb[3 types]"; tb.Router.Label() != want {
+		t.Errorf("label = %q, want %q", tb.Router.Label(), want)
+	}
+	// Multi-type spreading trades the global Theorem-2 uniqueness and
+	// the all-types contention-freedom theorem for per-type balance, so
+	// those are excluded; totality, up*/down*, minimality and the cache
+	// contracts must hold.
+	checks, err := invariant.Select("route.total,route.updown,route.minimal,route.alive,route.compiled-equiv,route.lenient-broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := invariant.Run(&invariant.Instance{Topo: tp, Router: tb.Router}, checks)
+	if !rep.Pass {
+		t.Fatalf("multi-type routing checks failed: %v", rep.FailedNames())
+	}
+}
+
+func TestNodetypeBadAssignment(t *testing.T) {
+	tp := buildSmall(t)
+	if _, err := Build("nodetype-lb", tp, Options{NodeTypes: []int{1, 2, 3}}); err == nil {
+		t.Fatal("short NodeTypes accepted")
+	}
+}
+
+// TestConeTablesZeroFaults: the generalized cone builder at zero faults
+// reproduces the closed-form ranked tables exactly, for both the nil
+// rank and a striped multi-type ranking.
+func TestConeTablesZeroFaults(t *testing.T) {
+	tp := buildSmall(t)
+	types := make([]int, tp.NumHosts())
+	for j := range types {
+		types[j] = j % 3
+	}
+	rank3, _ := typeRanks(tp.NumHosts(), types)
+	for _, tc := range []struct {
+		label string
+		rank  []int
+	}{{"identity", nil}, {"striped-3", rank3}} {
+		want, err := route.DModKRanked(tp, tc.rank, "want")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := fabric.NewFaultSet(tp)
+		got := coneTables(tp, fs, tc.rank, "got", nil)
+		for id := range want.Out {
+			for j, p := range want.Out[id] {
+				if tp.Node(topo.NodeID(id)).Kind == topo.Host && tp.Node(topo.NodeID(id)).Index == j {
+					continue // delivered; cone leaves it unset either way
+				}
+				if got.Out[id][j] != p {
+					t.Fatalf("%s: cone tables differ from ranked d-mod-k at node %d dst %d: got %d want %d",
+						tc.label, id, j, got.Out[id][j], p)
+				}
+			}
+		}
+	}
+}
+
+// faultedCatalog runs the catalog with the fault context filled the way
+// ftcheck -engine does.
+func faultedCatalog(t *testing.T, tp *topo.Topology, tb *Tables, fs *fabric.FaultSet) {
+	t.Helper()
+	unset := make(map[int]bool, len(tb.Unroutable))
+	for _, u := range tb.Unroutable {
+		unset[u] = true
+	}
+	rep := invariant.Run(&invariant.Instance{
+		Topo:       tp,
+		Router:     tb.Router,
+		Unroutable: func(j int) bool { return unset[j] },
+		Alive:      fs.Alive,
+	}, nil)
+	if !rep.Pass {
+		t.Fatalf("faulted catalog failed: %v", rep.FailedNames())
+	}
+}
+
+// TestFaultedCatalog runs every fault-aware engine through escalating
+// fault sets and the full catalog: the repaired tables must stay total
+// over served pairs, minimal, up*/down* and dead-link-free.
+func TestFaultedCatalog(t *testing.T) {
+	tp := build324(t)
+	for _, name := range []string{"dmodk", "nodetype-lb", "fault-resilient"} {
+		e, err := Build(name, tp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, faults := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("%s/%d-links", name, faults), func(t *testing.T) {
+				fs := fabric.NewFaultSet(tp)
+				if err := fs.FailRandomFabricLinks(faults, int64(faults)*7+1); err != nil {
+					t.Fatal(err)
+				}
+				tb, err := e.Tables(fs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				faultedCatalog(t, tp, tb, fs)
+			})
+		}
+	}
+}
+
+// TestFaultResilientMatchesLenient: the repatched arena must be
+// indistinguishable from a full lenient compile of the same repaired
+// tables — same broken set, same served paths.
+func TestFaultResilientMatchesLenient(t *testing.T) {
+	tp := build324(t)
+	e, err := Build("fault-resilient", tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fabric.NewFaultSet(tp)
+	if err := fs.FailRandomFabricLinks(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Tables(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := route.CompileLenient(tb.LFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Compiled.NumBroken() != want.NumBroken() {
+		t.Fatalf("repatch broken=%d, full lenient compile broken=%d", tb.Compiled.NumBroken(), want.NumBroken())
+	}
+	n := tp.NumHosts()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if tb.Compiled.Broken(src, dst) != want.Broken(src, dst) {
+				t.Fatalf("pair %d->%d: repatch broken=%v, lenient=%v", src, dst, tb.Compiled.Broken(src, dst), want.Broken(src, dst))
+			}
+			if tb.Compiled.Broken(src, dst) {
+				if _, err := tb.Compiled.PackedPath(src, dst); !errors.Is(err, route.ErrNoPath) {
+					t.Fatalf("broken pair %d->%d: err = %v, want ErrNoPath", src, dst, err)
+				}
+				continue
+			}
+			a, err1 := tb.Compiled.PackedPath(src, dst)
+			b, err2 := want.PackedPath(src, dst)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("pair %d->%d: packed path errs %v / %v", src, dst, err1, err2)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("pair %d->%d: repatch path %d hops, lenient %d", src, dst, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("pair %d->%d hop %d: repatch %d, lenient %d", src, dst, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultResilientLatency pins the tentpole's performance claim: under
+// a 1-link fault the incremental repair must beat the whole-table
+// recompute (reroute + full lenient compile) that the dmodk engine pays.
+// Both sides take their best of several runs to shrug off scheduler
+// noise.
+func TestFaultResilientLatency(t *testing.T) {
+	tp := build324(t)
+	e, err := Build("fault-resilient", tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fabric.NewFaultSet(tp)
+	if err := fs.FailRandomFabricLinks(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	best := func(f func()) time.Duration {
+		d := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			f()
+			if e := time.Since(start); e < d {
+				d = e
+			}
+		}
+		return d
+	}
+	patch := best(func() {
+		if _, err := e.Tables(fs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	full := best(func() {
+		lft, _, err := fs.RouteAround()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := route.CompileLenient(lft); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("incremental repair %v vs full rebuild %v (%.1fx)", patch, full, float64(full)/float64(patch))
+	if patch >= full {
+		t.Errorf("incremental repair (%v) not faster than full rebuild (%v)", patch, full)
+	}
+}
+
+// brokenTestEngine serves tables with a forwarding hole — the
+// deliberately broken engine the catalog must catch (route.total).
+type brokenTestEngine struct{ t *topo.Topology }
+
+func (e *brokenTestEngine) Name() string { return "broken-test" }
+
+func (e *brokenTestEngine) Tables(fs *fabric.FaultSet) (*Tables, error) {
+	lft := route.DModK(e.t)
+	lft.Name = "broken-test"
+	for id := range lft.Out {
+		if e.t.Node(topo.NodeID(id)).Kind == topo.Switch {
+			lft.Out[id][0] = topo.None
+			break
+		}
+	}
+	return &Tables{Router: lft, LFT: lft}, nil
+}
+
+func init() {
+	Register(Info{Name: "broken-test", Description: "deliberately broken (test only)", LFT: true},
+		func(t *topo.Topology, opts Options) (Engine, error) {
+			return &brokenTestEngine{t: t}, nil
+		})
+}
+
+// TestBrokenEngineFailsCatalog: the invariant harness must bite when an
+// engine misroutes.
+func TestBrokenEngineFailsCatalog(t *testing.T) {
+	tp := buildSmall(t)
+	e, err := Build("broken-test", tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Tables(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := invariant.Run(&invariant.Instance{Topo: tp, Router: tb.Router}, nil)
+	if rep.Pass {
+		t.Fatal("catalog passed a deliberately broken engine")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for _, tc := range []struct {
+		label string
+		info  Info
+		b     Builder
+	}{
+		{"empty name", Info{}, func(*topo.Topology, Options) (Engine, error) { return nil, nil }},
+		{"nil builder", Info{Name: "x-nil"}, nil},
+		{"duplicate", Info{Name: "dmodk"}, func(*topo.Topology, Options) (Engine, error) { return nil, nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%s) did not panic", tc.label)
+				}
+			}()
+			Register(tc.info, tc.b)
+		}()
+	}
+}

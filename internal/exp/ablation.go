@@ -104,7 +104,10 @@ func BidirAblation(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := fastRouter(route.DModK(tp))
+	rt, err := engineRouter(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 	o := order.Topology(n, nil)
 	flat := cps.RecursiveDoubling(n)

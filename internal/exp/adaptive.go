@@ -59,7 +59,10 @@ func AdaptiveComparison(o AdaptiveOpts) (*Table, error) {
 		return norm, st.OutOfOrderPackets, nil
 	}
 
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	random := order.Random(n, nil, o.Seed)
 	good := order.Topology(n, nil)
 

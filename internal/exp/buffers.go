@@ -7,7 +7,6 @@ import (
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -41,7 +40,10 @@ func BufferAblation(o BufferOpts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 
 	shift := cps.Sequence(cps.Shift(n))

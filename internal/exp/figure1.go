@@ -6,7 +6,6 @@ import (
 	"fattree/internal/cps"
 	"fattree/internal/hsd"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -38,7 +37,10 @@ func Figure1(randomSeeds int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := fastRouter(route.DModK(tp))
+	rt, err := engineRouter(tp)
+	if err != nil {
+		return nil, err
+	}
 	seq := ShiftBy(16, 4)
 	t := &Table{
 		Title:  "Figure 1: routing-aware vs random MPI node order, dst=(src+4) mod 16",

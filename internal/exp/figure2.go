@@ -7,7 +7,6 @@ import (
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -45,7 +44,10 @@ func Figure2(o Figure2Opts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 	job, err := mpi.NewJob(lft, order.Random(n, nil, o.Seed))
 	if err != nil {

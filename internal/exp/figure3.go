@@ -7,7 +7,6 @@ import (
 	"fattree/internal/hsd"
 	"fattree/internal/mpi"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -68,7 +67,10 @@ func Figure3(o Figure3Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rt := fastRouter(route.DModK(tp))
+		rt, err := engineRouter(tp)
+		if err != nil {
+			return nil, err
+		}
 		n := tp.NumHosts()
 		var orders []*order.Ordering
 		for seed := 0; seed < o.Seeds; seed++ {

@@ -7,7 +7,6 @@ import (
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -43,7 +42,10 @@ func JitterSensitivity(o JitterOpts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 
 	mkStages := func(ord *order.Ordering) ([][]netsim.Message, error) {

@@ -20,7 +20,10 @@ func MultiJob(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := fastRouter(route.DModK(tp))
+	rt, err := engineRouter(tp)
+	if err != nil {
+		return nil, err
+	}
 	alloc, err := sched.New(tp)
 	if err != nil {
 		return nil, err

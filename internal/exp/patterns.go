@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"fattree/internal/netsim"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 	"fattree/internal/workload"
 )
@@ -31,7 +30,10 @@ func PatternSweep(o PatternOpts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 	cfg := netsim.DefaultConfig()
 	nw, err := netsim.New(lft, simConfig(cfg))

@@ -6,7 +6,6 @@ import (
 	"fattree/internal/cps"
 	"fattree/internal/hsd"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -27,7 +26,10 @@ func PlacementComparison(cluster topo.PGFT) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := fastRouter(route.DModK(tp))
+	rt, err := engineRouter(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 
 	block := order.Topology(n, nil)

@@ -8,7 +8,6 @@ import (
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -36,8 +35,14 @@ func RingAdversarial(o RingOpts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
-	rt := fastRouter(lft)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := engineRouter(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 	k, _ := o.Cluster.IsRLFT()
 	ring := cps.Ring(n)

@@ -8,7 +8,6 @@ import (
 	"fattree/internal/mpi"
 	"fattree/internal/netsim"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -39,7 +38,10 @@ func SemanticsComparison(o SemanticsOpts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lft := route.DModK(tp)
+	lft, err := engineLFT(tp)
+	if err != nil {
+		return nil, err
+	}
 	n := tp.NumHosts()
 	cfg := netsim.DefaultConfig()
 

@@ -6,7 +6,6 @@ import (
 	"fattree/internal/cps"
 	"fattree/internal/hsd"
 	"fattree/internal/order"
-	"fattree/internal/route"
 	"fattree/internal/topo"
 )
 
@@ -39,7 +38,11 @@ func TaperAblation() (*Table, error) {
 			return nil, err
 		}
 		n := tp.NumHosts()
-		rep, err := hsd.AnalyzeParallel(fastRouter(route.DModK(tp)), order.Topology(n, nil), cps.Shift(n), 0)
+		rt, err := engineRouter(tp)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := hsd.AnalyzeParallel(rt, order.Topology(n, nil), cps.Shift(n), 0)
 		if err != nil {
 			return nil, err
 		}

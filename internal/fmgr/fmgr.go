@@ -15,11 +15,13 @@ package fmgr
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fattree/internal/cps"
+	"fattree/internal/engine"
 	"fattree/internal/fabric"
 	"fattree/internal/hsd"
 	"fattree/internal/invariant"
@@ -37,11 +39,23 @@ type FabricState struct {
 	Epoch  uint64
 	Topo   *topo.Topology
 	Subnet *fabric.Subnet
-	// LFT is the current (re)routed forwarding tables; Paths the
-	// lenient-compiled arena over them (broken pairs recorded, not
-	// fatal).
+	// LFT is the current (re)routed forwarding tables (nil for engines
+	// with no forwarding-table realization, like s-mod-k); Paths the
+	// lenient-compiled arena over the routing (broken pairs recorded,
+	// not fatal).
 	LFT   *route.LFT
 	Paths *route.Compiled
+	// Engine is the registry name of the active engine that produced
+	// LFT/Paths; Routing is that engine's router label.
+	Engine  string
+	Routing string
+	// ByEngine holds this epoch's tables for the active engine plus
+	// every engine a live job requested, all computed against the same
+	// fault set — one epoch, several routing policies. JobEngines maps
+	// each job that asked for a specific engine to its name; jobs absent
+	// from it ride the active engine.
+	ByEngine   map[string]*engine.Tables
+	JobEngines map[sched.JobID]string
 	// Ordering is the topology-aware MPI node order served by /v1/order.
 	Ordering *order.Ordering
 	// HSD is the cached Shift summary over the routable pairs.
@@ -63,10 +77,26 @@ func (st *FabricState) HostUnroutable(j int) bool {
 	return j >= 0 && j < len(st.unroutable) && st.unroutable[j]
 }
 
+// JobEngine resolves which engine serves a job's traffic in this
+// snapshot: the one it requested at allocation, else the active engine.
+func (st *FabricState) JobEngine(id sched.JobID) string {
+	if name, ok := st.JobEngines[id]; ok {
+		return name
+	}
+	return st.Engine
+}
+
 // Config configures a Manager. Topo is required; everything else has
 // serviceable defaults.
 type Config struct {
 	Topo *topo.Topology
+	// Engine selects the routing engine (by registry name) that produces
+	// the served tables. Default engine.Default, the paper's D-Mod-K
+	// with RouteAround fault handling.
+	Engine string
+	// EngineOpts is handed to every engine builder (randomized-engine
+	// seed, node-type assignment for nodetype-lb).
+	EngineOpts engine.Options
 	// Debounce is how long the event loop waits after the last fault or
 	// job event before rerouting, so a burst of link flaps costs one
 	// reroute instead of one per event. Default 25ms.
@@ -101,6 +131,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Engine == "" {
+		c.Engine = engine.Default
+	}
 	if c.Debounce <= 0 {
 		c.Debounce = 25 * time.Millisecond
 	}
@@ -148,6 +181,7 @@ type event struct {
 	n       int
 	size    int
 	aligned bool
+	engine  string // requested engine for evAlloc ("" = active)
 	job     sched.JobID
 	reply   chan jobReply // non-nil for job events only
 }
@@ -161,6 +195,12 @@ type Manager struct {
 	faults *fabric.FaultSet
 	alloc  *sched.Allocator // nil when the topology is not an RLFT
 	orderv *order.Ordering
+
+	// engines caches built engine instances by registry name;
+	// jobEngines tracks per-job engine requests. Both are touched only
+	// by New (pre-Start) and the event loop, so they need no lock.
+	engines    map[string]engine.Engine
+	jobEngines map[sched.JobID]string
 
 	cur     atomic.Pointer[FabricState]
 	events  chan event
@@ -214,9 +254,17 @@ func New(cfg Config) (*Manager, error) {
 		events: make(chan event, 256),
 		done:   make(chan struct{}),
 		gate:   make(chan struct{}, cfg.MaxInflight),
+
+		engines:    map[string]engine.Engine{},
+		jobEngines: map[sched.JobID]string{},
 	}
 	m.journal = NewJournal(cfg.JournalSize)
 	m.validate = m.validateState
+	// Build the active engine up front so a bad -engine name or a
+	// builder failure surfaces here, not inside the event loop.
+	if _, err := m.getEngine(cfg.Engine); err != nil {
+		return nil, fmt.Errorf("fmgr: %w", err)
+	}
 	if reg := cfg.Metrics; reg != nil {
 		m.mEpoch = reg.Gauge("fmgr_epoch")
 		m.mReroutes = reg.Counter("fmgr_reroutes_total")
@@ -327,15 +375,38 @@ func (m *Manager) InjectFaults(fail, revive []topo.LinkID, failRandom int) (int,
 // by the loop, so placements serialize with fault handling) and waits
 // for the result. aligned selects the strict AllocAligned admission.
 func (m *Manager) AllocJob(size int, aligned bool) (*sched.Allocation, error) {
+	return m.AllocJobEngine(size, aligned, "")
+}
+
+// AllocJobEngine places a job whose traffic should be routed by a
+// specific engine from the registry ("" means the active one). Every
+// snapshot built while the job lives carries that engine's tables in
+// ByEngine, so GET /v1/route?engine=... answers from the same epoch and
+// fault state the active tables were computed under.
+func (m *Manager) AllocJobEngine(size int, aligned bool, engineName string) (*sched.Allocation, error) {
 	if m.alloc == nil {
 		return nil, fmt.Errorf("fmgr: topology %v is not an RLFT; no allocator", m.t.Spec)
 	}
 	reply := make(chan jobReply, 1)
-	if err := m.send(event{kind: evAlloc, size: size, aligned: aligned, reply: reply}); err != nil {
+	if err := m.send(event{kind: evAlloc, size: size, aligned: aligned, engine: engineName, reply: reply}); err != nil {
 		return nil, err
 	}
 	r := <-reply
 	return r.alloc, r.err
+}
+
+// getEngine returns the cached engine instance for a registry name,
+// building it on first use. Called only from New and the event loop.
+func (m *Manager) getEngine(name string) (engine.Engine, error) {
+	if e, ok := m.engines[name]; ok {
+		return e, nil
+	}
+	e, err := engine.Build(name, m.t, m.cfg.EngineOpts)
+	if err != nil {
+		return nil, err
+	}
+	m.engines[name] = e
+	return e, nil
 }
 
 // FreeJob releases a job through the event loop.
@@ -395,9 +466,10 @@ func (m *Manager) loop() {
 		}
 		m.cur.Store(st)
 		m.mEpoch.Set(int64(st.Epoch))
-		m.journal.Record(EventRecord{Kind: EvSwap, Epoch: st.Epoch, Outcome: OutcomeOK,
-			Detail: fmt.Sprintf("failed_links=%d broken_pairs=%d jobs=%d",
-				len(st.FailedLinks), st.BrokenPairs, len(st.Jobs))})
+		m.journal.Record(EventRecord{Kind: EvSwap, Epoch: st.Epoch, Engine: st.Engine,
+			Outcome: OutcomeOK,
+			Detail: fmt.Sprintf("engine=%s failed_links=%d broken_pairs=%d jobs=%d",
+				st.Engine, len(st.FailedLinks), st.BrokenPairs, len(st.Jobs))})
 		backoff = m.cfg.RetryBase
 		retryC = nil
 		dirty = false
@@ -463,23 +535,39 @@ func (m *Manager) apply(ev event) {
 	case evAlloc:
 		var a *sched.Allocation
 		var err error
-		if ev.aligned {
-			a, err = m.alloc.AllocAligned(ev.size)
-		} else {
-			a, err = m.alloc.Alloc(ev.size)
+		if ev.engine != "" {
+			// Resolve the requested engine before placing anything, so
+			// an unknown name or a failing builder refuses the job
+			// instead of poisoning every later rebuild.
+			_, err = m.getEngine(ev.engine)
 		}
 		if err == nil {
+			if ev.aligned {
+				a, err = m.alloc.AllocAligned(ev.size)
+			} else {
+				a, err = m.alloc.Alloc(ev.size)
+			}
+		}
+		if err == nil {
+			if ev.engine != "" {
+				m.jobEngines[a.ID] = ev.engine
+			}
 			m.mJobsActive.Add(1)
+			detail := fmt.Sprintf("job %d size %d", a.ID, ev.size)
+			if ev.engine != "" {
+				detail += " engine " + ev.engine
+			}
 			m.journal.Record(EventRecord{Kind: EvAlloc, Epoch: epoch,
-				Outcome: OutcomeOK, Detail: fmt.Sprintf("job %d size %d", a.ID, ev.size)})
+				Engine: ev.engine, Outcome: OutcomeOK, Detail: detail})
 		} else {
 			m.journal.Record(EventRecord{Kind: EvAlloc, Epoch: epoch,
-				Outcome: OutcomeError, Detail: err.Error()})
+				Engine: ev.engine, Outcome: OutcomeError, Detail: err.Error()})
 		}
 		ev.reply <- jobReply{alloc: a, err: err}
 	case evFree:
 		err := m.alloc.Free(ev.job)
 		if err == nil {
+			delete(m.jobEngines, ev.job)
 			m.mJobsActive.Add(-1)
 			m.journal.Record(EventRecord{Kind: EvFree, Epoch: epoch,
 				Outcome: OutcomeOK, Detail: fmt.Sprintf("job %d", ev.job)})
@@ -504,13 +592,13 @@ func (m *Manager) tryRebuild() (*FabricState, error) {
 	rsp := sp.Child("reroute")
 	st, err := m.buildState(epoch, rsp)
 	rsp.End()
-	rec := EventRecord{Kind: EvReroute, Epoch: epoch,
+	rec := EventRecord{Kind: EvReroute, Epoch: epoch, Engine: m.cfg.Engine,
 		DurationUS: time.Since(start).Microseconds(), Outcome: OutcomeOK}
 	if err != nil {
 		rec.Outcome, rec.Detail = OutcomeError, err.Error()
 	} else {
-		rec.Detail = fmt.Sprintf("failed_links=%d broken_pairs=%d unroutable=%d",
-			len(st.FailedLinks), st.BrokenPairs, len(st.Unroutable))
+		rec.Detail = fmt.Sprintf("engine=%s failed_links=%d broken_pairs=%d unroutable=%d",
+			st.Engine, len(st.FailedLinks), st.BrokenPairs, len(st.Unroutable))
 	}
 	m.journal.Record(rec)
 
@@ -519,7 +607,7 @@ func (m *Manager) tryRebuild() (*FabricState, error) {
 		vsp := sp.Child("validate")
 		err = m.validate(st)
 		vsp.End()
-		vrec := EventRecord{Kind: EvValidate, Epoch: epoch,
+		vrec := EventRecord{Kind: EvValidate, Epoch: epoch, Engine: m.cfg.Engine,
 			DurationUS: time.Since(vstart).Microseconds(), Outcome: OutcomeOK}
 		if err != nil {
 			m.mCheckFail.Inc()
@@ -536,34 +624,56 @@ func (m *Manager) tryRebuild() (*FabricState, error) {
 	return st, nil
 }
 
-// buildState reroutes around the current fault set and assembles a full
+// buildState asks the active engine (and every engine a live job
+// requested) for tables under the current fault set and assembles a full
 // snapshot: tables, lenient path arena, job view and Shift-HSD summary.
 // sp, when tracing, parents one child span per phase.
 func (m *Manager) buildState(epoch uint64, sp *obs.Span) (*FabricState, error) {
-	c := sp.Child("route_around")
-	lft, res, err := m.faults.RouteAround()
-	c.End()
-	if err != nil {
-		return nil, err
-	}
-	c = sp.Child("compile_lenient")
-	paths, err := route.CompileLenient(lft)
-	c.End()
-	if err != nil {
-		return nil, err
-	}
 	st := &FabricState{
 		Epoch:       epoch,
 		Topo:        m.t,
 		Subnet:      m.subnet,
-		LFT:         lft,
-		Paths:       paths,
 		Ordering:    m.orderv,
+		Engine:      m.cfg.Engine,
+		ByEngine:    map[string]*engine.Tables{},
+		JobEngines:  map[sched.JobID]string{},
 		FailedLinks: m.faults.FailedLinks(),
-		Unroutable:  res.UnroutableHosts,
-		BrokenPairs: res.BrokenPairs,
 		unroutable:  make([]bool, m.t.NumHosts()),
 	}
+	want := map[string]bool{m.cfg.Engine: true}
+	for id, name := range m.jobEngines {
+		st.JobEngines[id] = name
+		want[name] = true
+	}
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fs *fabric.FaultSet
+	if m.faults.Failed() > 0 {
+		fs = m.faults
+	}
+	for _, name := range names {
+		e, err := m.getEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		c := sp.Child("engine_tables")
+		c.TagStr("engine", name)
+		tb, err := e.Tables(fs)
+		c.End()
+		if err != nil {
+			return nil, fmt.Errorf("engine %s: %w", name, err)
+		}
+		st.ByEngine[name] = tb
+	}
+	tb := st.ByEngine[m.cfg.Engine]
+	st.LFT = tb.LFT
+	st.Paths = tb.Compiled
+	st.Routing = tb.Router.Label()
+	st.Unroutable = tb.Unroutable
+	st.BrokenPairs = tb.BrokenPairs
 	for _, j := range st.Unroutable {
 		st.unroutable[j] = true
 	}
@@ -574,7 +684,8 @@ func (m *Manager) buildState(epoch uint64, sp *obs.Span) (*FabricState, error) {
 			st.Jobs = append(st.Jobs, &jc)
 		}
 	}
-	c = sp.Child("shift_hsd")
+	c := sp.Child("shift_hsd")
+	var err error
 	st.HSD, err = shiftSummary(st)
 	c.End()
 	if err != nil {
@@ -592,7 +703,7 @@ func shiftSummary(st *FabricState) (*hsd.Report, error) {
 	n := st.Topo.NumHosts()
 	seq := cps.Shift(n)
 	a := hsd.NewAnalyzer(st.Paths)
-	rep := &hsd.Report{Sequence: seq.Name(), Ordering: st.Ordering.Label, Routing: st.LFT.Name}
+	rep := &hsd.Report{Sequence: seq.Name(), Ordering: st.Ordering.Label, Routing: st.Routing}
 	var pairs [][2]int
 	for s := 0; s < seq.NumStages(); s++ {
 		pairs = pairs[:0]
@@ -613,14 +724,27 @@ func shiftSummary(st *FabricState) (*hsd.Report, error) {
 }
 
 // validateState proves a candidate snapshot safe to serve via the shared
-// invariant engine: every non-broken pair's compiled path must be
-// connected, up*/down*-shaped and delivered, and pairs involving
-// unroutable hosts must be marked broken — the same assertions ftcheck
-// and the property sweeps run, so the daemon cannot drift from the
-// tested contract.
+// invariant engine: for every engine's arena in the snapshot, every
+// non-broken pair's compiled path must be connected, up*/down*-shaped
+// and delivered, and pairs involving unroutable hosts must be marked
+// broken — the same assertions ftcheck and the property sweeps run, so
+// the daemon cannot drift from the tested contract.
 func (m *Manager) validateState(st *FabricState) error {
-	if err := invariant.LenientArena(st.Topo, st.Paths, st.HostUnroutable); err != nil {
-		return fmt.Errorf("fmgr: epoch %d: %w", st.Epoch, err)
+	names := make([]string, 0, len(st.ByEngine))
+	for name := range st.ByEngine {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tb := st.ByEngine[name]
+		un := make([]bool, st.Topo.NumHosts())
+		for _, j := range tb.Unroutable {
+			un[j] = true
+		}
+		pred := func(j int) bool { return j >= 0 && j < len(un) && un[j] }
+		if err := invariant.LenientArena(st.Topo, tb.Compiled, pred); err != nil {
+			return fmt.Errorf("fmgr: epoch %d engine %s: %w", st.Epoch, name, err)
+		}
 	}
 	return nil
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"fattree/internal/engine"
 	"fattree/internal/fabric"
 	"fattree/internal/obs"
 	"fattree/internal/route"
@@ -31,6 +33,7 @@ type HopDoc struct {
 type RouteDoc struct {
 	Schema  string   `json:"schema"`
 	Epoch   uint64   `json:"epoch"`
+	Engine  string   `json:"engine"`
 	Routing string   `json:"routing"`
 	Src     int      `json:"src"`
 	Dst     int      `json:"dst"`
@@ -52,6 +55,7 @@ const OrderSchema = "fattree-order/v1"
 // the current snapshot.
 type HSDDoc struct {
 	Epoch          uint64  `json:"epoch"`
+	Engine         string  `json:"engine"`
 	Sequence       string  `json:"sequence"`
 	Ordering       string  `json:"ordering"`
 	Routing        string  `json:"routing"`
@@ -65,13 +69,16 @@ type HSDDoc struct {
 	BrokenPairs    int     `json:"broken_pairs"`
 }
 
-// JobDoc is one allocation in job responses.
+// JobDoc is one allocation in job responses. Engine is the resolved
+// routing engine serving the job's traffic (the requested one, else the
+// manager's active engine).
 type JobDoc struct {
-	ID             int   `json:"id"`
-	Size           int   `json:"size"`
-	Hosts          []int `json:"hosts"`
-	ContentionFree bool  `json:"contention_free"`
-	Isolated       bool  `json:"isolated"`
+	ID             int    `json:"id"`
+	Size           int    `json:"size"`
+	Hosts          []int  `json:"hosts"`
+	Engine         string `json:"engine"`
+	ContentionFree bool   `json:"contention_free"`
+	Isolated       bool   `json:"isolated"`
 }
 
 type errorDoc struct {
@@ -81,6 +88,9 @@ type errorDoc struct {
 // Handler returns the daemon's HTTP API:
 //
 //	GET  /v1/route?src=S&dst=D  traced path under the current snapshot
+//	     (&engine=NAME answers from that engine's tables when the
+//	     snapshot carries them: the active engine plus any engine a
+//	     live job requested)
 //	GET  /v1/order              topology-aware MPI node order
 //	GET  /v1/hsd                cached Shift-HSD summary
 //	GET  /v1/fabric             fattree-fabric/v1 fabric document
@@ -234,14 +244,44 @@ func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("pair %d->%d out of range [0,%d)", src, dst, n)})
 		return
 	}
-	doc := RouteDoc{Schema: RouteSchema, Epoch: st.Epoch, Routing: st.LFT.Name, Src: src, Dst: dst, Hops: []HopDoc{}}
+	// ?engine= selects any engine with tables in this snapshot (the
+	// active one plus every engine a live job requested); the default is
+	// the active engine.
+	engName, paths, routing := st.Engine, st.Paths, st.Routing
+	unroutable := st.HostUnroutable
+	if q := r.URL.Query().Get("engine"); q != "" && q != st.Engine {
+		tb, ok := st.ByEngine[q]
+		if !ok {
+			sp.TagStr("outcome", "bad_request")
+			names := make([]string, 0, len(st.ByEngine))
+			for name := range st.ByEngine {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			writeJSON(w, http.StatusNotFound, errorDoc{
+				Error: fmt.Sprintf("engine %q has no tables in epoch %d (available: %s)",
+					q, st.Epoch, strings.Join(names, ", ")),
+			})
+			return
+		}
+		engName, paths, routing = q, tb.Compiled, tb.Router.Label()
+		unroutable = func(j int) bool {
+			for _, u := range tb.Unroutable {
+				if u == j {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	doc := RouteDoc{Schema: RouteSchema, Epoch: st.Epoch, Engine: engName, Routing: routing, Src: src, Dst: dst, Hops: []HopDoc{}}
 	if src == dst {
 		writeJSON(w, http.StatusOK, doc)
 		return
 	}
 
 	c = sp.Child("lookup")
-	if st.HostUnroutable(src) || st.HostUnroutable(dst) || st.Paths.Broken(src, dst) {
+	if unroutable(src) || unroutable(dst) || paths.Broken(src, dst) {
 		c.End()
 		sp.TagStr("outcome", "unroutable")
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{
@@ -249,7 +289,7 @@ func (m *Manager) handleRoute(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	path, err := st.Paths.PackedPath(src, dst)
+	path, err := paths.PackedPath(src, dst)
 	if err != nil {
 		c.End()
 		sp.TagStr("outcome", "error")
@@ -298,6 +338,7 @@ func (m *Manager) handleHSD(w http.ResponseWriter, r *http.Request) {
 	rep := st.HSD
 	writeJSON(w, http.StatusOK, HSDDoc{
 		Epoch:          st.Epoch,
+		Engine:         st.Engine,
 		Sequence:       rep.Sequence,
 		Ordering:       rep.Ordering,
 		Routing:        rep.Routing,
@@ -315,7 +356,7 @@ func (m *Manager) handleHSD(w http.ResponseWriter, r *http.Request) {
 func (m *Manager) handleFabric(w http.ResponseWriter, r *http.Request) {
 	st := m.Current()
 	doc := fabric.NewDoc(st.Topo)
-	doc.Routing = st.LFT.Name
+	doc.Routing = st.Routing
 	fd := &fabric.FaultDoc{FailedLinks: []int{}, UnroutableHosts: []int{}, BrokenPairs: st.BrokenPairs}
 	for _, l := range st.FailedLinks {
 		fd.FailedLinks = append(fd.FailedLinks, int(l))
@@ -331,9 +372,10 @@ func (m *Manager) handleFabric(w http.ResponseWriter, r *http.Request) {
 		ContentionFree: st.HSD.ContentionFree(),
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Epoch uint64 `json:"epoch"`
+		Epoch  uint64 `json:"epoch"`
+		Engine string `json:"engine"`
 		*fabric.Doc
-	}{st.Epoch, doc})
+	}{st.Epoch, st.Engine, doc})
 }
 
 // faultsRequest is the POST /v1/faults body.
@@ -360,10 +402,13 @@ func (m *Manager) handleFaults(w http.ResponseWriter, r *http.Request) {
 	}{sent, m.Current().Epoch})
 }
 
-// jobRequest is the POST /v1/jobs body.
+// jobRequest is the POST /v1/jobs body. Engine, when set, asks for the
+// job's traffic to be routed by that registry engine; the daemon then
+// maintains the engine's tables alongside the active ones every epoch.
 type jobRequest struct {
-	Size    int  `json:"size"`
-	Aligned bool `json:"aligned"`
+	Size    int    `json:"size"`
+	Aligned bool   `json:"aligned"`
+	Engine  string `json:"engine"`
 }
 
 func (m *Manager) handleJobAlloc(w http.ResponseWriter, r *http.Request) {
@@ -372,12 +417,31 @@ func (m *Manager) handleJobAlloc(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	a, err := m.AllocJob(req.Size, req.Aligned)
+	if req.Engine != "" && !engineKnown(req.Engine) {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf(
+			"unknown engine %q (registered: %s)", req.Engine, strings.Join(engine.Names(), ", "))})
+		return
+	}
+	a, err := m.AllocJobEngine(req.Size, req.Aligned, req.Engine)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorDoc{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, jobDoc(a))
+	eng := req.Engine
+	if eng == "" {
+		eng = m.cfg.Engine
+	}
+	writeJSON(w, http.StatusOK, jobDoc(a, eng))
+}
+
+// engineKnown reports whether a registry engine with that name exists.
+func engineKnown(name string) bool {
+	for _, n := range engine.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *Manager) handleJobFree(w http.ResponseWriter, r *http.Request) {
@@ -399,7 +463,7 @@ func (m *Manager) handleJobsList(w http.ResponseWriter, r *http.Request) {
 	st := m.Current()
 	jobs := make([]JobDoc, 0, len(st.Jobs))
 	for _, j := range st.Jobs {
-		jobs = append(jobs, jobDoc(j))
+		jobs = append(jobs, jobDoc(j, st.JobEngine(j.ID)))
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Epoch uint64   `json:"epoch"`
@@ -487,11 +551,12 @@ func wantsPrometheus(r *http.Request) bool {
 		strings.Contains(accept, "application/openmetrics-text")
 }
 
-func jobDoc(a *sched.Allocation) JobDoc {
+func jobDoc(a *sched.Allocation, eng string) JobDoc {
 	return JobDoc{
 		ID:             int(a.ID),
 		Size:           len(a.Hosts),
 		Hosts:          a.Hosts,
+		Engine:         eng,
 		ContentionFree: a.ContentionFree,
 		Isolated:       a.Isolated,
 	}

@@ -37,6 +37,10 @@ type EventRecord struct {
 	TimeUnixNS int64  `json:"time_unix_ns"`
 	Kind       string `json:"kind"`
 	Epoch      uint64 `json:"epoch"`
+	// Engine names the routing engine involved: the engine that produced
+	// the tables on reroute/validate/swap records, or the one a job
+	// requested on alloc records. Empty when no engine was involved.
+	Engine     string `json:"engine,omitempty"`
 	DurationUS int64  `json:"duration_us,omitempty"`
 	Outcome    string `json:"outcome,omitempty"`
 	Detail     string `json:"detail,omitempty"`

@@ -231,7 +231,7 @@ func TestRequestSpans(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		`"GET /v1/route"`, `"decode"`, `"snapshot"`, `"lookup"`, `"encode"`,
-		`"rebuild"`, `"reroute"`, `"route_around"`, `"compile_lenient"`,
+		`"rebuild"`, `"reroute"`, `"engine_tables"`,
 		`"shift_hsd"`, `"validate"`, `"trace_id"`, `"parent_id"`,
 	} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,95 @@
+package route
+
+import (
+	"fmt"
+
+	"fattree/internal/topo"
+)
+
+// Clone returns an independent deep copy of the forwarding tables under a
+// new name, backed by its own flat arena. Fault-resilient engines clone
+// the healthy baseline and repair only the columns a fault touched,
+// instead of regenerating every table.
+func (f *LFT) Clone(name string) *LFT {
+	n := f.T.NumHosts()
+	flat := make([]topo.PortID, len(f.T.Nodes)*n)
+	out := make([][]topo.PortID, len(f.T.Nodes))
+	for i, row := range f.Out {
+		copy(flat[i*n:(i+1)*n], row)
+		out[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	return &LFT{T: f.T, Name: name, Out: out}
+}
+
+// Repatch returns a copy of the compiled arena with the paths towards the
+// given destination columns re-walked through inner (typically a locally
+// repaired LFT), without re-walking any other pair. A patched pair whose
+// new walk fails, is non-minimal, or no longer fits its original slot is
+// marked broken instead — the lenient-compile contract — as is every pair
+// touching a host in brokenHosts (hosts that lost their only uplink; inner
+// must fail their walks too). The offsets table is shared with the
+// receiver (both stay immutable); only the entry arena is copied, which is
+// what makes a few-column repair cheap relative to a full CompileLenient
+// rebuild.
+//
+// Pairs already broken in the receiver stay broken: Repatch narrows the
+// served set, it never revives a pair, so repair from a pristine healthy
+// arena rather than chaining patches across fault sets.
+func (c *Compiled) Repatch(inner Router, dsts []int, brokenHosts []int) (*Compiled, error) {
+	t := inner.Topology()
+	if t.NumHosts() != c.n {
+		return nil, fmt.Errorf("route: repatch %s: inner router has %d hosts, arena %d", c.Label(), t.NumHosts(), c.n)
+	}
+	p := &Compiled{
+		inner:   inner,
+		n:       c.n,
+		offs:    c.offs,
+		entries: append([]PathEntry(nil), c.entries...),
+		broken:  make([]uint64, (c.n*c.n+63)/64),
+	}
+	if c.broken != nil {
+		copy(p.broken, c.broken)
+		p.numBroken = c.numBroken
+	}
+	mark := func(src, dst int) {
+		i := src*p.n + dst
+		if p.broken[i/64]&(1<<(i%64)) == 0 {
+			p.broken[i/64] |= 1 << (i % 64)
+			p.numBroken++
+		}
+	}
+	for _, h := range brokenHosts {
+		if h < 0 || h >= c.n {
+			return nil, fmt.Errorf("route: repatch %s: host %d out of range [0,%d)", c.Label(), h, c.n)
+		}
+		for o := 0; o < c.n; o++ {
+			if o != h {
+				mark(h, o)
+				mark(o, h)
+			}
+		}
+	}
+	buf := make([]PathEntry, 0, 2*t.Spec.H)
+	for _, dst := range dsts {
+		if dst < 0 || dst >= c.n {
+			return nil, fmt.Errorf("route: repatch %s: destination %d out of range [0,%d)", c.Label(), dst, c.n)
+		}
+		for src := 0; src < c.n; src++ {
+			if src == dst || p.Broken(src, dst) {
+				continue
+			}
+			buf = buf[:0]
+			err := inner.Walk(src, dst, func(l topo.LinkID, up bool) {
+				buf = append(buf, PackEntry(l, up))
+			})
+			i := src*p.n + dst
+			slot := p.entries[p.offs[i]:p.offs[i+1]]
+			if err != nil || len(buf) != 2*t.Spec.LCALevel(src, dst) || len(buf) != len(slot) {
+				mark(src, dst)
+				continue
+			}
+			copy(slot, buf)
+		}
+	}
+	return p, nil
+}
