@@ -12,7 +12,7 @@ LOADLEVELS ?= 1,2,4,8
 LOADDURATION ?= 2s
 LOADAGREE ?= 0
 
-.PHONY: all build vet test race bench bench-json bench-netsim bench-track bench-gate report check daemon-smoke load-curve experiments experiments-quick fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-json bench-netsim bench-track bench-gate report check daemon-smoke load-curve replica-smoke experiments experiments-quick fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -29,7 +29,7 @@ test:
 # parallel DES (mailbox exchange, window pump, cross-shard credits)
 # runs under the race detector here.
 race:
-	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/... ./internal/fmgr/...
+	$(GO) test -race ./internal/hsd/ ./internal/netsim/ ./internal/exp/ ./internal/obs/... ./internal/fmgr/... ./internal/fclient/ ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
@@ -84,6 +84,14 @@ load-curve:
 	TOPO=$(LOADTOPO) MODE=$(LOADMODE) LEVELS=$(LOADLEVELS) \
 		DURATION=$(LOADDURATION) AGREE=$(LOADAGREE) ./scripts/load_sweep.sh
 
+# Multi-replica smoke: two ftfabricd replicas, one fault stream, epoch
+# convergence, a binary-protocol ftload sweep across both (the
+# epoch-mix guard must stay silent), a dual-protocol HTML report and a
+# route-set benchmark artifact.
+replica-smoke:
+	TOPO=$(LOADTOPO) LEVELS=$(LOADLEVELS) DURATION=$(LOADDURATION) \
+		./scripts/replica_smoke.sh
+
 # Regenerate every table and figure at paper scale (minutes).
 experiments:
 	$(GO) run ./cmd/ftbench -exp all
@@ -97,11 +105,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseLFTs -fuzztime=$(FUZZTIME) ./internal/fabric/
 
 # The invariant-harness fuzzers (docs/TESTING.md): topology file parser,
-# fabric JSON document, fault-injection -> lenient-compile pipeline.
+# fabric JSON document, fault-injection -> lenient-compile pipeline,
+# binary wire-protocol decoder.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseTopologyFile -fuzztime=$(FUZZTIME) ./internal/topo/
 	$(GO) test -fuzz=FuzzDoc -fuzztime=$(FUZZTIME) ./internal/fabric/
 	$(GO) test -fuzz=FuzzFaultCompileLenient -fuzztime=$(FUZZTIME) ./internal/invariant/
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -6,11 +6,14 @@ package fattree_test
 // finishes in minutes; cmd/ftbench reproduces the full paper scale.
 
 import (
+	"bufio"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 
 	"fattree/internal/cps"
 	"fattree/internal/des"
@@ -26,6 +29,7 @@ import (
 	"fattree/internal/route"
 	"fattree/internal/sched"
 	"fattree/internal/topo"
+	"fattree/internal/wire"
 )
 
 func render(b *testing.B, t *exp.Table, err error) {
@@ -590,6 +594,77 @@ func BenchmarkServeRoute(b *testing.B) {
 				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 			}
 		}
+	})
+	b.StopTimer()
+	// One route per request, so routes/s is directly comparable with
+	// BenchmarkServeRouteSet324's batched protocol.
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkServeRouteSet324 measures the batched binary route path on
+// the paper's 324-node cluster: one RouteSet frame resolves a whole
+// job's src->dst set (324 hosts, 104,652 ordered pairs) through
+// ServeWire — sniffless pipe transport, frame decode, snapshot lookup
+// of the placement-precomputed response, and the conn write. The
+// routes/s metric is the headline against the per-pair JSON path in
+// BenchmarkServeRoute.
+func BenchmarkServeRouteSet324(b *testing.B) {
+	m, err := fmgr.New(fmgr.Config{
+		Topo:    topo.MustBuild(topo.Cluster324),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Start()
+	defer m.Close()
+	n := m.Current().Topo.NumHosts()
+	alloc, err := m.AllocJob(n, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m.Current().JobRouteSets[alloc.ID] == nil {
+		time.Sleep(time.Millisecond) // wait out the debounced placement rebuild
+	}
+	routesPerReq := float64(n * (n - 1))
+
+	bench := func(b *testing.B, req wire.Message, wantPairs int) {
+		b.RunParallel(func(pb *testing.PB) {
+			srv, cli := net.Pipe()
+			go m.ServeWire(srv)
+			defer cli.Close()
+			br := bufio.NewReaderSize(cli, 1<<20)
+			for pb.Next() {
+				if err := wire.WriteMessage(cli, req); err != nil {
+					b.Fatal(err)
+				}
+				resp, err := wire.ReadMessage(br)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs, ok := resp.(*wire.RouteSetResp)
+				if !ok || len(rs.Pairs) != wantPairs {
+					b.Fatalf("resp %T with %d pairs, want %d", resp, len(rs.Pairs), wantPairs)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*float64(wantPairs)/b.Elapsed().Seconds(), "routes/s")
+	}
+
+	b.Run("job", func(b *testing.B) {
+		// The steady-state production shape: the whole-job set served
+		// from the placement-time precomputed frame.
+		bench(b, &wire.RouteSetReq{ByJob: true, Job: uint64(alloc.ID)}, int(routesPerReq))
+	})
+	b.Run("pairs324", func(b *testing.B) {
+		// Explicit-batch shape: 324 pairs resolved from the CSR arena
+		// per request.
+		pairs := make([][2]uint32, n)
+		for i := range pairs {
+			pairs[i] = [2]uint32{uint32(i), uint32((i + 7) % n)}
+		}
+		bench(b, &wire.RouteSetReq{Pairs: pairs}, n)
 	})
 }
 

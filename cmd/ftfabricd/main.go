@@ -13,6 +13,11 @@
 //	curl -X POST localhost:7474/v1/faults -d '{"fail_random":3}'
 //	curl localhost:7474/v1/hsd
 //
+// The same listener also speaks the compact binary route protocol
+// (internal/wire): connections opening with the protocol magic are
+// sniffed off to the batched RouteSet/Epoch/Order handler, everything
+// else is HTTP. ftload -proto binary and the fclient library use it.
+//
 // SIGINT/SIGTERM drain in-flight requests and stop the event loop.
 package main
 
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +39,7 @@ import (
 	"fattree/internal/obs"
 	"fattree/internal/obs/prof"
 	"fattree/internal/topo"
+	"fattree/internal/wire"
 )
 
 func main() {
@@ -136,16 +143,21 @@ func run(o options) error {
 	defer m.Close()
 
 	srv := &http.Server{
-		Addr:              o.Addr,
 		Handler:           m.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// One listener, two protocols: first-byte sniffing routes binary
+	// connections to ServeWire, the rest to the HTTP server.
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d, engine %s) on %s\n",
+	go func() { errc <- srv.Serve(wire.Split(ln, m.ServeWire)) }()
+	fmt.Printf("ftfabricd: serving %s (%d hosts, epoch %d, engine %s) on %s (http+wire)\n",
 		g, t.NumHosts(), m.Current().Epoch, m.Current().Engine, o.Addr)
 
 	select {

@@ -12,11 +12,20 @@
 //	ftfabricd -topo 324 &
 //	ftload -addr http://127.0.0.1:7474 -mode closed -levels 1,2,4,8 -duration 2s -out load.json
 //	ftload -addr http://127.0.0.1:7474 -mode open -levels 200,400,800 -agree 0.25
+//	ftload -addr http://127.0.0.1:7474 -proto binary -batch 32 -levels 1,2,4,8
+//
+// With -proto binary each request is one batched RouteSet frame of
+// -batch random pairs over the compact wire protocol (same listener,
+// sniffed by magic byte), sent through the fclient library. -addr may
+// then list several replicas comma-separated; the client sheds stale
+// or unhealthy ones. Every response epoch is checked for monotonicity:
+// a rollback prints an "epoch-mix" line to stderr and fails the run,
+// which the replica smoke test greps for.
 //
 // With -agree F the run fails (exit 1) unless, at the lowest level,
 // the client-side p99 — re-bucketed through the server's histogram
-// bounds after subtracting the measured /healthz RTT floor — agrees
-// with the server histogram p99 within fraction F.
+// bounds after subtracting the measured RTT floor — agrees with the
+// server histogram p99 within fraction F.
 package main
 
 import (
@@ -34,13 +43,16 @@ import (
 	"sync"
 	"time"
 
+	"fattree/internal/fclient"
 	"fattree/internal/obs"
 	"fattree/internal/report"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://127.0.0.1:7474", "daemon base URL")
+		addr        = flag.String("addr", "http://127.0.0.1:7474", "daemon base URL; -proto binary accepts a comma-separated replica list")
+		proto       = flag.String("proto", "json", "json (per-pair HTTP) or binary (batched RouteSet frames)")
+		batch       = flag.Int("batch", 16, "binary: random pairs per RouteSet request")
 		mode        = flag.String("mode", "closed", "closed (concurrency ladder) or open (offered-rate ladder)")
 		levels      = flag.String("levels", "1,2,4,8", "comma-separated ladder: workers (closed) or requests/sec (open)")
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per level")
@@ -53,6 +65,8 @@ func main() {
 	flag.Parse()
 	doc, err := sweep(config{
 		Addr:        *addr,
+		Proto:       *proto,
+		Batch:       *batch,
 		Mode:        *mode,
 		Levels:      *levels,
 		Duration:    *duration,
@@ -87,55 +101,127 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ftload: client/server p99 agree within %.0f%% at the lowest level\n", *agree*100)
 	}
+	var regressions int64
+	for _, lvl := range doc.Levels {
+		regressions += lvl.EpochRegressions
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "ftload: epoch-mix: %d response(s) rolled the epoch backwards\n", regressions)
+		os.Exit(1)
+	}
 }
 
 // config parameterizes one sweep; separated from flags so tests drive
 // sweeps in-process.
 type config struct {
 	Addr        string
+	Proto       string // "" or "json" or "binary"
+	Batch       int    // binary: pairs per RouteSet request
 	Mode        string
 	Levels      string
 	Duration    time.Duration
 	Warmup      time.Duration
 	Outstanding int
 	Seed        int64
+
+	binAddrs []string // dial targets derived from Addr by sweep()
 }
 
-// endpoint is the swept route; its label must match the daemon's RED
-// endpoint label so the server histogram lookup finds the right series.
-const endpoint = "GET /v1/route"
+// endpointLabel is the swept route's RED endpoint label; it must match
+// the daemon's so the server histogram lookup finds the right series.
+func endpointLabel(proto string) string {
+	if proto == "binary" {
+		return "route_set"
+	}
+	return "GET /v1/route"
+}
+
+// histogramMetric names the daemon histogram the label lives under.
+func histogramMetric(proto string) string {
+	if proto == "binary" {
+		return "fmgr_wire_request_duration_us"
+	}
+	return "fmgr_http_request_duration_us"
+}
+
+// parseAddrs splits the comma-separated replica list into the HTTP base
+// URL used for metadata/metrics (the first replica) and the host:port
+// dial targets for the binary client.
+func parseAddrs(addr string) (httpBase string, binAddrs []string, err error) {
+	for _, part := range strings.Split(addr, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part == "" {
+			continue
+		}
+		if strings.HasPrefix(part, "https://") {
+			return "", nil, fmt.Errorf("binary protocol needs plain TCP, not %q", part)
+		}
+		if httpBase == "" {
+			httpBase = part
+		}
+		binAddrs = append(binAddrs, strings.TrimPrefix(part, "http://"))
+	}
+	if httpBase == "" {
+		return "", nil, fmt.Errorf("empty address list %q", addr)
+	}
+	return httpBase, binAddrs, nil
+}
 
 func sweep(cfg config, progress io.Writer) (*report.LoadDoc, error) {
 	if cfg.Mode != "closed" && cfg.Mode != "open" {
 		return nil, fmt.Errorf("unknown mode %q (want closed or open)", cfg.Mode)
 	}
+	if cfg.Proto == "" {
+		cfg.Proto = "json"
+	}
+	if cfg.Proto != "json" && cfg.Proto != "binary" {
+		return nil, fmt.Errorf("unknown protocol %q (want json or binary)", cfg.Proto)
+	}
+	if cfg.Batch <= 0 || cfg.Proto == "json" {
+		cfg.Batch = 1 // JSON resolves exactly one route per request
+	}
 	ladder, err := parseLevels(cfg.Levels)
 	if err != nil {
 		return nil, err
 	}
+	httpBase, binAddrs, err := parseAddrs(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Addr = httpBase
+	cfg.binAddrs = binAddrs
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	hosts, err := numHosts(client, cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	floorUS, floorP99US, err := rttFloorUS(client, cfg.Addr)
+	var floorUS, floorP99US float64
+	if cfg.Proto == "binary" {
+		floorUS, floorP99US, err = rttFloorBinary(binAddrs)
+	} else {
+		floorUS, floorP99US, err = rttFloorUS(client, cfg.Addr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	doc := &report.LoadDoc{
 		Schema:        report.LoadSchema,
 		Target:        cfg.Addr,
-		Endpoint:      endpoint,
+		Endpoint:      endpointLabel(cfg.Proto),
+		Protocol:      cfg.Proto,
 		Hosts:         hosts,
 		RTTFloorUS:    floorUS,
 		RTTFloorP99US: floorP99US,
 	}
-	fmt.Fprintf(progress, "ftload: %s, %d hosts, rtt floor %.1fµs (p99 %.1fµs), %s ladder %v\n",
-		cfg.Addr, hosts, floorUS, floorP99US, cfg.Mode, ladder)
+	if cfg.Proto == "binary" {
+		doc.Batch = cfg.Batch
+	}
+	fmt.Fprintf(progress, "ftload: %s (%s), %d hosts, rtt floor %.1fµs (p99 %.1fµs), %s ladder %v\n",
+		cfg.Addr, cfg.Proto, hosts, floorUS, floorP99US, cfg.Mode, ladder)
 
 	for _, rung := range ladder {
-		before, err := serverHistogram(client, cfg.Addr)
+		before, err := serverHistogram(client, cfg.Addr, cfg.Proto)
 		if err != nil {
 			return nil, err
 		}
@@ -148,14 +234,15 @@ func sweep(cfg config, progress io.Writer) (*report.LoadDoc, error) {
 		if err != nil {
 			return nil, err
 		}
-		after, err := serverHistogram(client, cfg.Addr)
+		after, err := serverHistogram(client, cfg.Addr, cfg.Proto)
 		if err != nil {
 			return nil, err
 		}
 		lvl.ServerP99US = histDelta(before, after).Quantile(0.99)
+		lvl.RoutesRPS = lvl.AchievedRPS * float64(cfg.Batch)
 		doc.Levels = append(doc.Levels, lvl)
-		line := fmt.Sprintf("ftload: %s: %.0f req/s, p50 %.1fµs p99 %.1fµs (server p99 %.1fµs), %d errors",
-			levelLabel(lvl), lvl.AchievedRPS, lvl.P50US, lvl.P99US, lvl.ServerP99US, lvl.Errors)
+		line := fmt.Sprintf("ftload: %s: %.0f req/s (%.0f routes/s), p50 %.1fµs p99 %.1fµs (server p99 %.1fµs), %d errors",
+			levelLabel(lvl), lvl.AchievedRPS, lvl.RoutesRPS, lvl.P50US, lvl.P99US, lvl.ServerP99US, lvl.Errors)
 		if lvl.Mode == "open" {
 			line += fmt.Sprintf(", shed %d (%.0f/s)", lvl.Shed, lvl.ShedRPS)
 		}
@@ -244,12 +331,12 @@ func bucketizedP99(samples []float64) float64 {
 
 // serverHistogram fetches the daemon's RED duration histogram for the
 // swept endpoint from the JSON /metrics snapshot.
-func serverHistogram(client *http.Client, addr string) (obs.HistogramSnapshot, error) {
+func serverHistogram(client *http.Client, addr, proto string) (obs.HistogramSnapshot, error) {
 	var snap obs.Snapshot
 	if err := getJSON(client, addr+"/metrics", &snap); err != nil {
 		return obs.HistogramSnapshot{}, err
 	}
-	name := obs.Labeled("fmgr_http_request_duration_us", "endpoint", endpoint)
+	name := obs.Labeled(histogramMetric(proto), "endpoint", endpointLabel(proto))
 	h, ok := snap.Histograms[name]
 	if !ok {
 		// No request served yet: an empty snapshot with the default
@@ -296,9 +383,11 @@ func getJSON(client *http.Client, url string, v interface{}) error {
 
 // worker state shared by both loop shapes.
 type collector struct {
-	mu      sync.Mutex
-	samples []float64 // client RTT, microseconds
-	errors  int64
+	mu       sync.Mutex
+	samples  []float64 // client RTT, microseconds
+	errors   int64
+	maxEpoch uint64 // binary: highest response epoch seen
+	regress  int64  // binary: responses older than an earlier one
 }
 
 func (c *collector) record(us float64, ok bool) {
@@ -306,6 +395,19 @@ func (c *collector) record(us float64, ok bool) {
 	c.samples = append(c.samples, us)
 	if !ok {
 		c.errors++
+	}
+	c.mu.Unlock()
+}
+
+// epoch checks response-epoch monotonicity across the whole level: any
+// rollback is an epoch mix — some replica answered with older tables
+// after a newer epoch was already observed.
+func (c *collector) epoch(e uint64) {
+	c.mu.Lock()
+	if e < c.maxEpoch {
+		c.regress++
+	} else {
+		c.maxEpoch = e
 	}
 	c.mu.Unlock()
 }
@@ -327,9 +429,189 @@ func oneRequest(client *http.Client, addr string, rng *rand.Rand, hosts int) (fl
 	return us, resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable
 }
 
+// newBinaryClient builds one fclient over the sweep's replica list.
+func newBinaryClient(cfg config) (*fclient.Client, error) {
+	return fclient.New(fclient.Config{Addrs: cfg.binAddrs, RequestTimeout: 10 * time.Second})
+}
+
+// rttFloorBinary measures the wire-protocol transport floor: EpochReq
+// round trips through the same client stack the sweep uses.
+func rttFloorBinary(addrs []string) (median, p99 float64, err error) {
+	fc, err := fclient.New(fclient.Config{Addrs: addrs})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer fc.Close()
+	const probes = 200
+	samples := make([]float64, 0, probes)
+	for i := 0; i < probes; i++ {
+		start := time.Now()
+		if _, _, err := fc.Epoch(); err != nil {
+			return 0, 0, fmt.Errorf("epoch probe: %w", err)
+		}
+		samples = append(samples, float64(time.Since(start).Microseconds()))
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], bucketizedP99(samples), nil
+}
+
+// oneBinaryRequest fires one batched RouteSet for random pairs and
+// reports its RTT, success, and the response epoch (0 on failure).
+func oneBinaryRequest(fc *fclient.Client, rng *rand.Rand, hosts, batch int, pairs [][2]uint32) (float64, bool, uint64) {
+	pairs = pairs[:0]
+	for i := 0; i < batch; i++ {
+		pairs = append(pairs, [2]uint32{uint32(rng.Intn(hosts)), uint32(rng.Intn(hosts))})
+	}
+	start := time.Now()
+	rs, err := fc.RouteSet("", pairs)
+	us := float64(time.Since(start).Microseconds())
+	if err != nil {
+		return us, false, 0
+	}
+	return us, true, rs.Epoch
+}
+
+// closedLevelBinary is the closed loop over the wire protocol: one
+// persistent fclient per worker, back-to-back batched RouteSets.
+func closedLevelBinary(cfg config, workers, hosts int) (report.LoadLevel, error) {
+	col := &collector{}
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+	clients := make([]*fclient.Client, workers)
+	for w := range clients {
+		fc, err := newBinaryClient(cfg)
+		if err != nil {
+			return report.LoadLevel{}, err
+		}
+		clients[w] = fc
+		defer fc.Close()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			pairs := make([][2]uint32, 0, cfg.Batch)
+			for time.Now().Before(deadline) {
+				us, ok, epoch := oneBinaryRequest(clients[w], rng, hosts, cfg.Batch, pairs)
+				if time.Now().After(warmupEnd) {
+					col.record(us, ok)
+					if ok {
+						col.epoch(epoch)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lvl := summarize(col, cfg.Duration)
+	lvl.Mode = "closed"
+	lvl.Concurrency = workers
+	return lvl, nil
+}
+
+// openLevelBinary offers a fixed RouteSet rate on a ticker, drawing
+// clients from a free list so at most Outstanding are ever alive.
+func openLevelBinary(cfg config, rps float64, hosts int) (report.LoadLevel, error) {
+	interval := time.Duration(float64(time.Second) / rps)
+	if interval <= 0 {
+		return report.LoadLevel{}, fmt.Errorf("rate %.0f/s too fast to tick", rps)
+	}
+	col := &collector{}
+	sem := make(chan struct{}, cfg.Outstanding)
+	free := make(chan *fclient.Client, cfg.Outstanding)
+	var created []*fclient.Client
+	var createdMu sync.Mutex
+	getClient := func() (*fclient.Client, error) {
+		select {
+		case fc := <-free:
+			return fc, nil
+		default:
+			fc, err := newBinaryClient(cfg)
+			if err != nil {
+				return nil, err
+			}
+			createdMu.Lock()
+			created = append(created, fc)
+			createdMu.Unlock()
+			return fc, nil
+		}
+	}
+	defer func() {
+		for _, fc := range created {
+			fc.Close()
+		}
+	}()
+	rngMu := sync.Mutex{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	drawPairs := func(batch int) [][2]uint32 {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		pairs := make([][2]uint32, batch)
+		for i := range pairs {
+			pairs[i] = [2]uint32{uint32(rng.Intn(hosts)), uint32(rng.Intn(hosts))}
+		}
+		return pairs
+	}
+
+	var shed int64
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			if now.After(warmupEnd) {
+				shed++
+			}
+			continue
+		}
+		fc, err := getClient()
+		if err != nil {
+			<-sem
+			return report.LoadLevel{}, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pairs := drawPairs(cfg.Batch)
+			start := time.Now()
+			rs, err := fc.RouteSet("", pairs)
+			us := float64(time.Since(start).Microseconds())
+			if start.After(warmupEnd) {
+				col.record(us, err == nil)
+				if err == nil {
+					col.epoch(rs.Epoch)
+				}
+			}
+			free <- fc
+		}()
+	}
+	wg.Wait()
+	lvl := summarize(col, cfg.Duration)
+	lvl.Mode = "open"
+	lvl.OfferedRPS = rps
+	lvl.Shed = shed
+	if cfg.Duration > 0 {
+		lvl.ShedRPS = float64(shed) / cfg.Duration.Seconds()
+	}
+	return lvl, nil
+}
+
 // closedLevel runs `workers` goroutines back-to-back for the window:
 // offered load equals capacity at this concurrency.
 func closedLevel(client *http.Client, cfg config, workers, hosts int) (report.LoadLevel, error) {
+	if cfg.Proto == "binary" {
+		return closedLevelBinary(cfg, workers, hosts)
+	}
 	col := &collector{}
 	warmupEnd := time.Now().Add(cfg.Warmup)
 	deadline := warmupEnd.Add(cfg.Duration)
@@ -358,6 +640,9 @@ func closedLevel(client *http.Client, cfg config, workers, hosts int) (report.Lo
 // shedding ticks when the outstanding cap is hit — the saturation
 // signal a closed loop cannot produce.
 func openLevel(client *http.Client, cfg config, rps float64, hosts int) (report.LoadLevel, error) {
+	if cfg.Proto == "binary" {
+		return openLevelBinary(cfg, rps, hosts)
+	}
 	interval := time.Duration(float64(time.Second) / rps)
 	if interval <= 0 {
 		return report.LoadLevel{}, fmt.Errorf("rate %.0f/s too fast to tick", rps)
@@ -427,11 +712,13 @@ func summarize(col *collector, window time.Duration) report.LoadLevel {
 	col.mu.Lock()
 	samples := col.samples
 	errors := col.errors
+	regress := col.regress
 	col.mu.Unlock()
 	lvl := report.LoadLevel{
-		Sent:      int64(len(samples)),
-		Errors:    errors,
-		DurationS: window.Seconds(),
+		Sent:             int64(len(samples)),
+		Errors:           errors,
+		EpochRegressions: regress,
+		DurationS:        window.Seconds(),
 	}
 	if len(samples) == 0 {
 		return lvl

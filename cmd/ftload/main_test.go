@@ -3,6 +3,8 @@ package main
 import (
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"fattree/internal/fmgr"
 	"fattree/internal/obs"
 	"fattree/internal/topo"
+	"fattree/internal/wire"
 )
 
 func startDaemon(t *testing.T) *httptest.Server {
@@ -108,6 +111,99 @@ func TestSweepOpen(t *testing.T) {
 	// At 200/s a loopback route lookup never saturates 64 outstanding.
 	if lvl.Shed != 0 {
 		t.Fatalf("shed %d ticks at trivial load", lvl.Shed)
+	}
+}
+
+// startDualDaemon serves HTTP and the binary protocol on one sniffed
+// listener — the shape ftfabricd deploys — and returns its base URL.
+func startDualDaemon(t *testing.T) string {
+	t.Helper()
+	g, err := topo.ParseSpec("rlft2:4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topo.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fmgr.New(fmgr.Config{Topo: tp, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	t.Cleanup(m.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go srv.Serve(wire.Split(ln, m.ServeWire))
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func TestSweepBinaryClosed(t *testing.T) {
+	url := startDualDaemon(t)
+	doc, err := sweep(config{
+		Addr:     url,
+		Proto:    "binary",
+		Batch:    8,
+		Mode:     "closed",
+		Levels:   "2",
+		Duration: 150 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Seed:     1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Protocol != "binary" || doc.Batch != 8 || doc.Endpoint != "route_set" {
+		t.Fatalf("doc header: %+v", doc)
+	}
+	lvl := doc.Levels[0]
+	if lvl.Sent == 0 || lvl.Errors != 0 || lvl.EpochRegressions != 0 {
+		t.Fatalf("level: %+v", lvl)
+	}
+	if lvl.RoutesRPS < lvl.AchievedRPS*7.9 {
+		t.Fatalf("routes/s %.0f not ~8x req/s %.0f", lvl.RoutesRPS, lvl.AchievedRPS)
+	}
+	if lvl.ServerP99US <= 0 {
+		t.Fatalf("wire histogram recorded nothing: %+v", lvl)
+	}
+}
+
+func TestSweepBinaryOpen(t *testing.T) {
+	url := startDualDaemon(t)
+	doc, err := sweep(config{
+		Addr:        url,
+		Proto:       "binary",
+		Batch:       4,
+		Mode:        "open",
+		Levels:      "200",
+		Duration:    200 * time.Millisecond,
+		Warmup:      20 * time.Millisecond,
+		Outstanding: 64,
+		Seed:        1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := doc.Levels[0]
+	if lvl.Mode != "open" || lvl.Sent == 0 || lvl.Errors != 0 || lvl.Shed != 0 {
+		t.Fatalf("level: %+v", lvl)
+	}
+}
+
+func TestParseAddrs(t *testing.T) {
+	base, bin, err := parseAddrs("http://a:1, http://b:2/")
+	if err != nil || base != "http://a:1" || len(bin) != 2 || bin[0] != "a:1" || bin[1] != "b:2" {
+		t.Fatalf("base=%q bin=%v err=%v", base, bin, err)
+	}
+	if _, _, err := parseAddrs("https://a:1"); err == nil {
+		t.Fatal("https accepted for binary dialing")
+	}
+	if _, _, err := parseAddrs(" ,"); err == nil {
+		t.Fatal("empty list accepted")
 	}
 }
 

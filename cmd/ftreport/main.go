@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"time"
 
 	"fattree/internal/mpi"
@@ -244,14 +245,23 @@ func cmdHTML(args []string) error {
 		}
 	}
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			return err
-		}
-		in.Load, err = report.ParseLoad(f)
-		f.Close()
-		if err != nil {
-			return err
+		// Comma-separated sweeps (e.g. JSON and binary over the same
+		// daemon) each render as their own curve section.
+		for _, path := range strings.Split(*load, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			doc, err := report.ParseLoad(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			in.Loads = append(in.Loads, doc)
 		}
 	}
 	if *events != "" {
@@ -298,7 +308,13 @@ func cmdHTML(args []string) error {
 		opt.TraceFile = filepath.Base(*trace)
 	}
 	if *load != "" {
-		opt.LoadFile = filepath.Base(*load)
+		var bases []string
+		for _, path := range strings.Split(*load, ",") {
+			if path = strings.TrimSpace(path); path != "" {
+				bases = append(bases, filepath.Base(path))
+			}
+		}
+		opt.LoadFile = strings.Join(bases, ", ")
 	}
 	if *events != "" {
 		opt.EventsFile = filepath.Base(*events)

@@ -1,0 +1,434 @@
+// Package fclient is the Go client for ftfabricd's binary route
+// protocol: persistent connections, multi-replica failover with
+// per-replica backoff, and epoch-pinned per-job route-set caching so a
+// steady-state consumer costs the daemon one epoch probe per
+// revalidation, not a refetch.
+//
+// A Client is safe for concurrent use; requests on one Client are
+// serialized, so throughput-sensitive callers (load generators) should
+// run one Client per worker.
+package fclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fattree/internal/wire"
+)
+
+// Config parameterizes a Client. Zero values pick the documented
+// defaults.
+type Config struct {
+	// Addrs lists the replica endpoints (host:port). At least one is
+	// required; order carries no preference — the picker ranks replicas
+	// by observed epoch and health.
+	Addrs []string
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round-trip
+	// (default 5s).
+	RequestTimeout time.Duration
+	// RetryBase is the first per-replica backoff after a connection
+	// failure; it doubles per consecutive failure up to RetryMax
+	// (defaults 50ms and 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxAttempts bounds replica attempts per request (default
+	// 2*len(Addrs)).
+	MaxAttempts int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 5 * time.Second
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 50 * time.Millisecond
+	}
+	if out.RetryMax <= 0 {
+		out.RetryMax = 2 * time.Second
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 2 * len(out.Addrs)
+	}
+	return out
+}
+
+// replica is the per-endpoint state: one persistent connection plus
+// the health/epoch facts the picker ranks by.
+type replica struct {
+	addr      string
+	conn      net.Conn
+	br        *bufio.Reader
+	lastEpoch uint64    // highest epoch seen in any response
+	probed    bool      // at least one successful response seen
+	fails     int       // consecutive connection failures
+	downUntil time.Time // backoff gate; zero when healthy
+}
+
+// jobSet is one epoch-pinned cached route set.
+type jobSet struct {
+	epoch uint64
+	set   *wire.RouteSetResp
+}
+
+// Client talks the binary protocol to one or more ftfabricd replicas.
+type Client struct {
+	cfg Config
+
+	mu          sync.Mutex
+	reps        []*replica
+	rr          int // rotates tie-breaks across equally ranked replicas
+	jobs        map[uint64]*jobSet
+	regressions int64
+	closed      bool
+}
+
+// ReplicaStatus is one replica's view in Replicas().
+type ReplicaStatus struct {
+	Addr      string
+	Connected bool
+	LastEpoch uint64
+	Down      bool // in backoff after consecutive failures
+}
+
+// ErrNoReplicas means every configured replica failed within the
+// attempt budget.
+var ErrNoReplicas = errors.New("fclient: no replica available")
+
+// New builds a Client. It does not dial — connections are established
+// lazily on first use.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("fclient: Config.Addrs is empty")
+	}
+	c := &Client{cfg: cfg.withDefaults(), jobs: map[uint64]*jobSet{}}
+	for _, a := range cfg.Addrs {
+		c.reps = append(c.reps, &replica{addr: a})
+	}
+	return c, nil
+}
+
+// Close drops every connection. The Client is unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, r := range c.reps {
+		if r.conn != nil {
+			r.conn.Close()
+			r.conn, r.br = nil, nil
+		}
+	}
+	return nil
+}
+
+// EpochRegressions counts server answers that would have rolled a
+// pinned job route set back to an older epoch. The guard kept the
+// pinned set each time; a nonzero count means some replica served
+// stale tables.
+func (c *Client) EpochRegressions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.regressions
+}
+
+// Replicas reports per-replica health for operators and tests.
+func (c *Client) Replicas() []ReplicaStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]ReplicaStatus, len(c.reps))
+	for i, r := range c.reps {
+		out[i] = ReplicaStatus{
+			Addr:      r.addr,
+			Connected: r.conn != nil,
+			LastEpoch: r.lastEpoch,
+			Down:      now.Before(r.downUntil),
+		}
+	}
+	return out
+}
+
+// Epoch probes the best replica for its current epoch and engine.
+func (c *Client) Epoch() (uint64, string, error) {
+	resp, err := c.do(wire.EpochReq{})
+	if err != nil {
+		return 0, "", err
+	}
+	er, ok := resp.(*wire.EpochResp)
+	if !ok {
+		return 0, "", fmt.Errorf("fclient: epoch probe answered %T", resp)
+	}
+	return er.Epoch, er.Engine, nil
+}
+
+// Order fetches the epoch-stamped MPI node ordering.
+func (c *Client) Order() (*wire.OrderResp, error) {
+	resp, err := c.do(wire.OrderReq{})
+	if err != nil {
+		return nil, err
+	}
+	or, ok := resp.(*wire.OrderResp)
+	if !ok {
+		return nil, fmt.Errorf("fclient: order answered %T", resp)
+	}
+	return or, nil
+}
+
+// RouteSet resolves an explicit pair batch against engine (empty for
+// the active engine). No caching: callers with a per-job working set
+// should use JobRouteSet.
+func (c *Client) RouteSet(engineName string, pairs [][2]uint32) (*wire.RouteSetResp, error) {
+	resp, err := c.do(&wire.RouteSetReq{Engine: engineName, Pairs: pairs})
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := resp.(*wire.RouteSetResp)
+	if !ok {
+		return nil, fmt.Errorf("fclient: route set answered %T", resp)
+	}
+	return rs, nil
+}
+
+// JobRouteSet returns the job's full route set, epoch-pinned. A cached
+// set is revalidated with a cheap epoch probe: while the server epoch
+// still matches, the cached set is returned without a refetch. When the
+// epoch moved, the refetch carries the pinned epoch as a hint, and a
+// response older than the pinned epoch is refused (the set never rolls
+// back; see EpochRegressions).
+func (c *Client) JobRouteSet(job uint64) (*wire.RouteSetResp, error) {
+	c.mu.Lock()
+	cached := c.jobs[job]
+	c.mu.Unlock()
+
+	if cached != nil {
+		epoch, _, err := c.Epoch()
+		if err == nil && epoch == cached.epoch {
+			return cached.set, nil // revalidated: probe only, no refetch
+		}
+		if err == nil && epoch < cached.epoch {
+			// The best replica is behind the pinned set. Serving its
+			// tables would mix epochs backwards; keep the pinned set.
+			c.noteRegression()
+			return cached.set, nil
+		}
+		// Epoch moved forward (or the probe failed): refetch with the
+		// pinned epoch as hint.
+	}
+
+	req := &wire.RouteSetReq{ByJob: true, Job: job}
+	if cached != nil {
+		req.EpochHint = cached.epoch
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	switch rs := resp.(type) {
+	case *wire.NotModified:
+		if cached != nil {
+			return cached.set, nil
+		}
+		return nil, fmt.Errorf("fclient: NotModified without a cached set (epoch %d)", rs.Epoch)
+	case *wire.RouteSetResp:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if cur := c.jobs[job]; cur != nil && rs.Epoch < cur.epoch {
+			c.regressions++
+			return cur.set, nil // never replace the pinned set with an older epoch
+		}
+		c.jobs[job] = &jobSet{epoch: rs.Epoch, set: rs}
+		return rs, nil
+	default:
+		return nil, fmt.Errorf("fclient: job route set answered %T", resp)
+	}
+}
+
+// InvalidateJob drops the cached set for a job (e.g. after freeing it).
+func (c *Client) InvalidateJob(job uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, job)
+}
+
+func (c *Client) noteRegression() {
+	c.mu.Lock()
+	c.regressions++
+	c.mu.Unlock()
+}
+
+// do runs one request with replica failover: pick the best replica,
+// round-trip, and on a connection failure back it off and move on. A
+// decoded ErrorResp is an application answer, not a transport failure —
+// it is returned as an error without burning the replica.
+func (c *Client) do(req wire.Message) (wire.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		r := c.pick()
+		if r == nil {
+			// Everything is backing off; wait out the nearest gate
+			// rather than spinning through the attempt budget.
+			d := c.nearestWake()
+			if d <= 0 || d > c.cfg.RetryMax {
+				d = c.cfg.RetryBase
+			}
+			time.Sleep(d)
+			continue
+		}
+		resp, err := c.roundTrip(r, req)
+		if err != nil {
+			lastErr = err
+			c.markDown(r)
+			continue
+		}
+		c.markUp(r, resp)
+		if er, ok := resp.(*wire.ErrorResp); ok {
+			return nil, fmt.Errorf("fclient: %s: %w", r.addr, er)
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return nil, fmt.Errorf("fclient: all %d attempts failed: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// pick returns the healthiest replica: not in backoff, highest
+// observed epoch, ties rotated. A replica that served a lower epoch
+// than some sibling is shed automatically until it catches up, but a
+// never-probed replica stays a candidate — its epoch is unknown, and
+// without discovery it could never be preferred.
+func (c *Client) pick() *replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	now := time.Now()
+	var bestEpoch uint64
+	for _, r := range c.reps {
+		if r.probed && !now.Before(r.downUntil) && r.lastEpoch > bestEpoch {
+			bestEpoch = r.lastEpoch
+		}
+	}
+	var cand []*replica
+	for _, r := range c.reps {
+		if now.Before(r.downUntil) {
+			continue
+		}
+		if !r.probed || r.lastEpoch == bestEpoch {
+			cand = append(cand, r)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	c.rr++
+	return cand[c.rr%len(cand)]
+}
+
+func (c *Client) nearestWake() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var min time.Duration = -1
+	now := time.Now()
+	for _, r := range c.reps {
+		if d := r.downUntil.Sub(now); d > 0 && (min < 0 || d < min) {
+			min = d
+		}
+	}
+	return min
+}
+
+// roundTrip sends one frame and reads one reply on r's connection,
+// dialing lazily. Any transport error invalidates the connection.
+func (c *Client) roundTrip(r *replica, req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fclient: client closed")
+	}
+	if r.conn == nil {
+		c.mu.Unlock()
+		conn, err := net.DialTimeout("tcp", r.addr, c.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil, errors.New("fclient: client closed")
+		}
+		r.conn, r.br = conn, bufio.NewReaderSize(conn, 64<<10)
+	}
+	conn, br := r.conn, r.br
+	c.mu.Unlock()
+
+	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if err := wire.WriteMessage(conn, req); err != nil {
+		c.dropConn(r, conn)
+		return nil, err
+	}
+	resp, err := wire.ReadMessage(br)
+	if err != nil {
+		c.dropConn(r, conn)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) dropConn(r *replica, conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if r.conn == conn {
+		r.conn, r.br = nil, nil
+	}
+	c.mu.Unlock()
+}
+
+// markDown records a transport failure: exponential per-replica
+// backoff, doubling per consecutive failure up to RetryMax.
+func (c *Client) markDown(r *replica) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.fails++
+	d := c.cfg.RetryBase << (r.fails - 1)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	r.downUntil = time.Now().Add(d)
+}
+
+// markUp clears backoff and advances the replica's observed epoch from
+// any epoch-stamped response.
+func (c *Client) markUp(r *replica, resp wire.Message) {
+	var epoch uint64
+	switch m := resp.(type) {
+	case *wire.EpochResp:
+		epoch = m.Epoch
+	case *wire.RouteSetResp:
+		epoch = m.Epoch
+	case *wire.NotModified:
+		epoch = m.Epoch
+	case *wire.OrderResp:
+		epoch = m.Epoch
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.fails = 0
+	r.probed = true
+	r.downUntil = time.Time{}
+	if epoch > r.lastEpoch {
+		r.lastEpoch = epoch
+	}
+}

@@ -1,0 +1,308 @@
+package fclient
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fattree/internal/wire"
+)
+
+// fakeReplica is a scriptable server speaking the binary protocol: its
+// epoch is settable mid-test, and job answers can be skewed relative to
+// the probe epoch to exercise the client's regression guard.
+type fakeReplica struct {
+	ln net.Listener
+
+	mu        sync.Mutex
+	epoch     uint64
+	jobEpoch  uint64 // epoch stamped on job responses; 0 = use epoch
+	epochReqs atomic.Int64
+	setReqs   atomic.Int64
+	lastHint  atomic.Uint64
+	conns     []net.Conn
+}
+
+func newFakeReplica(t *testing.T, epoch uint64) *fakeReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{ln: ln, epoch: epoch}
+	go f.acceptLoop()
+	t.Cleanup(f.stop)
+	return f
+}
+
+func (f *fakeReplica) addr() string { return f.ln.Addr().String() }
+
+func (f *fakeReplica) setEpoch(e uint64) {
+	f.mu.Lock()
+	f.epoch = e
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) setJobEpoch(e uint64) {
+	f.mu.Lock()
+	f.jobEpoch = e
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) stop() {
+	f.ln.Close()
+	f.mu.Lock()
+	for _, c := range f.conns {
+		c.Close()
+	}
+	f.conns = nil
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) acceptLoop() {
+	for {
+		c, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns = append(f.conns, c)
+		f.mu.Unlock()
+		go f.serve(c)
+	}
+}
+
+func (f *fakeReplica) serve(c net.Conn) {
+	defer c.Close()
+	for {
+		m, err := wire.ReadMessage(c)
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		epoch, jobEpoch := f.epoch, f.jobEpoch
+		f.mu.Unlock()
+		if jobEpoch == 0 {
+			jobEpoch = epoch
+		}
+		var resp wire.Message
+		switch req := m.(type) {
+		case wire.EpochReq:
+			f.epochReqs.Add(1)
+			resp = &wire.EpochResp{Epoch: epoch, Engine: "dmodk"}
+		case *wire.RouteSetReq:
+			f.lastHint.Store(req.EpochHint)
+			if req.EpochHint != 0 && req.EpochHint == jobEpoch {
+				resp = &wire.NotModified{Epoch: jobEpoch}
+				break
+			}
+			f.setReqs.Add(1)
+			resp = &wire.RouteSetResp{
+				Epoch: jobEpoch, Engine: "dmodk", Routing: "d-mod-k",
+				Pairs: []wire.PairRoute{{Src: 0, Dst: 1, OK: true, Hops: []uint32{uint32(jobEpoch)<<1 | 1, 4}}},
+			}
+		default:
+			resp = &wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "fake: unexpected type"}
+		}
+		if err := wire.WriteMessage(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+func newClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 10 * time.Millisecond
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientEpochProbe(t *testing.T) {
+	f := newFakeReplica(t, 7)
+	c := newClient(t, Config{Addrs: []string{f.addr()}})
+	epoch, eng, err := c.Epoch()
+	if err != nil || epoch != 7 || eng != "dmodk" {
+		t.Fatalf("epoch=%d eng=%q err=%v", epoch, eng, err)
+	}
+	// Second probe reuses the connection.
+	if _, _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	conns := len(f.conns)
+	f.mu.Unlock()
+	if conns != 1 {
+		t.Fatalf("%d connections for 2 probes, want 1 (no reuse)", conns)
+	}
+}
+
+// TestClientJobCacheRevalidation pins the cache economics: a
+// steady-state JobRouteSet call costs the server one epoch probe and
+// zero route-set fetches, and an epoch bump triggers exactly one
+// refetch carrying the pinned epoch as hint.
+func TestClientJobCacheRevalidation(t *testing.T) {
+	f := newFakeReplica(t, 5)
+	c := newClient(t, Config{Addrs: []string{f.addr()}})
+
+	set1, err := c.JobRouteSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set1.Epoch != 5 || f.setReqs.Load() != 1 {
+		t.Fatalf("first fetch: epoch %d, %d set reqs", set1.Epoch, f.setReqs.Load())
+	}
+
+	// Same epoch: N calls are probe-only cache hits.
+	for i := 0; i < 3; i++ {
+		set, err := c.JobRouteSet(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set != set1 {
+			t.Fatal("cache hit returned a different set")
+		}
+	}
+	if got := f.setReqs.Load(); got != 1 {
+		t.Fatalf("steady state refetched: %d set reqs, want 1", got)
+	}
+	if probes := f.epochReqs.Load(); probes < 3 {
+		t.Fatalf("only %d epoch probes for 3 revalidations", probes)
+	}
+
+	// Epoch bump: one refetch, hinted with the pinned epoch.
+	f.setEpoch(9)
+	set2, err := c.JobRouteSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.Epoch != 9 || f.setReqs.Load() != 2 {
+		t.Fatalf("refetch: epoch %d, %d set reqs", set2.Epoch, f.setReqs.Load())
+	}
+	if hint := f.lastHint.Load(); hint != 5 {
+		t.Fatalf("refetch hint %d, want pinned epoch 5", hint)
+	}
+}
+
+// TestClientEpochRegressionGuard proves a pinned set never rolls back:
+// whether the stale answer shows up at the probe or in the refetch
+// response, the client keeps the pinned epoch and counts the event.
+func TestClientEpochRegressionGuard(t *testing.T) {
+	f := newFakeReplica(t, 5)
+	c := newClient(t, Config{Addrs: []string{f.addr()}})
+	set1, err := c.JobRouteSet(3)
+	if err != nil || set1.Epoch != 5 {
+		t.Fatalf("seed fetch: %v epoch=%d", err, set1.Epoch)
+	}
+
+	// Probe-visible regression: server rolls back to 3.
+	f.setEpoch(3)
+	set, err := c.JobRouteSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Epoch != 5 || c.EpochRegressions() != 1 {
+		t.Fatalf("probe regression: served epoch %d, %d regressions (want 5, 1)",
+			set.Epoch, c.EpochRegressions())
+	}
+	if f.setReqs.Load() != 1 {
+		t.Fatalf("regressed probe still caused a refetch (%d set reqs)", f.setReqs.Load())
+	}
+
+	// Refetch-visible regression: the probe advertises 9 but the job
+	// answer is stamped 2 (an inconsistent or lagging replica).
+	f.setEpoch(9)
+	f.setJobEpoch(2)
+	set, err = c.JobRouteSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Epoch != 5 || c.EpochRegressions() != 2 {
+		t.Fatalf("refetch regression: served epoch %d, %d regressions (want 5, 2)",
+			set.Epoch, c.EpochRegressions())
+	}
+}
+
+// TestClientPickerPrefersNewestEpoch: once both replicas' epochs are
+// known, requests go to the most advanced one only.
+func TestClientPickerPrefersNewestEpoch(t *testing.T) {
+	old := newFakeReplica(t, 4)
+	cur := newFakeReplica(t, 9)
+	c := newClient(t, Config{Addrs: []string{old.addr(), cur.addr()}})
+
+	// Discovery: round-robin until both epochs are observed.
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldBase := old.epochReqs.Load()
+	for i := 0; i < 6; i++ {
+		if _, _, err := c.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := old.epochReqs.Load(); got != oldBase {
+		t.Fatalf("stale replica still served %d probes after discovery", got-oldBase)
+	}
+	var sawDown bool
+	for _, r := range c.Replicas() {
+		if r.Addr == old.addr() && r.LastEpoch != 4 {
+			t.Fatalf("stale replica status %+v", r)
+		}
+		sawDown = sawDown || r.Down
+	}
+	if sawDown {
+		t.Fatal("healthy replicas reported as down")
+	}
+}
+
+// TestClientFailover: killing the preferred replica sheds it into
+// backoff and requests keep succeeding on the survivor; with every
+// replica dead the attempt budget surfaces an error.
+func TestClientFailover(t *testing.T) {
+	a := newFakeReplica(t, 7)
+	b := newFakeReplica(t, 7)
+	c := newClient(t, Config{Addrs: []string{a.addr(), b.addr()}, MaxAttempts: 6,
+		DialTimeout: 500 * time.Millisecond, RequestTimeout: time.Second})
+
+	a.stop()
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Epoch(); err != nil {
+			t.Fatalf("probe %d with one live replica: %v", i, err)
+		}
+	}
+	down := 0
+	for _, r := range c.Replicas() {
+		if r.Down {
+			down++
+		}
+	}
+	if down != 1 {
+		t.Fatalf("%d replicas down, want 1: %+v", down, c.Replicas())
+	}
+
+	b.stop()
+	if _, _, err := c.Epoch(); err == nil {
+		t.Fatal("probe succeeded with every replica dead")
+	} else if !strings.Contains(err.Error(), "attempts failed") {
+		t.Fatalf("unexpected failure shape: %v", err)
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty address list")
+	}
+}

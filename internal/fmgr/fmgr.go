@@ -15,6 +15,7 @@ package fmgr
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 	"fattree/internal/route"
 	"fattree/internal/sched"
 	"fattree/internal/topo"
+	"fattree/internal/wire"
 )
 
 // FabricState is one immutable snapshot of the managed fabric. Every
@@ -67,8 +69,17 @@ type FabricState struct {
 	BrokenPairs int
 	// Jobs is a deep copy of the live allocations at swap time.
 	Jobs []*sched.Allocation
+	// JobRouteSets holds, per placed job, the fully encoded binary
+	// RouteSetResp frame for the job's whole ordered src→dst pair set,
+	// resolved under this epoch's tables for the job's engine.
+	// Precomputed at snapshot build (i.e. at placement and at every
+	// reroute), so a steady-state job-mode wire query is a map lookup
+	// plus one conn write — a pure cache hit, no path walk, no encode.
+	JobRouteSets map[sched.JobID][]byte
 
-	unroutable []bool // per-host, for O(1) request checks
+	unroutable    []bool // per-host, for O(1) request checks
+	jobRoutePairs map[sched.JobID]int
+	wireOrder     []byte // pre-encoded binary OrderResp frame
 }
 
 // HostUnroutable reports whether host j lost its only uplink in this
@@ -222,6 +233,17 @@ type Manager struct {
 
 	gate chan struct{} // max-inflight semaphore for the HTTP layer
 
+	// Live binary-protocol connections, force-closed on Close so
+	// ServeWire loops never outlive the manager.
+	wireMu     sync.Mutex
+	wireConns  map[net.Conn]struct{}
+	wireClosed bool
+
+	// Per-endpoint RED handles for the binary protocol, resolved once.
+	wireEpochEP    *obs.REDEndpoint
+	wireRouteSetEP *obs.REDEndpoint
+	wireOrderEP    *obs.REDEndpoint
+
 	// journal is the bounded fabric event ring served at /v1/events.
 	journal *Journal
 	// spanSeq drives 1-in-N request-span sampling.
@@ -235,6 +257,8 @@ type Manager struct {
 	mJobsActive  *obs.Gauge
 	mRerouteUS   *obs.Histogram
 	mCheckFail   *obs.Counter
+	mWireRoutes  *obs.Counter
+	mWireConns   *obs.Gauge
 }
 
 // New builds a manager and its initial epoch-1 snapshot (synchronously,
@@ -257,6 +281,7 @@ func New(cfg Config) (*Manager, error) {
 
 		engines:    map[string]engine.Engine{},
 		jobEngines: map[sched.JobID]string{},
+		wireConns:  map[net.Conn]struct{}{},
 	}
 	m.journal = NewJournal(cfg.JournalSize)
 	m.validate = m.validateState
@@ -274,7 +299,13 @@ func New(cfg Config) (*Manager, error) {
 		m.mRerouteUS = reg.MustHistogram("fmgr_reroute_latency_us",
 			[]float64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1e6})
 		m.mCheckFail = reg.Counter("fmgr_check_failures_total")
+		m.mWireRoutes = reg.Counter("fmgr_wire_routes_served_total")
+		m.mWireConns = reg.Gauge("fmgr_wire_conns")
 	}
+	wireRED := obs.NewRED(cfg.Metrics, "fmgr_wire", nil)
+	m.wireEpochEP = wireRED.Endpoint("epoch")
+	m.wireRouteSetEP = wireRED.Endpoint("route_set")
+	m.wireOrderEP = wireRED.Endpoint("order")
 	if a, err := sched.New(cfg.Topo); err == nil {
 		m.alloc = a
 	}
@@ -317,6 +348,7 @@ func (m *Manager) Close() {
 	m.closed = true
 	close(m.done)
 	m.mu.Unlock()
+	m.closeWireConns()
 	m.wg.Wait()
 }
 
@@ -691,7 +723,48 @@ func (m *Manager) buildState(epoch uint64, sp *obs.Span) (*FabricState, error) {
 	if err != nil {
 		return nil, err
 	}
+	c = sp.Child("wire_precompute")
+	err = precomputeWire(st)
+	c.End()
+	if err != nil {
+		return nil, err
+	}
 	return st, nil
+}
+
+// precomputeWire freezes the snapshot's binary-protocol answers: the
+// order frame and one fully encoded RouteSetResp frame per placed job
+// (the job's whole ordered pair set under its engine's tables). Done
+// here — at placement and at every reroute — so the wire read path
+// serves precomputed bytes and steady-state job queries never touch
+// the arena.
+func precomputeWire(st *FabricState) error {
+	hostOf := make([]uint32, len(st.Ordering.HostOf))
+	for i, h := range st.Ordering.HostOf {
+		hostOf[i] = uint32(h)
+	}
+	st.wireOrder = wire.AppendFrame(nil, &wire.OrderResp{
+		Epoch:  st.Epoch,
+		Label:  st.Ordering.Label,
+		HostOf: hostOf,
+	})
+	st.JobRouteSets = make(map[sched.JobID][]byte, len(st.Jobs))
+	st.jobRoutePairs = make(map[sched.JobID]int, len(st.Jobs))
+	for _, j := range st.Jobs {
+		eng := st.JobEngine(j.ID)
+		tb, ok := st.ByEngine[eng]
+		if !ok {
+			return fmt.Errorf("job %d wants engine %s but epoch %d has no tables for it", j.ID, eng, st.Epoch)
+		}
+		pairs := orderedPairs(j.Hosts)
+		resp, err := routeSetResp(st.Epoch, eng, tb, pairs)
+		if err != nil {
+			return fmt.Errorf("job %d route set: %w", j.ID, err)
+		}
+		st.JobRouteSets[j.ID] = wire.AppendFrame(nil, resp)
+		st.jobRoutePairs[j.ID] = len(pairs)
+	}
+	return nil
 }
 
 // shiftSummary analyzes the Shift sequence under the topology order over

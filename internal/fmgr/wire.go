@@ -1,0 +1,241 @@
+package fmgr
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"fattree/internal/engine"
+	"fattree/internal/obs"
+	"fattree/internal/route"
+	"fattree/internal/sched"
+	"fattree/internal/wire"
+)
+
+// MaxWirePairs bounds one pairs-mode RouteSetReq. A whole 1944-host
+// job stays under it; anything bigger is a client bug, refused before
+// the response is sized.
+const MaxWirePairs = 1 << 22
+
+// ServeWire runs the binary protocol on one connection: a loop of
+// length-prefixed request frames answered from the current snapshot.
+// The connection is tracked by the manager and force-closed by Close,
+// so a draining daemon never leaks serving goroutines. Every request is
+// observed through the fmgr_wire RED family, mirroring the HTTP
+// middleware.
+func (m *Manager) ServeWire(conn net.Conn) {
+	if !m.trackWire(conn) {
+		conn.Close()
+		return
+	}
+	defer m.untrackWire(conn)
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var out []byte
+	for {
+		msg, err := wire.ReadMessage(br)
+		if err != nil {
+			return // EOF, hangup or garbage: either way the conn is done
+		}
+		start := time.Now()
+		var ep *obs.REDEndpoint
+		var code int
+		out, ep, code = m.wireRespond(out[:0], msg)
+		if len(out) > 0 {
+			if _, err := conn.Write(out); err != nil {
+				ep.Observe(0, time.Since(start))
+				return
+			}
+		}
+		ep.Observe(code, time.Since(start))
+	}
+}
+
+// wireRespond builds the response frame for one request into dst and
+// returns it with the RED endpoint and a status code for observation
+// (HTTP-style classes: 200 served, 304 not-modified, 4xx refused, 500
+// internal).
+func (m *Manager) wireRespond(dst []byte, msg wire.Message) ([]byte, *obs.REDEndpoint, int) {
+	switch req := msg.(type) {
+	case wire.EpochReq:
+		st := m.Current()
+		return wire.AppendFrame(dst, &wire.EpochResp{Epoch: st.Epoch, Engine: st.Engine}),
+			m.wireEpochEP, 200
+	case wire.OrderReq:
+		st := m.Current()
+		return append(dst, st.wireOrder...), m.wireOrderEP, 200
+	case *wire.RouteSetReq:
+		out, code := m.wireRouteSet(dst, req)
+		return out, m.wireRouteSetEP, code
+	default:
+		// A well-formed frame of a type the server does not answer
+		// (e.g. a response type): refuse politely, keep the conn.
+		return wire.AppendFrame(dst, &wire.ErrorResp{
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("unexpected message type 0x%02x", uint8(msg.Type())),
+		}), nil, 400
+	}
+}
+
+// wireRouteSet answers one RouteSetReq from the current snapshot:
+// epoch negotiation first (a matching hint costs one NotModified frame,
+// no table touch), then either the precomputed per-job frame (pure
+// cache hit — the bytes were encoded at placement rebuild) or an
+// explicit pairs batch resolved from the engine's compiled arena.
+func (m *Manager) wireRouteSet(dst []byte, req *wire.RouteSetReq) ([]byte, int) {
+	st := m.Current()
+	if req.EpochHint != 0 && req.EpochHint == st.Epoch {
+		return wire.AppendFrame(dst, &wire.NotModified{Epoch: st.Epoch}), 304
+	}
+	if req.ByJob {
+		frame, ok := st.JobRouteSets[sched.JobID(req.Job)]
+		if !ok {
+			return wire.AppendFrame(dst, &wire.ErrorResp{
+				Code: wire.CodeNotFound,
+				Msg:  fmt.Sprintf("job %d has no route set in epoch %d", req.Job, st.Epoch),
+			}), 404
+		}
+		m.mWireRoutes.Add(int64(st.jobRoutePairs[sched.JobID(req.Job)]))
+		return append(dst, frame...), 200
+	}
+	if len(req.Pairs) > MaxWirePairs {
+		return wire.AppendFrame(dst, &wire.ErrorResp{
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("%d pairs exceed the %d per-request cap", len(req.Pairs), MaxWirePairs),
+		}), 400
+	}
+	engName := req.Engine
+	if engName == "" {
+		engName = st.Engine
+	}
+	tb, ok := st.ByEngine[engName]
+	if !ok {
+		return wire.AppendFrame(dst, &wire.ErrorResp{
+			Code: wire.CodeNotFound,
+			Msg:  fmt.Sprintf("engine %q has no tables in epoch %d", engName, st.Epoch),
+		}), 404
+	}
+	n := st.Topo.NumHosts()
+	for _, p := range req.Pairs {
+		if int(p[0]) >= n || int(p[1]) >= n {
+			return wire.AppendFrame(dst, &wire.ErrorResp{
+				Code: wire.CodeBadRequest,
+				Msg:  fmt.Sprintf("pair %d->%d out of range [0,%d)", p[0], p[1], n),
+			}), 400
+		}
+	}
+	resp, err := routeSetResp(st.Epoch, engName, tb, req.Pairs)
+	if err != nil {
+		return wire.AppendFrame(dst, &wire.ErrorResp{
+			Code: wire.CodeInternal, Msg: err.Error(),
+		}), 500
+	}
+	m.mWireRoutes.Add(int64(len(req.Pairs)))
+	return wire.AppendFrame(dst, resp), 200
+}
+
+// routeSetResp resolves pairs against one engine's tables into the
+// batched wire message. All hops across the batch share one backing
+// slice, sized in a first pass, so a whole-job set costs two
+// allocations, not one per pair.
+func routeSetResp(epoch uint64, engName string, tb *engine.Tables, pairs [][2]uint32) (*wire.RouteSetResp, error) {
+	unroutable := map[int]bool{}
+	for _, h := range tb.Unroutable {
+		unroutable[h] = true
+	}
+	total := 0
+	for _, p := range pairs {
+		src, dst := int(p[0]), int(p[1])
+		if src == dst || unroutable[src] || unroutable[dst] || tb.Compiled.Broken(src, dst) {
+			continue
+		}
+		path, err := tb.Compiled.PackedPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		total += len(path)
+	}
+	resp := &wire.RouteSetResp{
+		Epoch:   epoch,
+		Engine:  engName,
+		Routing: tb.Router.Label(),
+		Pairs:   make([]wire.PairRoute, len(pairs)),
+	}
+	hops := make([]uint32, 0, total)
+	for i, p := range pairs {
+		src, dst := int(p[0]), int(p[1])
+		pr := &resp.Pairs[i]
+		pr.Src, pr.Dst = p[0], p[1]
+		if src == dst {
+			pr.OK = true
+			continue
+		}
+		if unroutable[src] || unroutable[dst] || tb.Compiled.Broken(src, dst) {
+			continue // OK=false: the binary twin of the JSON 503
+		}
+		path, err := tb.Compiled.PackedPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		start := len(hops)
+		for _, e := range path {
+			hops = append(hops, uint32(route.PathEntry(e)))
+		}
+		pr.OK = true
+		pr.Hops = hops[start:len(hops):len(hops)]
+	}
+	return resp, nil
+}
+
+// orderedPairs lists every ordered src!=dst pair among a job's hosts —
+// the full flow set its global collectives can generate, and therefore
+// what one job-mode RouteSet request must resolve.
+func orderedPairs(hosts []int) [][2]uint32 {
+	out := make([][2]uint32, 0, len(hosts)*(len(hosts)-1))
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s != d {
+				out = append(out, [2]uint32{uint32(s), uint32(d)})
+			}
+		}
+	}
+	return out
+}
+
+// trackWire registers a live wire connection; false means the manager
+// is closed and the conn must not be served.
+func (m *Manager) trackWire(c net.Conn) bool {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	if m.wireClosed {
+		return false
+	}
+	m.wireConns[c] = struct{}{}
+	m.mWireConns.Add(1)
+	return true
+}
+
+func (m *Manager) untrackWire(c net.Conn) {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	if _, ok := m.wireConns[c]; ok {
+		delete(m.wireConns, c)
+		m.mWireConns.Add(-1)
+	}
+}
+
+// closeWireConns force-closes every live wire connection; called from
+// Close so ServeWire loops blocked in a read unblock and exit.
+func (m *Manager) closeWireConns() {
+	m.wireMu.Lock()
+	m.wireClosed = true
+	conns := make([]net.Conn, 0, len(m.wireConns))
+	for c := range m.wireConns {
+		conns = append(conns, c)
+	}
+	m.wireMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,313 @@
+package fmgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fattree/internal/sched"
+	"fattree/internal/topo"
+	"fattree/internal/wire"
+)
+
+// startWireConn serves the binary protocol on an in-process pipe and
+// returns the client end.
+func startWireConn(t *testing.T, m *Manager) net.Conn {
+	t.Helper()
+	srv, cli := net.Pipe()
+	go m.ServeWire(srv)
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// wireCall does one request/response round-trip.
+func wireCall(t *testing.T, c net.Conn, req wire.Message) wire.Message {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.WriteMessage(c, req); err != nil {
+		t.Fatalf("write %T: %v", req, err)
+	}
+	resp, err := wire.ReadMessage(c)
+	if err != nil {
+		t.Fatalf("read after %T: %v", req, err)
+	}
+	return resp
+}
+
+func TestWireEpochProbeAndOrder(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	c := startWireConn(t, m)
+
+	er, ok := wireCall(t, c, wire.EpochReq{}).(*wire.EpochResp)
+	if !ok || er.Epoch != m.Current().Epoch || er.Engine != m.Current().Engine {
+		t.Fatalf("epoch probe: %#v (current epoch %d)", er, m.Current().Epoch)
+	}
+
+	or, ok := wireCall(t, c, wire.OrderReq{}).(*wire.OrderResp)
+	if !ok {
+		t.Fatalf("order: %#v", or)
+	}
+	st := m.Current()
+	if or.Epoch != st.Epoch || or.Label != st.Ordering.Label || len(or.HostOf) != len(st.Ordering.HostOf) {
+		t.Fatalf("order resp %#v vs snapshot %q/%d hosts", or, st.Ordering.Label, len(st.Ordering.HostOf))
+	}
+	for i, h := range st.Ordering.HostOf {
+		if or.HostOf[i] != uint32(h) {
+			t.Fatalf("host_of[%d] = %d, want %d", i, or.HostOf[i], h)
+		}
+	}
+}
+
+func TestWireEpochNegotiation(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	c := startWireConn(t, m)
+	epoch := m.Current().Epoch
+
+	// Matching hint: NotModified, no table touch.
+	nm, ok := wireCall(t, c, &wire.RouteSetReq{EpochHint: epoch, Pairs: [][2]uint32{{0, 1}}}).(*wire.NotModified)
+	if !ok || nm.Epoch != epoch {
+		t.Fatalf("matching hint: %#v", nm)
+	}
+
+	// Fault → new epoch → the stale hint must now yield a full answer
+	// stamped with the new epoch.
+	if _, err := m.InjectFaults(nil, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, m, epoch+1)
+	rs, ok := wireCall(t, c, &wire.RouteSetReq{EpochHint: epoch, Pairs: [][2]uint32{{0, 1}}}).(*wire.RouteSetResp)
+	if !ok || rs.Epoch != epoch+1 {
+		t.Fatalf("stale hint: %#v (want epoch %d)", rs, epoch+1)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	c := startWireConn(t, m)
+	n := uint32(m.t.NumHosts())
+
+	cases := []struct {
+		req  wire.Message
+		code uint8
+	}{
+		{&wire.RouteSetReq{Pairs: [][2]uint32{{0, n}}}, wire.CodeBadRequest},
+		{&wire.RouteSetReq{Engine: "no-such-engine", Pairs: [][2]uint32{{0, 1}}}, wire.CodeNotFound},
+		{&wire.RouteSetReq{ByJob: true, Job: 999}, wire.CodeNotFound},
+		{&wire.EpochResp{Epoch: 1}, wire.CodeBadRequest}, // response type as request
+	}
+	for i, tc := range cases {
+		er, ok := wireCall(t, c, tc.req).(*wire.ErrorResp)
+		if !ok || er.Code != tc.code {
+			t.Fatalf("case %d (%#v): got %#v, want code %d", i, tc.req, er, tc.code)
+		}
+	}
+
+	// Errors must not kill the connection.
+	if _, ok := wireCall(t, c, wire.EpochReq{}).(*wire.EpochResp); !ok {
+		t.Fatal("connection dead after error responses")
+	}
+}
+
+// TestWireJobRouteSetPrecomputed proves job-mode serving is the
+// placement-time cache: the served frame must be byte-identical to the
+// snapshot's precomputed bytes, cover exactly the job's ordered pair
+// set, and carry hops matching the compiled arena.
+func TestWireJobRouteSetPrecomputed(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	a, err := m.AllocJob(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitEpoch(t, m, 2) // placement rebuild
+	frame, ok := st.JobRouteSets[a.ID]
+	if !ok {
+		t.Fatalf("epoch %d has no precomputed set for job %d", st.Epoch, a.ID)
+	}
+
+	c := startWireConn(t, m)
+	rs, ok := wireCall(t, c, &wire.RouteSetReq{ByJob: true, Job: uint64(a.ID)}).(*wire.RouteSetResp)
+	if !ok {
+		t.Fatalf("job route set: %#v", rs)
+	}
+	if got := wire.EncodeFrame(rs); string(got) != string(frame) {
+		t.Fatal("served job frame differs from the precomputed snapshot bytes")
+	}
+	want := len(a.Hosts) * (len(a.Hosts) - 1)
+	if len(rs.Pairs) != want {
+		t.Fatalf("%d pairs, want %d (ordered pairs of %d hosts)", len(rs.Pairs), want, len(a.Hosts))
+	}
+	for _, p := range rs.Pairs {
+		path, err := st.Paths.PackedPath(int(p.Src), int(p.Dst))
+		if err != nil {
+			t.Fatalf("%d->%d: %v", p.Src, p.Dst, err)
+		}
+		if !p.OK || len(p.Hops) != len(path) {
+			t.Fatalf("%d->%d: ok=%v hops=%d, arena %d", p.Src, p.Dst, p.OK, len(p.Hops), len(path))
+		}
+		for k, e := range path {
+			if p.Hops[k] != uint32(e) {
+				t.Fatalf("%d->%d hop %d: %d != %d", p.Src, p.Dst, k, p.Hops[k], uint32(e))
+			}
+		}
+	}
+
+	// Freeing the job must evict its precomputed set at the next epoch.
+	if err := m.FreeJob(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitEpoch(t, m, st.Epoch+1)
+	if _, ok := st.JobRouteSets[a.ID]; ok {
+		t.Fatalf("freed job %d still has a route set in epoch %d", a.ID, st.Epoch)
+	}
+}
+
+// TestWireJSONBinaryEquivalence is the cross-protocol conformance wall:
+// on both a healthy and a faulted fabric, every /v1/route answer must —
+// after canonicalizing JSON hops back to packed entries — byte-compare
+// with its binary RouteSet counterpart, 503s must map to OK=false, and
+// /v1/order must equal the binary order. A divergence means the two
+// protocols serve different fabrics.
+func TestWireJSONBinaryEquivalence(t *testing.T) {
+	m := newManager(t, "rlft2:4,8", nil)
+	m.Start()
+	h := m.Handler()
+	c := startWireConn(t, m)
+	n := m.t.NumHosts()
+
+	check := func(t *testing.T) {
+		st := m.Current()
+		var pairs [][2]uint32
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				pairs = append(pairs, [2]uint32{uint32(s), uint32(d)})
+			}
+		}
+		rs, ok := wireCall(t, c, &wire.RouteSetReq{Pairs: pairs}).(*wire.RouteSetResp)
+		if !ok {
+			t.Fatalf("route set: %#v", rs)
+		}
+		if rs.Epoch != st.Epoch {
+			t.Fatalf("binary epoch %d, snapshot %d", rs.Epoch, st.Epoch)
+		}
+		for _, p := range rs.Pairs {
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/route?src=%d&dst=%d", p.Src, p.Dst), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK:
+				var doc RouteDoc
+				if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+					t.Fatal(err)
+				}
+				if doc.Epoch != rs.Epoch {
+					t.Fatalf("%d->%d: JSON epoch %d, binary %d", p.Src, p.Dst, doc.Epoch, rs.Epoch)
+				}
+				if doc.Engine != rs.Engine || doc.Routing != rs.Routing {
+					t.Fatalf("%d->%d: JSON %s/%s, binary %s/%s",
+						p.Src, p.Dst, doc.Engine, doc.Routing, rs.Engine, rs.Routing)
+				}
+				// Canonicalize: JSON hop (link, up) -> packed entry.
+				if !p.OK {
+					t.Fatalf("%d->%d: JSON 200 but binary not-OK", p.Src, p.Dst)
+				}
+				if len(doc.Hops) != len(p.Hops) {
+					t.Fatalf("%d->%d: JSON %d hops, binary %d", p.Src, p.Dst, len(doc.Hops), len(p.Hops))
+				}
+				for k, hop := range doc.Hops {
+					packed := uint32(hop.Link) << 1
+					if hop.Up {
+						packed |= 1
+					}
+					if packed != p.Hops[k] {
+						t.Fatalf("%d->%d hop %d: JSON packs to %d, binary %d",
+							p.Src, p.Dst, k, packed, p.Hops[k])
+					}
+				}
+			case http.StatusServiceUnavailable:
+				if p.OK {
+					t.Fatalf("%d->%d: JSON 503 but binary OK", p.Src, p.Dst)
+				}
+			default:
+				t.Fatalf("%d->%d: JSON status %d: %s", p.Src, p.Dst, rec.Code, rec.Body.String())
+			}
+		}
+
+		// Order: JSON vs binary.
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/order", nil))
+		var od OrderDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &od); err != nil {
+			t.Fatal(err)
+		}
+		or, ok := wireCall(t, c, wire.OrderReq{}).(*wire.OrderResp)
+		if !ok || or.Epoch != od.Epoch || or.Label != od.Label || len(or.HostOf) != len(od.HostOf) {
+			t.Fatalf("order mismatch: JSON %+v, binary %#v", od, or)
+		}
+		for i := range od.HostOf {
+			if uint32(od.HostOf[i]) != or.HostOf[i] {
+				t.Fatalf("order host_of[%d]: JSON %d, binary %d", i, od.HostOf[i], or.HostOf[i])
+			}
+		}
+	}
+
+	t.Run("healthy", check)
+
+	// Fault a host uplink plus two fabric links: some pairs must go
+	// 503/not-OK and the rest still have to match hop for hop.
+	uplink := m.t.Ports[m.t.Host(2).Up[0]].Link
+	if _, err := m.InjectFaults([]topo.LinkID{uplink}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := waitEpoch(t, m, 2)
+	if len(st.Unroutable) == 0 {
+		t.Fatalf("uplink kill left no unroutable host: %+v", st.FailedLinks)
+	}
+	t.Run("faulted", check)
+}
+
+// TestWireConnsClosedOnManagerClose proves Close unblocks serving
+// loops: a wire connection idle in a read must be force-closed.
+func TestWireConnsClosedOnManagerClose(t *testing.T) {
+	m := newManager(t, "128", nil)
+	m.Start()
+	srv, cli := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.ServeWire(srv)
+	}()
+	// One round-trip so the conn is definitely registered.
+	cli.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.WriteMessage(cli, wire.EpochReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(cli); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeWire still running after Close")
+	}
+	// And a post-Close conn must be refused immediately.
+	srv2, cli2 := net.Pipe()
+	go m.ServeWire(srv2)
+	cli2.SetDeadline(time.Now().Add(5 * time.Second))
+	wire.WriteMessage(cli2, wire.EpochReq{})
+	if _, err := wire.ReadMessage(cli2); err == nil {
+		t.Fatal("closed manager served a wire request")
+	}
+	cli.Close()
+	cli2.Close()
+	_ = sched.JobID(0)
+}

@@ -33,6 +33,10 @@ type Inputs struct {
 	Probes *ProbeData
 	Trace  *TraceData
 	Load   *LoadDoc
+	// Loads carries additional sweeps — e.g. the JSON and binary
+	// protocols over the same daemon — each rendered as its own curve
+	// and table section. Load, when set, renders first.
+	Loads  []*LoadDoc
 	Events *EventsDoc
 	// LinkProbes is a parsed fattree-linkprobe/v1 stream (the -link-probes
 	// file): per-channel queue depth and utilization over time plus the
@@ -68,8 +72,7 @@ type htmlView struct {
 	Hists      []histView
 	Counters   []kvView
 	Gauges     []kvView
-	LoadCurve  template.HTML
-	LoadLevels []loadLevelView
+	LoadSects  []loadSectionView
 	EventStrip template.HTML
 	Events     []eventView
 
@@ -97,8 +100,17 @@ type shardView struct {
 
 type loadLevelView struct {
 	Level                    string
-	RPS, Sent, Errors        string
+	RPS, Routes              string
+	Sent, Errors             string
 	P50, P95, P99, ServerP99 string
+}
+
+// loadSectionView is one sweep document's slice of the report: a curve
+// plus its level table, titled by what and how the sweep measured.
+type loadSectionView struct {
+	Title  string
+	Curve  template.HTML
+	Levels []loadLevelView
 }
 
 type eventView struct {
@@ -157,6 +169,8 @@ func buildView(in Inputs, opt HTMLOptions) *htmlView {
 	}
 	if in.Load != nil && in.Load.Schema != "" {
 		v.Schemas = append(v.Schemas, in.Load.Schema)
+	} else if len(in.Loads) > 0 && in.Loads[0] != nil && in.Loads[0].Schema != "" {
+		v.Schemas = append(v.Schemas, in.Loads[0].Schema)
 	}
 	if in.Events != nil && in.Events.Schema != "" {
 		v.Schemas = append(v.Schemas, in.Events.Schema)
@@ -192,9 +206,19 @@ func buildView(in Inputs, opt HTMLOptions) *htmlView {
 	if probes != nil && len(probes.Shards) > 0 {
 		v.ShardRows, v.ShardImbalance = buildShardTable(probes.Shards)
 	}
+	loads := in.Loads
 	if in.Load != nil {
-		v.LoadCurve = buildLoadCurve(in.Load, &v.Notes)
-		v.LoadLevels = buildLoadTable(in.Load)
+		loads = append([]*LoadDoc{in.Load}, loads...)
+	}
+	for _, ld := range loads {
+		if ld == nil {
+			continue
+		}
+		v.LoadSects = append(v.LoadSects, loadSectionView{
+			Title:  loadSectionTitle(ld),
+			Curve:  buildLoadCurve(ld, &v.Notes),
+			Levels: buildLoadTable(ld),
+		})
 	}
 	if in.Events != nil {
 		v.EventStrip, v.Events = buildEventSection(in.Events, &v.Notes)
@@ -550,6 +574,22 @@ func buildLoadCurve(load *LoadDoc, notes *[]string) template.HTML {
 	return template.HTML(b.String())
 }
 
+// loadSectionTitle names one sweep's report section by protocol and
+// endpoint, so JSON and binary curves over the same daemon read apart.
+func loadSectionTitle(ld *LoadDoc) string {
+	title := "Load curve"
+	if ld.Endpoint != "" {
+		title += " — " + ld.Endpoint
+	}
+	switch {
+	case ld.Protocol == "binary" && ld.Batch > 1:
+		title += fmt.Sprintf(" (binary, batch %d)", ld.Batch)
+	case ld.Protocol != "":
+		title += " (" + ld.Protocol + ")"
+	}
+	return title
+}
+
 func loadLevelLabel(l LoadLevel) string {
 	if l.Mode == "open" {
 		return fmt.Sprintf("open %s/s", f(l.OfferedRPS))
@@ -560,9 +600,14 @@ func loadLevelLabel(l LoadLevel) string {
 func buildLoadTable(load *LoadDoc) []loadLevelView {
 	var out []loadLevelView
 	for _, l := range load.Levels {
+		routes := l.RoutesRPS
+		if routes == 0 {
+			routes = l.AchievedRPS // one route per request (JSON, batch 1)
+		}
 		out = append(out, loadLevelView{
 			Level:     loadLevelLabel(l),
 			RPS:       f(l.AchievedRPS),
+			Routes:    f(routes),
 			Sent:      fmt.Sprintf("%d", l.Sent),
 			Errors:    fmt.Sprintf("%d", l.Errors),
 			P50:       f(l.P50US),
@@ -855,13 +900,13 @@ svg .bar{font:10px ui-monospace,monospace;fill:#fff}
 <p class="legend">{{.Legend}}</p>
 {{.SVG}}
 {{end}}{{end}}
-{{if .LoadCurve}}<h2>Load curve</h2>
-{{.LoadCurve}}
-{{end}}{{if .LoadLevels}}<table>
-<tr><th>level</th><th>req/s</th><th>sent</th><th>errors</th><th>p50 &#181;s</th><th>p95 &#181;s</th><th>p99 &#181;s</th><th>server p99 &#181;s</th></tr>
-{{range .LoadLevels}}<tr><td>{{.Level}}</td><td>{{.RPS}}</td><td>{{.Sent}}</td><td>{{.Errors}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td><td>{{.ServerP99}}</td></tr>
+{{range .LoadSects}}<h2>{{.Title}}</h2>
+{{.Curve}}
+{{if .Levels}}<table>
+<tr><th>level</th><th>req/s</th><th>routes/s</th><th>sent</th><th>errors</th><th>p50 &#181;s</th><th>p95 &#181;s</th><th>p99 &#181;s</th><th>server p99 &#181;s</th></tr>
+{{range .Levels}}<tr><td>{{.Level}}</td><td>{{.RPS}}</td><td>{{.Routes}}</td><td>{{.Sent}}</td><td>{{.Errors}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td><td>{{.ServerP99}}</td></tr>
 {{end}}</table>
-{{end}}{{if .BakeoffLevels}}<h2>Engine bake-off</h2>
+{{end}}{{end}}{{if .BakeoffLevels}}<h2>Engine bake-off</h2>
 {{if .BakeoffHead}}<p class="meta">{{.BakeoffHead}}</p>
 {{end}}{{.BakeoffCurve}}
 {{range .BakeoffLevels}}<h3>{{.Level}} ({{.FailedLinks}} failed link(s))</h3>

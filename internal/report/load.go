@@ -23,6 +23,14 @@ type LoadLevel struct {
 	Shed        int64   `json:"shed,omitempty"`     // open loop: ticks dropped at the outstanding cap
 	ShedRPS     float64 `json:"shed_rps,omitempty"` // shed ticks per second of the measurement window
 	DurationS   float64 `json:"duration_s"`
+	// RoutesRPS is resolved routes per second: AchievedRPS times the
+	// request batch size. For the JSON protocol (one route per request)
+	// it equals AchievedRPS and may be omitted.
+	RoutesRPS float64 `json:"routes_rps,omitempty"`
+	// EpochRegressions counts binary responses whose epoch rolled back
+	// relative to an earlier response in the same sweep — nonzero means
+	// some replica served stale tables.
+	EpochRegressions int64 `json:"epoch_regressions,omitempty"`
 
 	// Client-side quantiles over exact samples, microseconds.
 	P50US float64 `json:"p50_us"`
@@ -43,7 +51,13 @@ type LoadDoc struct {
 	Schema   string `json:"schema"`
 	Target   string `json:"target"`
 	Endpoint string `json:"endpoint"`
-	Hosts    int    `json:"hosts,omitempty"`
+	// Protocol records what the sweep spoke: "json" (per-pair HTTP) or
+	// "binary" (batched RouteSet frames). Empty means json — documents
+	// predate the field.
+	Protocol string `json:"protocol,omitempty"`
+	// Batch is the pairs-per-request batch size of a binary sweep.
+	Batch int `json:"batch,omitempty"`
+	Hosts int `json:"hosts,omitempty"`
 	// RTTFloorUS is the median /healthz round trip; RTTFloorP99US the
 	// bucketized p99 of the same probes — the transport tail a client
 	// p99 carries that the server handler histogram does not.

@@ -39,6 +39,45 @@ func fixtureEvents() *EventsDoc {
 	}
 }
 
+// fixtureBinaryLoad is a batched wire-protocol sweep of the same
+// daemon; rendered as its own curve section next to the JSON one.
+func fixtureBinaryLoad() *LoadDoc {
+	return &LoadDoc{
+		Schema:   LoadSchema,
+		Target:   "http://127.0.0.1:7474",
+		Endpoint: "route_set",
+		Protocol: "binary",
+		Batch:    32,
+		Hosts:    324,
+		Levels: []LoadLevel{
+			{Mode: "closed", Concurrency: 8, AchievedRPS: 9000, RoutesRPS: 288000, Sent: 18000,
+				P50US: 300, P95US: 700, P99US: 1600, MaxUS: 4000, ServerP99US: 1300, DurationS: 2},
+		},
+	}
+}
+
+func TestRenderHTMLMultiLoad(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderHTML(&buf, Inputs{Loads: []*LoadDoc{fixtureLoad(), fixtureBinaryLoad()}}, HTMLOptions{
+		LoadFile: "load_json.json, load_bin.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Load curve — GET /v1/route",
+		"Load curve — route_set (binary, batch 32)",
+		"288000", // routes/s column for the batched sweep
+		"21000",  // the JSON sweep's req/s
+		"load: load_json.json, load_bin.json",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-load report missing %q", want)
+		}
+	}
+}
+
 func TestParseLoad(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeJSONDoc(&buf, fixtureLoad()); err != nil {

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// AppendFrame appends a complete frame — header plus encoded payload —
+// for m to dst and returns the extended slice. This is the zero-copy
+// building block: the daemon pre-encodes whole job route sets with it
+// at placement time and serves the bytes verbatim.
+func AppendFrame(dst []byte, m Message) []byte {
+	head := len(dst)
+	dst = append(dst, Magic0, Magic1, Version, byte(m.Type()), 0, 0, 0, 0)
+	dst = m.appendPayload(dst)
+	binary.LittleEndian.PutUint32(dst[head+4:head+8], uint32(len(dst)-head-HeaderSize))
+	return dst
+}
+
+// EncodeFrame is AppendFrame into a fresh slice.
+func EncodeFrame(m Message) []byte { return AppendFrame(nil, m) }
+
+// WriteMessage frames and writes m in a single Write call.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(EncodeFrame(m))
+	return err
+}
+
+// ReadMessage reads one frame from r and decodes its payload. Frames
+// larger than MaxPayload are rejected before any payload allocation.
+// io.EOF is returned untouched at a clean frame boundary so connection
+// loops can distinguish hangup from corruption.
+func ReadMessage(r io.Reader) (Message, error) {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePayload(t, payload)
+}
+
+// ReadFrame reads and validates one frame header plus raw payload.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var head [HeaderSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: mid-header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	if head[0] != Magic0 || head[1] != Magic1 {
+		return 0, nil, fmt.Errorf("%w: 0x%02x 0x%02x", ErrBadMagic, head[0], head[1])
+	}
+	if head[2] != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+	}
+	n := binary.LittleEndian.Uint32(head[4:8])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: mid-payload: %v", ErrTruncated, err)
+	}
+	return MsgType(head[3]), payload, nil
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame reader and every
+// payload decoder: malformed lengths, truncated frames, hostile counts,
+// epoch overflows. The decoder must never panic, never allocate past
+// the payload it was handed, and anything it accepts must re-encode to
+// a frame that decodes to the same bytes again (canonical round-trip).
+// Wired into the CI fuzz-smoke job next to FuzzDoc.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range exampleMessages() {
+		f.Add(EncodeFrame(m))
+	}
+	// Hand-built hostile seeds: truncated header, giant declared
+	// length, count overflow, epoch at the uint64 edge.
+	f.Add([]byte{Magic0, Magic1, Version, byte(TEpochReq)})
+	f.Add([]byte{Magic0, Magic1, Version, byte(TRouteSetResp), 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(EncodeFrame(&NotModified{Epoch: ^uint64(0)}))
+	f.Add(EncodeFrame(&EpochResp{Epoch: ^uint64(0), Engine: "e"}))
+	huge := binary.AppendUvarint(nil, 1)
+	huge = appendString(huge, "x")
+	huge = appendString(huge, "y")
+	huge = binary.AppendUvarint(huge, 1<<40) // absurd pair count
+	f.Add(append([]byte{Magic0, Magic1, Version, byte(TRouteSetResp),
+		byte(len(huge)), 0, 0, 0}, huge...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			m, err := ReadMessage(r)
+			if err != nil {
+				// Any error is fine — io.EOF, truncation, bad magic —
+				// as long as it is an error, not a panic.
+				if err == io.EOF {
+					return
+				}
+				return
+			}
+			// Accepted messages must round-trip canonically.
+			frame := EncodeFrame(m)
+			m2, err := ReadMessage(bytes.NewReader(frame))
+			if err != nil {
+				t.Fatalf("re-decode of accepted message failed: %v (frame %x)", err, frame)
+			}
+			if re := EncodeFrame(m2); !bytes.Equal(re, frame) {
+				t.Fatalf("non-canonical round-trip:\n got %x\nwant %x", re, frame)
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// Split serves two protocols on one listener. Every accepted connection
+// has its first byte sniffed: Magic0 can never open an HTTP request
+// line, so a match hands the connection to handle (on its own
+// goroutine, with the sniffed bytes still readable); everything else is
+// delivered through the returned listener, which an http.Server can
+// Serve from unchanged. Closing the returned listener closes ln and
+// stops the accept loop; connections already handed to handle are the
+// handler's to close.
+func Split(ln net.Listener, handle func(net.Conn)) net.Listener {
+	s := &splitListener{
+		inner:  ln,
+		handle: handle,
+		conns:  make(chan net.Conn),
+		errs:   make(chan error, 1),
+		done:   make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s
+}
+
+type splitListener struct {
+	inner  net.Listener
+	handle func(net.Conn)
+	conns  chan net.Conn
+	errs   chan error
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (s *splitListener) acceptLoop() {
+	for {
+		c, err := s.inner.Accept()
+		if err != nil {
+			select {
+			case s.errs <- err:
+			case <-s.done:
+			}
+			return
+		}
+		// Sniff on a goroutine: a client that connects and sends
+		// nothing must not stall every other accept.
+		go s.sniff(c)
+	}
+}
+
+func (s *splitListener) sniff(c net.Conn) {
+	br := bufio.NewReader(c)
+	first, err := br.Peek(1)
+	if err != nil {
+		c.Close()
+		return
+	}
+	bc := &bufferedConn{Conn: c, r: br}
+	if first[0] == Magic0 {
+		s.handle(bc)
+		return
+	}
+	select {
+	case s.conns <- bc:
+	case <-s.done:
+		c.Close()
+	}
+}
+
+// Accept implements net.Listener for the HTTP side.
+func (s *splitListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-s.conns:
+		return c, nil
+	case err := <-s.errs:
+		return nil, err
+	case <-s.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener: closes the underlying listener and
+// releases anything blocked in Accept.
+func (s *splitListener) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.done)
+		err = s.inner.Close()
+	})
+	return err
+}
+
+// Addr implements net.Listener.
+func (s *splitListener) Addr() net.Addr { return s.inner.Addr() }
+
+// bufferedConn replays the sniffed bytes before the raw connection.
+type bufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSplitServesBothProtocols proves one listener serves HTTP and the
+// binary protocol side by side: an http.Server answers plain requests
+// while magic-opened connections land in the wire handler, each seeing
+// its full byte stream including the sniffed prefix.
+func TestSplitServesBothProtocols(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wireConns atomic.Int64
+	httpLn := Split(ln, func(c net.Conn) {
+		defer c.Close()
+		wireConns.Add(1)
+		for {
+			m, err := ReadMessage(c)
+			if err != nil {
+				return
+			}
+			if _, ok := m.(EpochReq); ok {
+				if err := WriteMessage(c, &EpochResp{Epoch: 7, Engine: "dmodk"}); err != nil {
+					return
+				}
+			}
+		}
+	})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "http-ok")
+	})}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(httpLn)
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	addr := ln.Addr().String()
+
+	// HTTP side.
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "http-ok" {
+		t.Fatalf("http body %q", body)
+	}
+
+	// Binary side, twice over one connection (persistence).
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		if err := WriteMessage(c, EpochReq{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadMessage(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, ok := m.(*EpochResp)
+		if !ok || er.Epoch != 7 {
+			t.Fatalf("reply %#v", m)
+		}
+	}
+	if got := wireConns.Load(); got != 1 {
+		t.Fatalf("wire handler saw %d conns, want 1", got)
+	}
+
+	// HTTP still works after binary traffic.
+	resp, err = http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

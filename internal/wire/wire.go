@@ -1,0 +1,467 @@
+// Package wire is the daemon's compact binary protocol: the batched,
+// epoch-stamped route-serving format ftfabricd speaks next to its JSON
+// API, on the same listener. Where GET /v1/route resolves one src→dst
+// pair per HTTP round-trip, one RouteSetReq resolves an entire job's
+// src→dst set in a single frame, with hops served straight out of the
+// compiled CSR arena as varint-packed path entries.
+//
+// Framing (all integers little-endian, varints unsigned LEB128):
+//
+//	offset 0  magic   [2]byte  {0xFA, 0xB1} — never a valid HTTP method
+//	offset 2  version uint8    (1)
+//	offset 3  type    uint8    message type
+//	offset 4  length  uint32   payload bytes (<= MaxPayload)
+//	offset 8  payload
+//
+// The first magic byte is what lets one listener serve both protocols:
+// no HTTP request line can begin with 0xFA, so a connection's first
+// byte decides which handler owns it (see Split).
+//
+// Message payloads are pure varint/byte sequences — no reflection, no
+// field tags — and every decoder is strictly bounds-checked: a count
+// can never exceed the bytes that remain, so malformed or truncated
+// frames fail fast without large allocations. FuzzWireDecode and the
+// byte-exact fixtures under testdata/ pin both properties; protocol
+// drift is a test failure, not a silent incompatibility.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	// Magic0 and Magic1 open every frame. Magic0 doubles as the
+	// protocol-sniffing byte in Split.
+	Magic0 = 0xFA
+	Magic1 = 0xB1
+	// Version is the only wire version this package speaks.
+	Version = 1
+	// HeaderSize is the fixed frame header length.
+	HeaderSize = 8
+	// MaxPayload bounds a frame's payload: large enough for a full
+	// 100k-endpoint order table or a whole-job route set, small enough
+	// that a hostile length field cannot balloon memory.
+	MaxPayload = 1 << 26 // 64 MiB
+)
+
+// MsgType identifies a frame's payload encoding.
+type MsgType uint8
+
+// Message types. Requests are odd-ish conventions aside, every response
+// carries the epoch of the snapshot that produced it, so a client can
+// pin cached state to an epoch and detect replica skew.
+const (
+	// TEpochReq asks for the serving epoch: the cheap revalidation
+	// probe. Empty payload.
+	TEpochReq MsgType = 0x01
+	// TEpochResp answers with the current epoch and active engine.
+	TEpochResp MsgType = 0x02
+	// TRouteSetReq resolves a batch of src→dst pairs (or a placed
+	// job's whole pair set) in one round-trip.
+	TRouteSetReq MsgType = 0x03
+	// TRouteSetResp carries the epoch-stamped batched answer.
+	TRouteSetResp MsgType = 0x04
+	// TNotModified short-circuits a RouteSetReq whose EpochHint still
+	// matches the serving epoch: the client's cached set remains valid.
+	TNotModified MsgType = 0x05
+	// TOrderReq asks for the MPI node ordering. Empty payload.
+	TOrderReq MsgType = 0x06
+	// TOrderResp carries the epoch-stamped rank→host table.
+	TOrderResp MsgType = 0x07
+	// TError reports a request-level failure.
+	TError MsgType = 0x08
+)
+
+// Error codes carried by TError.
+const (
+	CodeBadRequest  = 1 // malformed or out-of-range request
+	CodeNotFound    = 2 // unknown engine or job
+	CodeUnavailable = 3 // pair unroutable under the serving epoch
+	CodeInternal    = 4 // server-side failure
+)
+
+// Decode errors.
+var (
+	// ErrBadMagic marks a frame that does not open with the protocol
+	// magic — usually an HTTP request hitting the wrong handler.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion marks an unsupported protocol version.
+	ErrBadVersion = errors.New("wire: unsupported version")
+	// ErrTruncated marks a payload that ends before its own fields do.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrTooLarge marks a frame whose declared length exceeds
+	// MaxPayload.
+	ErrTooLarge = errors.New("wire: frame exceeds MaxPayload")
+	// ErrUnknownType marks an unrecognized message type byte.
+	ErrUnknownType = errors.New("wire: unknown message type")
+	// ErrTrailing marks extra bytes after a fully decoded payload.
+	ErrTrailing = errors.New("wire: trailing bytes after payload")
+)
+
+// Message is one protocol message; every concrete type knows its frame
+// type byte and how to append its payload encoding.
+type Message interface {
+	Type() MsgType
+	appendPayload(dst []byte) []byte
+}
+
+// EpochReq is the cheap epoch probe (empty payload).
+type EpochReq struct{}
+
+// Type implements Message.
+func (EpochReq) Type() MsgType                   { return TEpochReq }
+func (EpochReq) appendPayload(dst []byte) []byte { return dst }
+
+// EpochResp answers an EpochReq.
+type EpochResp struct {
+	Epoch  uint64
+	Engine string
+}
+
+// Type implements Message.
+func (*EpochResp) Type() MsgType { return TEpochResp }
+
+func (m *EpochResp) appendPayload(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	return appendString(dst, m.Engine)
+}
+
+// RouteSetReq resolves many pairs at once. Exactly one of the two
+// shapes is used per request: ByJob selects the whole pair set of a
+// placed job (precomputed server-side at placement, so the lookup is a
+// pure cache hit); otherwise Pairs lists explicit src→dst pairs.
+type RouteSetReq struct {
+	// EpochHint, when non-zero, asks the server to answer NotModified
+	// if its serving epoch still equals the hint — the conditional
+	// fetch that makes client caches cheap to revalidate.
+	EpochHint uint64
+	// Engine selects the routing engine's tables ("" = active engine).
+	Engine string
+	// ByJob selects job mode; Job is the placement id.
+	ByJob bool
+	Job   uint64
+	// Pairs is the explicit batch, pairs-mode only.
+	Pairs [][2]uint32
+}
+
+// Type implements Message.
+func (*RouteSetReq) Type() MsgType { return TRouteSetReq }
+
+func (m *RouteSetReq) appendPayload(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, m.EpochHint)
+	if m.ByJob {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendString(dst, m.Engine)
+	if m.ByJob {
+		return binary.AppendUvarint(dst, m.Job)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Pairs)))
+	for _, p := range m.Pairs {
+		dst = binary.AppendUvarint(dst, uint64(p[0]))
+		dst = binary.AppendUvarint(dst, uint64(p[1]))
+	}
+	return dst
+}
+
+// PairRoute is one resolved pair of a RouteSetResp. Hops are the packed
+// path entries of the compiled arena (link id shifted left once, bit 0
+// = up), varint-encoded on the wire; OK=false marks a pair the serving
+// epoch cannot route (broken by faults or an unroutable host) — the
+// binary twin of the JSON 503.
+type PairRoute struct {
+	Src, Dst uint32
+	OK       bool
+	Hops     []uint32
+}
+
+// RouteSetResp is the batched, epoch-stamped answer. All pairs were
+// resolved against exactly one snapshot: one epoch, one engine's
+// tables, never a mix.
+type RouteSetResp struct {
+	Epoch   uint64
+	Engine  string
+	Routing string
+	Pairs   []PairRoute
+}
+
+// Type implements Message.
+func (*RouteSetResp) Type() MsgType { return TRouteSetResp }
+
+func (m *RouteSetResp) appendPayload(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	dst = appendString(dst, m.Engine)
+	dst = appendString(dst, m.Routing)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Pairs)))
+	for i := range m.Pairs {
+		p := &m.Pairs[i]
+		dst = binary.AppendUvarint(dst, uint64(p.Src))
+		dst = binary.AppendUvarint(dst, uint64(p.Dst))
+		if !p.OK {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Hops)))
+		for _, h := range p.Hops {
+			dst = binary.AppendUvarint(dst, uint64(h))
+		}
+	}
+	return dst
+}
+
+// NotModified answers a RouteSetReq whose EpochHint matched: the
+// client's pinned set is still the serving truth.
+type NotModified struct {
+	Epoch uint64
+}
+
+// Type implements Message.
+func (*NotModified) Type() MsgType { return TNotModified }
+
+func (m *NotModified) appendPayload(dst []byte) []byte {
+	return binary.AppendUvarint(dst, m.Epoch)
+}
+
+// OrderReq asks for the MPI node ordering (empty payload).
+type OrderReq struct{}
+
+// Type implements Message.
+func (OrderReq) Type() MsgType                   { return TOrderReq }
+func (OrderReq) appendPayload(dst []byte) []byte { return dst }
+
+// OrderResp carries the epoch-stamped rank→host table.
+type OrderResp struct {
+	Epoch  uint64
+	Label  string
+	HostOf []uint32
+}
+
+// Type implements Message.
+func (*OrderResp) Type() MsgType { return TOrderResp }
+
+func (m *OrderResp) appendPayload(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	dst = appendString(dst, m.Label)
+	dst = binary.AppendUvarint(dst, uint64(len(m.HostOf)))
+	for _, h := range m.HostOf {
+		dst = binary.AppendUvarint(dst, uint64(h))
+	}
+	return dst
+}
+
+// ErrorResp reports a request-level failure without closing the
+// connection.
+type ErrorResp struct {
+	Code uint8
+	Msg  string
+}
+
+// Type implements Message.
+func (*ErrorResp) Type() MsgType { return TError }
+
+func (m *ErrorResp) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Code)
+	return appendString(dst, m.Msg)
+}
+
+// Error makes ErrorResp usable as a Go error on the client side.
+func (m *ErrorResp) Error() string {
+	return fmt.Sprintf("wire: server error %d: %s", m.Code, m.Msg)
+}
+
+// DecodePayload decodes one payload of the given type. The whole
+// payload must be consumed; trailing bytes are an error (they would
+// mean encoder and decoder disagree about the format).
+func DecodePayload(t MsgType, payload []byte) (Message, error) {
+	d := decoder{b: payload}
+	var m Message
+	switch t {
+	case TEpochReq:
+		m = EpochReq{}
+	case TEpochResp:
+		r := &EpochResp{}
+		r.Epoch = d.uvarint()
+		r.Engine = d.str()
+		m = r
+	case TRouteSetReq:
+		r := &RouteSetReq{}
+		r.EpochHint = d.uvarint()
+		mode := d.byte()
+		r.Engine = d.str()
+		switch mode {
+		case 1:
+			r.ByJob = true
+			r.Job = d.uvarint()
+		case 0:
+			n := d.count(2) // a pair is at least two varint bytes
+			if d.err == nil {
+				r.Pairs = make([][2]uint32, n)
+				for i := range r.Pairs {
+					r.Pairs[i][0] = d.u32()
+					r.Pairs[i][1] = d.u32()
+				}
+			}
+		default:
+			return nil, fmt.Errorf("%w: route-set mode %d", ErrTruncated, mode)
+		}
+		m = r
+	case TRouteSetResp:
+		r := &RouteSetResp{}
+		r.Epoch = d.uvarint()
+		r.Engine = d.str()
+		r.Routing = d.str()
+		n := d.count(3) // src, dst, status
+		if d.err == nil {
+			r.Pairs = make([]PairRoute, n)
+			for i := range r.Pairs {
+				p := &r.Pairs[i]
+				p.Src = d.u32()
+				p.Dst = d.u32()
+				switch d.byte() {
+				case 1:
+					p.OK = true
+					nh := d.count(1)
+					if d.err != nil {
+						break
+					}
+					p.Hops = make([]uint32, nh)
+					for k := range p.Hops {
+						p.Hops[k] = d.u32()
+					}
+				case 0:
+				default:
+					if d.err == nil {
+						d.err = fmt.Errorf("%w: pair status byte", ErrTruncated)
+					}
+				}
+				if d.err != nil {
+					break
+				}
+			}
+		}
+		m = r
+	case TNotModified:
+		r := &NotModified{}
+		r.Epoch = d.uvarint()
+		m = r
+	case TOrderReq:
+		m = OrderReq{}
+	case TOrderResp:
+		r := &OrderResp{}
+		r.Epoch = d.uvarint()
+		r.Label = d.str()
+		n := d.count(1)
+		if d.err == nil {
+			r.HostOf = make([]uint32, n)
+			for i := range r.HostOf {
+				r.HostOf[i] = d.u32()
+			}
+		}
+		m = r
+	case TError:
+		r := &ErrorResp{}
+		r.Code = d.byte()
+		r.Msg = d.str()
+		m = r
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, uint8(t))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(d.b))
+	}
+	return m, nil
+}
+
+// appendString appends a uvarint length followed by the raw bytes.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decoder consumes a payload front to back, latching the first error;
+// after an error every accessor returns a zero value, so decode paths
+// can run straight-line and check err once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// u32 reads a uvarint that must fit uint32 (host indices, packed path
+// entries).
+func (d *decoder) u32() uint32 {
+	v := d.uvarint()
+	if v > 0xFFFFFFFF {
+		d.fail()
+		return 0
+	}
+	return uint32(v)
+}
+
+// count reads an element count and rejects any value that could not
+// possibly fit in the remaining bytes at minBytes per element — the
+// guard that keeps a hostile count from allocating gigabytes.
+func (d *decoder) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)/minBytes) {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// str reads a uvarint-length-prefixed string, bounds-checked against
+// the remaining payload.
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// exampleMessages returns one representative value per message type —
+// the same set the golden fixtures pin. Kept in one place so a new
+// message type added without a fixture fails TestGoldenCoverage.
+func exampleMessages() map[string]Message {
+	return map[string]Message{
+		"epoch_req":  EpochReq{},
+		"epoch_resp": &EpochResp{Epoch: 42, Engine: "dmodk"},
+		"routeset_req_pairs": &RouteSetReq{
+			EpochHint: 7,
+			Engine:    "fault-resilient",
+			Pairs:     [][2]uint32{{0, 17}, {17, 0}, {300, 23}},
+		},
+		"routeset_req_job": &RouteSetReq{ByJob: true, Job: 3, Engine: ""},
+		"routeset_resp": &RouteSetResp{
+			Epoch:   42,
+			Engine:  "dmodk",
+			Routing: "d-mod-k",
+			Pairs: []PairRoute{
+				{Src: 0, Dst: 17, OK: true, Hops: []uint32{5, 12, 130, 261}},
+				{Src: 17, Dst: 17, OK: true, Hops: []uint32{}},
+				{Src: 3, Dst: 9, OK: false},
+			},
+		},
+		"not_modified": &NotModified{Epoch: 42},
+		"order_req":    OrderReq{},
+		"order_resp": &OrderResp{
+			Epoch:  9,
+			Label:  "topology",
+			HostOf: []uint32{0, 1, 2, 3, 7, 6, 5, 4},
+		},
+		"error": &ErrorResp{Code: CodeNotFound, Msg: "job 99 not placed"},
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	for name, m := range exampleMessages() {
+		t.Run(name, func(t *testing.T) {
+			frame := EncodeFrame(m)
+			got, err := ReadMessage(bytes.NewReader(frame))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Type() != m.Type() {
+				t.Fatalf("type %d, want %d", got.Type(), m.Type())
+			}
+			// Re-encoding the decoded message must be byte-identical:
+			// the canonical-encoding property the conformance fixtures
+			// rely on.
+			if re := EncodeFrame(got); !bytes.Equal(re, frame) {
+				t.Fatalf("re-encode differs:\n got %x\nwant %x", re, frame)
+			}
+			// Hops/empty-slice normalization aside, the decoded value
+			// must match semantically.
+			if !equalMessages(m, got) {
+				t.Fatalf("decoded %#v, want %#v", got, m)
+			}
+		})
+	}
+}
+
+// equalMessages compares messages, treating nil and empty slices as
+// equal (decode materializes empty slices).
+func equalMessages(a, b Message) bool {
+	return bytes.Equal(EncodeFrame(a), EncodeFrame(b)) &&
+		reflect.TypeOf(a) == reflect.TypeOf(b)
+}
+
+func TestStreamedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&RouteSetReq{Pairs: [][2]uint32{{1, 2}}},
+		EpochReq{},
+		&EpochResp{Epoch: 1, Engine: "dmodk"},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !equalMessages(want, got) {
+			t.Fatalf("frame %d: %#v != %#v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	okFrame := EncodeFrame(&EpochResp{Epoch: 3, Engine: "dmodk"})
+	cases := map[string]struct {
+		frame []byte
+		want  error
+	}{
+		"bad magic":     {append([]byte{'G', 'E'}, okFrame[2:]...), ErrBadMagic},
+		"bad version":   {mutate(okFrame, 2, 9), ErrBadVersion},
+		"unknown type":  {mutate(okFrame, 3, 0x7F), ErrUnknownType},
+		"mid header":    {okFrame[:4], ErrTruncated},
+		"mid payload":   {okFrame[:len(okFrame)-2], ErrTruncated},
+		"trailing junk": {lengthened(okFrame, 2), ErrTrailing},
+		"huge length":   {hugeLength(okFrame), ErrTooLarge},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadMessage(bytes.NewReader(tc.frame))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCountGuard proves a hostile element count cannot force a large
+// allocation: a route-set response claiming 2^30 pairs in a tiny
+// payload must fail as truncated, not OOM.
+func TestCountGuard(t *testing.T) {
+	payload := binary.AppendUvarint(nil, 1) // epoch
+	payload = appendString(payload, "e")
+	payload = appendString(payload, "r")
+	payload = binary.AppendUvarint(payload, 1<<30) // pairs "count"
+	if _, err := DecodePayload(TRouteSetResp, payload); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Same for a string length overrunning the payload.
+	payload = binary.AppendUvarint(nil, 1)
+	payload = binary.AppendUvarint(payload, 1<<20)
+	if _, err := DecodePayload(TEpochResp, payload); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("string overrun: err = %v, want ErrTruncated", err)
+	}
+}
+
+func mutate(frame []byte, i int, b byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[i] = b
+	return out
+}
+
+// lengthened declares n extra payload bytes and appends them, producing
+// a frame whose payload decodes clean but leaves trailing bytes.
+func lengthened(frame []byte, n int) []byte {
+	out := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(frame)-HeaderSize+n))
+	for i := 0; i < n; i++ {
+		out = append(out, 0xEE)
+	}
+	return out
+}
+
+func hugeLength(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(out[4:8], MaxPayload+1)
+	return out
+}
