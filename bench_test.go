@@ -623,7 +623,7 @@ func BenchmarkServeRouteSet324(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for m.Current().JobRouteSets[alloc.ID] == nil {
+	for m.Current().JobRouteSets[alloc.ID].Frame == nil {
 		time.Sleep(time.Millisecond) // wait out the debounced placement rebuild
 	}
 	routesPerReq := float64(n * (n - 1))

@@ -4,9 +4,11 @@
 // steady-state consumer costs the daemon one epoch probe per
 // revalidation, not a refetch.
 //
-// A Client is safe for concurrent use; requests on one Client are
-// serialized, so throughput-sensitive callers (load generators) should
-// run one Client per worker.
+// A Client is safe for concurrent use. Requests that land on the same
+// replica are serialized on its single connection (the round-trip
+// holds a per-replica mutex across write and read), so
+// throughput-sensitive callers (load generators) should run one Client
+// per worker.
 package fclient
 
 import (
@@ -65,7 +67,12 @@ func (c *Config) withDefaults() Config {
 // replica is the per-endpoint state: one persistent connection plus
 // the health/epoch facts the picker ranks by.
 type replica struct {
-	addr      string
+	addr string
+	// reqMu serializes the dial+write+read of one request on this
+	// replica's connection; without it concurrent callers picking the
+	// same replica would interleave frames and read each other's
+	// responses off the shared reader.
+	reqMu     sync.Mutex
 	conn      net.Conn
 	br        *bufio.Reader
 	lastEpoch uint64    // highest epoch seen in any response
@@ -103,6 +110,10 @@ type ReplicaStatus struct {
 // ErrNoReplicas means every configured replica failed within the
 // attempt budget.
 var ErrNoReplicas = errors.New("fclient: no replica available")
+
+// ErrClosed means the Client was Closed; requests fail immediately
+// rather than burning the retry budget.
+var ErrClosed = errors.New("fclient: client closed")
 
 // New builds a Client. It does not dial — connections are established
 // lazily on first use.
@@ -275,6 +286,9 @@ func (c *Client) do(req wire.Message) (wire.Message, error) {
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		r := c.pick()
 		if r == nil {
+			if c.isClosed() {
+				return nil, ErrClosed
+			}
 			// Everything is backing off; wait out the nearest gate
 			// rather than spinning through the attempt budget.
 			d := c.nearestWake()
@@ -286,6 +300,9 @@ func (c *Client) do(req wire.Message) (wire.Message, error) {
 		}
 		resp, err := c.roundTrip(r, req)
 		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
 			lastErr = err
 			c.markDown(r)
 			continue
@@ -336,6 +353,12 @@ func (c *Client) pick() *replica {
 	return cand[c.rr%len(cand)]
 }
 
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 func (c *Client) nearestWake() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -350,29 +373,36 @@ func (c *Client) nearestWake() time.Duration {
 }
 
 // roundTrip sends one frame and reads one reply on r's connection,
-// dialing lazily. Any transport error invalidates the connection.
+// dialing lazily. r.reqMu is held across the whole exchange, so
+// concurrent callers that picked the same replica queue instead of
+// interleaving frames (or dials) on the shared connection. Any
+// transport error invalidates the connection.
 func (c *Client) roundTrip(r *replica, req wire.Message) (wire.Message, error) {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("fclient: client closed")
-	}
-	if r.conn == nil {
-		c.mu.Unlock()
-		conn, err := net.DialTimeout("tcp", r.addr, c.cfg.DialTimeout)
-		if err != nil {
-			return nil, err
-		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			conn.Close()
-			return nil, errors.New("fclient: client closed")
-		}
-		r.conn, r.br = conn, bufio.NewReaderSize(conn, 64<<10)
+		return nil, ErrClosed
 	}
 	conn, br := r.conn, r.br
 	c.mu.Unlock()
+	if conn == nil {
+		nc, err := net.DialTimeout("tcp", r.addr, c.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		conn, br = nc, bufio.NewReaderSize(nc, 64<<10)
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return nil, ErrClosed
+		}
+		r.conn, r.br = conn, br
+		c.mu.Unlock()
+	}
 
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	if err := wire.WriteMessage(conn, req); err != nil {

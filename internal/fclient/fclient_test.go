@@ -1,6 +1,7 @@
 package fclient
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -304,5 +305,79 @@ func TestClientFailover(t *testing.T) {
 func TestClientConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("New accepted an empty address list")
+	}
+}
+
+// TestClientClosedFailsFast: requests on a Closed client return
+// ErrClosed immediately instead of sleeping through the whole
+// per-replica retry budget.
+func TestClientClosedFailsFast(t *testing.T) {
+	f := newFakeReplica(t, 7)
+	c := newClient(t, Config{Addrs: []string{f.addr()}, MaxAttempts: 100,
+		RetryBase: 100 * time.Millisecond, RetryMax: time.Second})
+	if _, _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	start := time.Now()
+	if _, _, err := c.Epoch(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("probe on closed client: %v, want ErrClosed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("closed client took %v to fail", d)
+	}
+}
+
+// TestClientConcurrentUse hammers one Client from many goroutines —
+// the documented safe-for-concurrent-use contract. Per-replica
+// serialization means every caller must get a correctly typed,
+// correctly attributed answer off the shared connection; under -race
+// this also proves the connection state is guarded.
+func TestClientConcurrentUse(t *testing.T) {
+	f := newFakeReplica(t, 7)
+	c := newClient(t, Config{Addrs: []string{f.addr()}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				switch i % 3 {
+				case 0:
+					epoch, _, err := c.Epoch()
+					if err != nil || epoch != 7 {
+						t.Errorf("goroutine %d: epoch=%d err=%v", g, epoch, err)
+						return
+					}
+				case 1:
+					set, err := c.JobRouteSet(uint64(g))
+					if err != nil {
+						t.Errorf("goroutine %d: job set: %v", g, err)
+						return
+					}
+					if set.Epoch != 7 {
+						t.Errorf("goroutine %d: job set epoch %d", g, set.Epoch)
+						return
+					}
+				default:
+					rs, err := c.RouteSet("", [][2]uint32{{0, 1}})
+					if err != nil {
+						t.Errorf("goroutine %d: route set: %v", g, err)
+						return
+					}
+					if rs.Epoch != 7 {
+						t.Errorf("goroutine %d: route set epoch %d", g, rs.Epoch)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.mu.Lock()
+	conns := len(f.conns)
+	f.mu.Unlock()
+	if conns != 1 {
+		t.Fatalf("%d connections dialed by one client, want 1 (serialized reuse)", conns)
 	}
 }

@@ -126,7 +126,7 @@ func TestMultiReplicaEquivalence(t *testing.T) {
 	record := func(epoch uint64) {
 		sa := waitManagerEpoch(t, ma, epoch)
 		sb := waitManagerEpoch(t, mb, epoch)
-		fa, fb := sa.JobRouteSets[job], sb.JobRouteSets[job]
+		fa, fb := sa.JobRouteSets[job].Frame, sb.JobRouteSets[job].Frame
 		if len(fa) == 0 || !bytes.Equal(fa, fb) {
 			t.Fatalf("epoch %d: replica frames differ (len %d vs %d)", epoch, len(fa), len(fb))
 		}

@@ -70,16 +70,26 @@ type FabricState struct {
 	// Jobs is a deep copy of the live allocations at swap time.
 	Jobs []*sched.Allocation
 	// JobRouteSets holds, per placed job, the fully encoded binary
-	// RouteSetResp frame for the job's whole ordered src→dst pair set,
-	// resolved under this epoch's tables for the job's engine.
-	// Precomputed at snapshot build (i.e. at placement and at every
-	// reroute), so a steady-state job-mode wire query is a map lookup
-	// plus one conn write — a pure cache hit, no path walk, no encode.
-	JobRouteSets map[sched.JobID][]byte
+	// answer for the job's whole ordered src→dst pair set, resolved
+	// under this epoch's tables for the job's engine. Precomputed at
+	// snapshot build (i.e. at placement and at every reroute), so a
+	// steady-state job-mode wire query is a map lookup plus one conn
+	// write — a pure cache hit, no path walk, no encode.
+	JobRouteSets map[sched.JobID]JobWireFrame
 
-	unroutable    []bool // per-host, for O(1) request checks
-	jobRoutePairs map[sched.JobID]int
-	wireOrder     []byte // pre-encoded binary OrderResp frame
+	unroutable []bool // per-host, for O(1) request checks
+	wireOrder  []byte // pre-encoded binary OrderResp frame
+}
+
+// JobWireFrame is one job's precomputed binary answer, served verbatim
+// by job-mode RouteSet requests. Frame is normally a RouteSetResp; when
+// the job's full set would encode past wire.MaxPayload — a frame every
+// peer rejects unread — it is instead an ErrorResp directing the client
+// to pairs-mode chunks (Pairs 0, Code 500).
+type JobWireFrame struct {
+	Frame []byte
+	Pairs int // resolved pairs, for the served-routes counter
+	Code  int // HTTP-style observation code: 200 served, 500 oversized
 }
 
 // HostUnroutable reports whether host j lost its only uplink in this
@@ -748,8 +758,7 @@ func precomputeWire(st *FabricState) error {
 		Label:  st.Ordering.Label,
 		HostOf: hostOf,
 	})
-	st.JobRouteSets = make(map[sched.JobID][]byte, len(st.Jobs))
-	st.jobRoutePairs = make(map[sched.JobID]int, len(st.Jobs))
+	st.JobRouteSets = make(map[sched.JobID]JobWireFrame, len(st.Jobs))
 	for _, j := range st.Jobs {
 		eng := st.JobEngine(j.ID)
 		tb, ok := st.ByEngine[eng]
@@ -761,10 +770,28 @@ func precomputeWire(st *FabricState) error {
 		if err != nil {
 			return fmt.Errorf("job %d route set: %w", j.ID, err)
 		}
-		st.JobRouteSets[j.ID] = wire.AppendFrame(nil, resp)
-		st.jobRoutePairs[j.ID] = len(pairs)
+		st.JobRouteSets[j.ID] = encodeJobFrame(j.ID, len(pairs), resp)
 	}
 	return nil
+}
+
+// encodeJobFrame freezes one job's served bytes under the wire frame
+// budget: an oversized set degrades to a stored ErrorResp, so the
+// client gets an application-level answer instead of a frame its
+// decoder must reject.
+func encodeJobFrame(job sched.JobID, pairs int, resp *wire.RouteSetResp) JobWireFrame {
+	frame, err := wire.AppendFrameChecked(nil, resp)
+	if err == nil {
+		return JobWireFrame{Frame: frame, Pairs: pairs, Code: 200}
+	}
+	return JobWireFrame{
+		Frame: wire.EncodeFrame(&wire.ErrorResp{
+			Code: wire.CodeInternal,
+			Msg: fmt.Sprintf("job %d: %d-pair route set exceeds the %d-byte frame cap; fetch in pairs-mode chunks",
+				job, pairs, wire.MaxPayload),
+		}),
+		Code: 500,
+	}
 }
 
 // shiftSummary analyzes the Shift sequence under the topology order over

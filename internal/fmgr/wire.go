@@ -13,9 +13,12 @@ import (
 	"fattree/internal/wire"
 )
 
-// MaxWirePairs bounds one pairs-mode RouteSetReq. A whole 1944-host
-// job stays under it; anything bigger is a client bug, refused before
-// the response is sized.
+// MaxWirePairs bounds one pairs-mode RouteSetReq's pair count before
+// any resolution work. It is a request-size guard only; the response
+// byte budget is enforced separately at encode time, where a batch
+// whose answer would exceed wire.MaxPayload is refused with
+// CodeBadRequest (and an oversized precomputed job set is stored as a
+// CodeInternal frame — see encodeJobFrame).
 const MaxWirePairs = 1 << 22
 
 // ServeWire runs the binary protocol on one connection: a loop of
@@ -78,26 +81,32 @@ func (m *Manager) wireRespond(dst []byte, msg wire.Message) ([]byte, *obs.REDEnd
 	}
 }
 
-// wireRouteSet answers one RouteSetReq from the current snapshot:
-// epoch negotiation first (a matching hint costs one NotModified frame,
-// no table touch), then either the precomputed per-job frame (pure
-// cache hit — the bytes were encoded at placement rebuild) or an
-// explicit pairs batch resolved from the engine's compiled arena.
+// wireRouteSet answers one RouteSetReq from the current snapshot. The
+// request is validated first — job existence, pair cap and range,
+// engine — and only then does epoch negotiation short-circuit (a
+// matching hint costs one NotModified frame, no table touch). The
+// order matters: a NotModified must certify that the server could
+// serve the request under this epoch, or a client whose hint happens
+// to match gets its cache "validated" for state the server no longer
+// has. After that, either the precomputed per-job frame is served
+// (pure cache hit — the bytes were encoded at placement rebuild) or
+// the explicit pairs batch is resolved from the engine's compiled
+// arena.
 func (m *Manager) wireRouteSet(dst []byte, req *wire.RouteSetReq) ([]byte, int) {
 	st := m.Current()
-	if req.EpochHint != 0 && req.EpochHint == st.Epoch {
-		return wire.AppendFrame(dst, &wire.NotModified{Epoch: st.Epoch}), 304
-	}
 	if req.ByJob {
-		frame, ok := st.JobRouteSets[sched.JobID(req.Job)]
+		jw, ok := st.JobRouteSets[sched.JobID(req.Job)]
 		if !ok {
 			return wire.AppendFrame(dst, &wire.ErrorResp{
 				Code: wire.CodeNotFound,
 				Msg:  fmt.Sprintf("job %d has no route set in epoch %d", req.Job, st.Epoch),
 			}), 404
 		}
-		m.mWireRoutes.Add(int64(st.jobRoutePairs[sched.JobID(req.Job)]))
-		return append(dst, frame...), 200
+		if req.EpochHint != 0 && req.EpochHint == st.Epoch {
+			return wire.AppendFrame(dst, &wire.NotModified{Epoch: st.Epoch}), 304
+		}
+		m.mWireRoutes.Add(int64(jw.Pairs))
+		return append(dst, jw.Frame...), jw.Code
 	}
 	if len(req.Pairs) > MaxWirePairs {
 		return wire.AppendFrame(dst, &wire.ErrorResp{
@@ -125,14 +134,24 @@ func (m *Manager) wireRouteSet(dst []byte, req *wire.RouteSetReq) ([]byte, int) 
 			}), 400
 		}
 	}
+	if req.EpochHint != 0 && req.EpochHint == st.Epoch {
+		return wire.AppendFrame(dst, &wire.NotModified{Epoch: st.Epoch}), 304
+	}
 	resp, err := routeSetResp(st.Epoch, engName, tb, req.Pairs)
 	if err != nil {
 		return wire.AppendFrame(dst, &wire.ErrorResp{
 			Code: wire.CodeInternal, Msg: err.Error(),
 		}), 500
 	}
+	out, err := wire.AppendFrameChecked(dst, resp)
+	if err != nil {
+		return wire.AppendFrame(dst, &wire.ErrorResp{
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("%d-pair batch encodes past the %d-byte frame cap; split the request", len(req.Pairs), wire.MaxPayload),
+		}), 400
+	}
 	m.mWireRoutes.Add(int64(len(req.Pairs)))
-	return wire.AppendFrame(dst, resp), 200
+	return out, 200
 }
 
 // routeSetResp resolves pairs against one engine's tables into the

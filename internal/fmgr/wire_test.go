@@ -1,6 +1,7 @@
 package fmgr
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -127,10 +128,14 @@ func TestWireJobRouteSetPrecomputed(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := waitEpoch(t, m, 2) // placement rebuild
-	frame, ok := st.JobRouteSets[a.ID]
+	jw, ok := st.JobRouteSets[a.ID]
 	if !ok {
 		t.Fatalf("epoch %d has no precomputed set for job %d", st.Epoch, a.ID)
 	}
+	if jw.Code != 200 || jw.Pairs != len(a.Hosts)*(len(a.Hosts)-1) {
+		t.Fatalf("precomputed frame code=%d pairs=%d", jw.Code, jw.Pairs)
+	}
+	frame := jw.Frame
 
 	c := startWireConn(t, m)
 	rs, ok := wireCall(t, c, &wire.RouteSetReq{ByJob: true, Job: uint64(a.ID)}).(*wire.RouteSetResp)
@@ -166,6 +171,46 @@ func TestWireJobRouteSetPrecomputed(t *testing.T) {
 	st = waitEpoch(t, m, st.Epoch+1)
 	if _, ok := st.JobRouteSets[a.ID]; ok {
 		t.Fatalf("freed job %d still has a route set in epoch %d", a.ID, st.Epoch)
+	}
+	// A matching epoch hint must not resurrect it: validation precedes
+	// negotiation, so the freed job answers NotFound, never NotModified
+	// (which would validate a client cache the server cannot serve).
+	er, ok := wireCall(t, c, &wire.RouteSetReq{ByJob: true, Job: uint64(a.ID), EpochHint: st.Epoch}).(*wire.ErrorResp)
+	if !ok || er.Code != wire.CodeNotFound {
+		t.Fatalf("freed job with matching hint: %#v", er)
+	}
+}
+
+// TestWireJobFrameBudget pins the encode-time byte budget: a job route
+// set that encodes past wire.MaxPayload must be stored as a decodable
+// ErrorResp frame (CodeInternal, observation code 500), never as a
+// frame every peer rejects unread with ErrTooLarge.
+func TestWireJobFrameBudget(t *testing.T) {
+	hops := make([]uint32, 14_000_000)
+	for i := range hops {
+		hops[i] = 0xFFFFFFF0 // 5-byte varints push the payload past 64 MiB
+	}
+	big := &wire.RouteSetResp{Epoch: 3, Engine: "dmodk", Routing: "d-mod-k",
+		Pairs: []wire.PairRoute{{Src: 0, Dst: 1, OK: true, Hops: hops}}}
+	jw := encodeJobFrame(7, 1, big)
+	if jw.Code != 500 || jw.Pairs != 0 {
+		t.Fatalf("oversized set stored as code=%d pairs=%d", jw.Code, jw.Pairs)
+	}
+	msg, err := wire.ReadMessage(bytes.NewReader(jw.Frame))
+	if err != nil {
+		t.Fatalf("stored frame does not decode: %v", err)
+	}
+	er, ok := msg.(*wire.ErrorResp)
+	if !ok || er.Code != wire.CodeInternal {
+		t.Fatalf("stored frame decodes to %#v, want CodeInternal ErrorResp", msg)
+	}
+
+	// A set inside the budget passes through byte-identical.
+	small := &wire.RouteSetResp{Epoch: 3, Engine: "dmodk", Routing: "d-mod-k",
+		Pairs: []wire.PairRoute{{Src: 0, Dst: 1, OK: true, Hops: []uint32{2, 4}}}}
+	jw = encodeJobFrame(7, 1, small)
+	if jw.Code != 200 || jw.Pairs != 1 || !bytes.Equal(jw.Frame, wire.EncodeFrame(small)) {
+		t.Fatalf("small set stored as code=%d pairs=%d", jw.Code, jw.Pairs)
 	}
 }
 

@@ -21,6 +21,19 @@ func AppendFrame(dst []byte, m Message) []byte {
 // EncodeFrame is AppendFrame into a fresh slice.
 func EncodeFrame(m Message) []byte { return AppendFrame(nil, m) }
 
+// AppendFrameChecked is AppendFrame for producers whose payload size
+// is data-dependent (whole-job route sets): it refuses to emit a frame
+// whose payload exceeds MaxPayload — which every peer would reject
+// unread with ErrTooLarge — returning dst unextended and the error
+// instead.
+func AppendFrameChecked(dst []byte, m Message) ([]byte, error) {
+	out := AppendFrame(dst, m)
+	if n := len(out) - len(dst) - HeaderSize; n > MaxPayload {
+		return dst, fmt.Errorf("%w: %d-byte payload", ErrTooLarge, n)
+	}
+	return out, nil
+}
+
 // WriteMessage frames and writes m in a single Write call.
 func WriteMessage(w io.Writer, m Message) error {
 	_, err := w.Write(EncodeFrame(m))

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 )
 
 // Split serves two protocols on one listener. Every accepted connection
@@ -36,15 +37,35 @@ type splitListener struct {
 }
 
 func (s *splitListener) acceptLoop() {
+	var delay time.Duration
 	for {
 		c, err := s.inner.Accept()
 		if err != nil {
+			// A transient error (EMFILE, ECONNABORTED, ...) must not
+			// permanently stop accepting for both protocols while the
+			// daemon otherwise looks healthy: retry with backoff, the
+			// same discipline net/http's serve loop applies. Only
+			// permanent errors and listener close end the loop.
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				select {
+				case <-time.After(delay):
+					continue
+				case <-s.done:
+					return
+				}
+			}
 			select {
 			case s.errs <- err:
 			case <-s.done:
 			}
 			return
 		}
+		delay = 0
 		// Sniff on a goroutine: a client that connects and sends
 		// nothing must not stall every other accept.
 		go s.sniff(c)

@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -90,4 +92,86 @@ func TestSplitServesBothProtocols(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+}
+
+// tempErr is a transient accept failure (EMFILE-style): a net.Error
+// whose Temporary() is true.
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "temporary accept error" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+// flakyListener injects scripted Accept errors before delegating to
+// the real listener.
+type flakyListener struct {
+	net.Listener
+	mu   sync.Mutex
+	errs []error
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if len(l.errs) > 0 {
+		err := l.errs[0]
+		l.errs = l.errs[1:]
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// TestSplitSurvivesTemporaryAcceptErrors: transient accept failures
+// must not permanently stop the accept loop — the next connections are
+// still served — while a permanent error still surfaces through the
+// HTTP side's Accept and ends the loop.
+func TestSplitSurvivesTemporaryAcceptErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln, errs: []error{tempErr{}, tempErr{}}}
+	split := Split(fl, func(c net.Conn) {
+		defer c.Close()
+		if m, err := ReadMessage(c); err == nil {
+			if _, ok := m.(EpochReq); ok {
+				WriteMessage(c, &EpochResp{Epoch: 3, Engine: "dmodk"})
+			}
+		}
+	})
+	defer split.Close()
+
+	roundTrip := func() {
+		t.Helper()
+		c, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := WriteMessage(c, EpochReq{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadMessage(c)
+		if err != nil {
+			t.Fatalf("round-trip after injected errors: %v", err)
+		}
+		if er, ok := m.(*EpochResp); !ok || er.Epoch != 3 {
+			t.Fatalf("reply %#v", m)
+		}
+	}
+	roundTrip() // the two temporary errors were retried through
+
+	// A permanent error ends the loop and surfaces on Accept. It is
+	// only hit on the accept after the next successful one, so drive
+	// one more connection through first.
+	permanent := errors.New("permanent accept failure")
+	fl.mu.Lock()
+	fl.errs = []error{permanent}
+	fl.mu.Unlock()
+	roundTrip()
+	if _, err := split.Accept(); err != permanent {
+		t.Fatalf("Accept after permanent error: %v", err)
+	}
 }

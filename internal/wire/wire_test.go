@@ -167,3 +167,31 @@ func hugeLength(frame []byte) []byte {
 	binary.LittleEndian.PutUint32(out[4:8], MaxPayload+1)
 	return out
 }
+
+// TestAppendFrameCheckedBudget: a message whose payload encodes past
+// MaxPayload is refused with ErrTooLarge and dst comes back
+// unextended, so a producer can substitute an application-level error
+// frame instead of emitting bytes every peer rejects unread.
+func TestAppendFrameCheckedBudget(t *testing.T) {
+	dst := []byte("prefix")
+	out, err := AppendFrameChecked(dst, &EpochResp{Epoch: 1, Engine: "dmodk"})
+	if err != nil {
+		t.Fatalf("in-budget frame refused: %v", err)
+	}
+	if !bytes.Equal(out, AppendFrame([]byte("prefix"), &EpochResp{Epoch: 1, Engine: "dmodk"})) {
+		t.Fatal("checked append differs from AppendFrame")
+	}
+
+	hops := make([]uint32, 14_000_000)
+	for i := range hops {
+		hops[i] = 0xFFFFFFF0 // 5-byte varints push the payload past 64 MiB
+	}
+	big := &RouteSetResp{Pairs: []PairRoute{{Src: 0, Dst: 1, OK: true, Hops: hops}}}
+	out, err = AppendFrameChecked(dst, big)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrTooLarge", err)
+	}
+	if len(out) != len(dst) {
+		t.Fatalf("refused append still extended dst to %d bytes", len(out))
+	}
+}
